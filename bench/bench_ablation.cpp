@@ -1,0 +1,231 @@
+// Ablation studies for the design choices DESIGN.md calls out:
+//  A1. Lattice vote quorum fraction -- latency vs safety margin.
+//  A2. Lattice election duration -- conflict convergence vs rollback churn.
+//  A3. Gossip topology -- propagation structure vs PoW fork rate.
+// These parameters are fixed constants in the real systems; sweeping them
+// shows why the deployed values sit where they do.
+#include <iostream>
+
+#include "core/chain_cluster.hpp"
+#include "core/lattice_cluster.hpp"
+#include "core/table.hpp"
+
+using namespace dlt;
+using namespace dlt::core;
+
+namespace {
+
+struct QuorumRun {
+  double confirm_median = 0;
+  std::uint64_t confirmed = 0;
+  double safety_margin = 0;  // quorum - largest single rep weight share
+};
+
+QuorumRun run_quorum(double quorum) {
+  LatticeClusterConfig cfg;
+  cfg.node_count = 6;
+  cfg.representative_count = 4;
+  cfg.account_count = 16;
+  cfg.params.work_bits = 2;
+  cfg.params.vote_quorum = quorum;
+  cfg.link = net::LinkParams{0.08, 0.02, 1e8};
+  cfg.seed = 41;
+  LatticeCluster cluster(cfg);
+  cluster.fund_accounts();
+
+  Rng wl(8);
+  WorkloadConfig w;
+  w.account_count = 16;
+  w.tx_rate = 2.0;
+  w.duration = 40.0;
+  cluster.schedule_workload(generate_payments(w, wl));
+  cluster.run_for(80.0);
+
+  QuorumRun out;
+  const auto& conf = cluster.node(0).confirmations();
+  out.confirmed = conf.blocks_confirmed;
+  out.confirm_median =
+      conf.time_to_confirm.count() ? conf.time_to_confirm.median() : 0;
+
+  // Largest representative's share of total weight: a quorum below it
+  // means one rep could confirm alone (no fault tolerance).
+  const auto& ledger = cluster.node(0).ledger();
+  lattice::Amount largest = 0;
+  for (std::size_t n = 0; n < cluster.node_count(); ++n) {
+    const auto* rep = cluster.node(n).representative_key();
+    if (rep) largest = std::max(largest, ledger.weight_of(rep->account_id()));
+  }
+  out.safety_margin =
+      quorum - static_cast<double>(largest) /
+                   static_cast<double>(ledger.total_weight());
+  return out;
+}
+
+struct ElectionRun {
+  std::uint64_t rollbacks = 0;
+  bool converged = false;
+  std::uint64_t elections = 0;
+};
+
+/// A double-send lands while the representatives are partitioned from
+/// each other for 3 s. Elections shorter than the outage close on partial
+/// tallies (plurality), so sides pick different winners and must roll
+/// back once full votes flow; longer elections wait the outage out.
+ElectionRun run_election(double duration) {
+  LatticeClusterConfig cfg;
+  cfg.node_count = 5;
+  cfg.representative_count = 3;
+  cfg.account_count = 8;
+  cfg.params.work_bits = 2;
+  cfg.params.election_duration = duration;
+  cfg.link = net::LinkParams{0.05, 0.01, 1e8};
+  cfg.seed = 42;
+  LatticeCluster cluster(cfg);
+  cluster.fund_accounts();
+
+  // Conflict + 3-second representative partition, repeated three times.
+  for (double at : {5.0, 15.0, 25.0}) {
+    cluster.simulation().schedule_at(
+        cluster.simulation().now() + at, [&cluster, at] {
+          auto& owner = cluster.owner_of(0);
+          const auto& key = cluster.account(0);
+          const auto* info = owner.ledger().account(key.account_id());
+          if (!info || info->head().balance < 10) return;
+          Rng r(static_cast<std::uint64_t>(at) + 77);
+          lattice::LatticeBlock s1, s2;
+          for (auto* s : {&s1, &s2}) {
+            s->type = lattice::BlockType::kSend;
+            s->account = key.account_id();
+            s->previous = info->head().hash();
+            s->representative = info->head().representative;
+          }
+          s1.balance = info->head().balance - 3;
+          s1.link = cluster.account(1).account_id();
+          s2.balance = info->head().balance - 7;
+          s2.link = cluster.account(2).account_id();
+          for (auto* s : {&s1, &s2}) {
+            s->solve_work(2);
+            s->sign(key, r);
+          }
+          // Split the reps: nodes {0,1,2} vs {3,4}; one candidate lands
+          // on each side, then the wall comes down for 3 s.
+          cluster.network().set_partitions(
+              {{cluster.node(0).id(), cluster.node(1).id(),
+                cluster.node(2).id()},
+               {cluster.node(3).id(), cluster.node(4).id()}});
+          (void)cluster.node(1).publish(s1);
+          (void)cluster.node(3).publish(s2);
+        });
+    cluster.simulation().schedule_at(
+        cluster.simulation().now() + at + 3.0,
+        [&cluster] { cluster.network().heal(); });
+  }
+  cluster.run_for(90.0);
+  // A fresh payment after quiescence carries any missing history across
+  // (gap backfill) so the convergence check is meaningful.
+  (void)cluster.submit_payment(0, 3, 1);
+  cluster.run_for(20.0);
+
+  ElectionRun out;
+  for (std::size_t n = 0; n < cluster.node_count(); ++n) {
+    out.rollbacks +=
+        cluster.node(n).confirmations().elections_lost_rollbacks;
+    out.elections += cluster.node(n).confirmations().elections_started;
+  }
+  out.converged = cluster.converged();
+  return out;
+}
+
+struct TopoRun {
+  std::uint64_t orphaned = 0;
+  std::uint64_t blocks = 0;
+  std::uint64_t messages = 0;
+};
+
+TopoRun run_topology(Topology topo) {
+  ChainClusterConfig cfg;
+  cfg.params = chain::bitcoin_like();
+  cfg.params.verify_pow = false;
+  cfg.params.retarget_window = 0;
+  cfg.params.block_interval = 10.0;
+  cfg.params.initial_difficulty = 1e6;
+  cfg.node_count = 16;
+  cfg.miner_count = 16;
+  cfg.total_hashrate = 1e6 / 10.0;
+  cfg.account_count = 4;
+  cfg.topology = topo;
+  cfg.random_degree = 2;
+  cfg.link = net::LinkParams{0.4, 0.1, 1e9};
+  cfg.seed = 43;
+  ChainCluster cluster(cfg);
+  cluster.start();
+  cluster.run_for(10.0 * 300);
+
+  RunMetrics m = cluster.metrics();
+  return TopoRun{m.orphaned_blocks, m.blocks_produced, m.messages};
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablations: why the deployed constants sit where they "
+               "do ===\n\n";
+
+  std::cout << "A1. Lattice vote quorum (Nano deploys ~ online-weight "
+               "majority; paper §IV-B 'majority vote'):\n";
+  Table t1({"quorum", "confirmed", "median s",
+            "margin over biggest rep"});
+  for (double q : {0.34, 0.50, 0.67, 0.90}) {
+    QuorumRun r = run_quorum(q);
+    t1.row({fmt(q, 2), std::to_string(r.confirmed),
+            fmt(r.confirm_median, 3), fmt(r.safety_margin, 2)});
+  }
+  t1.print();
+  std::cout << "Low quorum = fast but a single large representative can "
+               "decide alone (negative margin); high quorum = every "
+               "straggler vote matters, latency rises and liveness "
+               "depends on near-total rep availability.\n";
+
+  std::cout << "\nA2. Election duration vs a 3 s representative "
+               "partition during each conflict:\n";
+  Table t2({"election s", "elections", "rollbacks (all nodes)",
+            "converged"});
+  for (double d : {0.5, 2.0, 6.0, 12.0}) {
+    ElectionRun r = run_election(d);
+    t2.row({fmt(d, 1), std::to_string(r.elections),
+            std::to_string(r.rollbacks), r.converged ? "yes" : "NO"});
+  }
+  t2.print();
+  std::cout << "Elections that close during the outage decide on partial "
+               "tallies, so the minority side adopts the wrong winner and "
+               "must roll back (6 rollbacks = 2 cut-off nodes x 3 "
+               "conflicts) once confirmation quorum flows after healing. "
+               "The system converges at every duration because vote "
+               "rebroadcast + frontier sync deliver the full tally "
+               "eventually; the duration only shifts WHEN the losing side "
+               "pays its rollback cost. Normal traffic is unaffected "
+               "(quorum short-circuits elections).\n";
+
+  std::cout << "\nA3. Gossip topology at fixed miner count (16) and delay "
+               "(0.4 s, 10 s blocks):\n";
+  Table t3({"topology", "blocks", "orphaned", "orphan rate", "messages"});
+  const char* names[] = {"complete", "random(d=2)", "small-world"};
+  Topology topos[] = {Topology::kComplete, Topology::kRandom,
+                      Topology::kSmallWorld};
+  for (int i = 0; i < 3; ++i) {
+    TopoRun r = run_topology(topos[i]);
+    t3.row({names[i], std::to_string(r.blocks), std::to_string(r.orphaned),
+            fmt(r.blocks ? static_cast<double>(r.orphaned) /
+                               static_cast<double>(r.blocks)
+                         : 0.0,
+                4),
+            std::to_string(r.messages)});
+  }
+  t3.print();
+  std::cout << "Sparser overlays propagate blocks over more hops: the "
+               "effective delay/interval ratio grows and so does the fork "
+               "rate (Fig. 4's mechanism) -- but message cost drops; the "
+               "deployed systems pick relay-dense topologies for exactly "
+               "this reason.\n";
+  return 0;
+}

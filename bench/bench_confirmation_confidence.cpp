@@ -1,0 +1,101 @@
+// E5 -- Paper §IV-A: confirmation confidence vs depth.
+//
+// "The number of appended blocks that guarantee block inclusion with high
+// probability are six for Bitcoin and five to eleven for Ethereum."
+// We regenerate both sides of that claim:
+//  (a) analytically, via Nakamoto's reversal probability, and
+//  (b) by simulation, racing an attacker miner against the honest chain
+//      and counting how often a depth-z block is reverted.
+#include <cmath>
+#include <iostream>
+
+#include "chain/blockchain.hpp"
+#include "core/confidence.hpp"
+#include "core/table.hpp"
+#include "support/rng.hpp"
+
+using namespace dlt;
+using namespace dlt::core;
+
+namespace {
+
+/// Monte-Carlo double-spend race: honest chain extends at rate p, attacker
+/// at rate q from z blocks behind; success if the attacker ever gets ahead
+/// (within a generous horizon). Mirrors the analytic model's assumptions.
+double simulate_reversal(double q, std::uint32_t z, int trials, Rng& rng) {
+  int wins = 0;
+  const double p = 1.0 - q;
+  for (int t = 0; t < trials; ++t) {
+    // Stage 1 (Poisson mixing): attacker progress while the merchant
+    // waits for z honest confirmations.
+    int attacker = 0;
+    int honest = 0;
+    while (honest < static_cast<int>(z)) {
+      if (rng.chance(q))
+        ++attacker;
+      else
+        ++honest;
+    }
+    // Stage 2: gambler's ruin from the deficit.
+    int deficit = static_cast<int>(z) - attacker;  // blocks behind (+1 rule)
+    if (deficit <= 0) {
+      ++wins;
+      continue;
+    }
+    bool caught = false;
+    // Catch-up probability (q/p)^deficit, bounded walk for simulation.
+    for (int step = 0; step < 100000; ++step) {
+      if (rng.chance(q))
+        --deficit;
+      else
+        ++deficit;
+      if (deficit <= 0) {
+        caught = true;
+        break;
+      }
+      // Prune hopeless walks: probability of recovery < 1e-12.
+      if (static_cast<double>(deficit) * std::log(p / q) > 28.0) break;
+    }
+    if (caught) ++wins;
+  }
+  (void)p;
+  return static_cast<double>(wins) / trials;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== E5 / §IV-A: confirmation confidence vs depth ===\n\n";
+
+  std::cout << "Reversal probability (analytic = Nakamoto formula; "
+               "simulated = Monte-Carlo race, 20k trials):\n";
+  Rng rng(2024);
+  for (double q : {0.10, 0.25, 0.40}) {
+    std::cout << "\nattacker hash share q = " << q << ":\n";
+    Table t({"depth z", "analytic P(reversal)", "simulated P(reversal)"});
+    for (std::uint32_t z : {0u, 1u, 2u, 4u, 6u, 8u, 11u, 15u}) {
+      const double analytic = reversal_probability(q, z);
+      const double sim = simulate_reversal(q, z, 20000, rng);
+      t.row({std::to_string(z), fmt(analytic, 6), fmt(sim, 6)});
+    }
+    t.print();
+  }
+
+  std::cout << "\nDepth needed for risk < 0.1% (Nakamoto's table):\n";
+  Table t({"attacker share q", "required depth z"});
+  for (double q : {0.08, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40}) {
+    t.row({fmt(q, 2), std::to_string(depth_for_risk(q, 0.001))});
+  }
+  t.print();
+
+  std::cout << "\nShape check (paper §IV-A): at ~10% attacker share, "
+               "~6 confirmations reduce reversal risk below 0.1% -- "
+               "Bitcoin's six-block rule. Ethereum's faster blocks carry "
+               "less work each, so its community waits 5-11 blocks; the "
+               "same table read at higher q covers that range.\n";
+
+  std::cout << "\nNano contrast (paper §IV-B): confirmation is a "
+               "majority vote by weighted representatives, not a "
+               "probabilistic depth -- see bench_vote_confirmation.\n";
+  return 0;
+}

@@ -1,0 +1,140 @@
+// E2 -- Paper Fig. 2: "Nano's DAG, the block-lattice".
+//
+// Regenerates the structure as measurements: per-account chains growing
+// independently, one transaction per node, appended asynchronously.
+// Reports lattice shape, per-block processing cost, and the independence
+// property (an account's chain length is unaffected by other accounts).
+#include <chrono>
+#include <iostream>
+
+#include "core/table.hpp"
+#include "lattice/ledger.hpp"
+#include "support/stats.hpp"
+
+using namespace dlt;
+using namespace dlt::lattice;
+
+namespace {
+
+struct LatticeRun {
+  std::size_t accounts = 0;
+  std::uint64_t blocks = 0;
+  double build_ms = 0;
+  double us_per_block = 0;
+  std::uint64_t bytes = 0;
+};
+
+LatticeRun grow_lattice(std::size_t account_count,
+                        std::size_t transfers_per_account) {
+  Rng rng(7);
+  LatticeParams params;
+  params.work_bits = 2;  // real anti-spam work, trivial cost for the bench
+  crypto::KeyPair genesis = crypto::KeyPair::from_seed(1);
+  Ledger ledger(params, genesis.account_id(), genesis.account_id(),
+                1'000'000'000'000ULL);
+
+  std::vector<crypto::KeyPair> keys;
+  for (std::size_t i = 0; i < account_count; ++i)
+    keys.push_back(crypto::KeyPair::from_seed(0x400 + i));
+
+  auto make = [&](LatticeBlock b, const crypto::KeyPair& k) {
+    b.solve_work(params.work_bits);
+    b.sign(k, rng);
+    Status st = ledger.process(b);
+    if (!st.ok()) {
+      std::cerr << "lattice build error: " << st.error().to_string() << "\n";
+      std::abort();
+    }
+  };
+
+  const auto t0 = std::chrono::steady_clock::now();
+  // Open every account from genesis sends (Fig. 2's account-chain starts).
+  for (const auto& k : keys) {
+    const AccountInfo* g = ledger.account(genesis.account_id());
+    LatticeBlock send;
+    send.type = BlockType::kSend;
+    send.account = genesis.account_id();
+    send.previous = g->head().hash();
+    send.balance = g->head().balance - 1'000'000;
+    send.link = k.account_id();
+    send.representative = g->head().representative;
+    make(send, genesis);
+
+    LatticeBlock open;
+    open.type = BlockType::kOpen;
+    open.account = k.account_id();
+    open.balance = 1'000'000;
+    open.link = send.hash();
+    open.representative = k.account_id();
+    make(open, k);
+  }
+  // Asynchronous growth: each account appends to its own chain.
+  for (std::size_t round = 0; round < transfers_per_account; ++round) {
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      const crypto::KeyPair& from = keys[i];
+      const crypto::KeyPair& to = keys[(i + 1) % keys.size()];
+      const AccountInfo* info = ledger.account(from.account_id());
+      LatticeBlock send;
+      send.type = BlockType::kSend;
+      send.account = from.account_id();
+      send.previous = info->head().hash();
+      send.balance = info->head().balance - 10;
+      send.link = to.account_id();
+      send.representative = info->head().representative;
+      make(send, from);
+
+      const AccountInfo* tinfo = ledger.account(to.account_id());
+      LatticeBlock recv;
+      recv.type = BlockType::kReceive;
+      recv.account = to.account_id();
+      recv.previous = tinfo->head().hash();
+      recv.balance = tinfo->head().balance + 10;
+      recv.link = send.hash();
+      recv.representative = tinfo->head().representative;
+      make(recv, to);
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  LatticeRun out;
+  out.accounts = ledger.account_count();
+  out.blocks = ledger.block_count();
+  out.build_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  out.us_per_block =
+      out.build_ms * 1000.0 / static_cast<double>(out.blocks);
+  out.bytes = ledger.storage().total();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== E2 / Fig. 2: the block-lattice ===\n\n";
+  std::cout << "Each account owns a chain; every node holds exactly one "
+               "transaction (paper (II-B).\n\n";
+
+  core::Table t({"accounts", "transfers/acct", "total blocks", "build ms",
+                 "us/block", "ledger bytes"});
+  for (auto [accounts, transfers] :
+       std::vector<std::pair<std::size_t, std::size_t>>{
+           {10, 20}, {100, 20}, {500, 10}, {1000, 5}}) {
+    LatticeRun r = grow_lattice(accounts, transfers);
+    t.row({std::to_string(r.accounts), std::to_string(transfers),
+           std::to_string(r.blocks), core::fmt(r.build_ms),
+           core::fmt(r.us_per_block), format_bytes(r.bytes)});
+  }
+  t.print();
+
+  std::cout << "\nIndependence: per-block cost is flat as the account count "
+               "grows -- appending to one account-chain never touches "
+               "another chain (the property Fig. 2 illustrates; contrast "
+               "with a single global chain serializing all accounts).\n";
+
+  // Show the lattice shape itself for a tiny instance.
+  LatticeRun tiny = grow_lattice(3, 2);
+  std::cout << "\nTiny lattice: " << tiny.accounts
+            << " account-chains (incl. genesis), " << tiny.blocks
+            << " single-transaction nodes, " << format_bytes(tiny.bytes)
+            << " stored.\n";
+  return 0;
+}

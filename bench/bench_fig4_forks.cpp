@@ -1,0 +1,99 @@
+// E4 -- Paper Fig. 4: "Temporary blockchain forks".
+//
+// "A soft fork can occur when two different blocks are created at roughly
+// the same time. Due to network delays, some nodes will receive one block
+// over the other... The problem resolves itself when a block is mined that
+// makes one chain longer than the other."
+//
+// Sweep the ratio of network delay to block interval and measure fork
+// frequency, orphaned blocks and reorg depth: the canonical result is that
+// fork rate rises sharply as propagation delay approaches the interval,
+// which is exactly why Bitcoin uses 10-minute blocks (paper §VI-A).
+#include <iostream>
+
+#include "core/chain_cluster.hpp"
+#include "core/table.hpp"
+
+using namespace dlt;
+using namespace dlt::core;
+
+namespace {
+
+struct ForkRun {
+  std::uint64_t blocks = 0;
+  std::uint64_t orphaned = 0;
+  std::uint64_t reorgs = 0;
+  std::uint32_t max_depth = 0;
+  double orphan_rate = 0;
+};
+
+ForkRun run(double block_interval, double delay, std::uint64_t seed) {
+  ChainClusterConfig cfg;
+  cfg.params = chain::bitcoin_like();
+  cfg.params.verify_pow = false;  // statistical mining race (DESIGN.md §2)
+  cfg.params.block_interval = block_interval;
+  cfg.params.initial_difficulty = 1e6;
+  cfg.params.retarget_window = 0;
+  cfg.node_count = 8;
+  cfg.miner_count = 8;
+  cfg.total_hashrate = 1e6 / block_interval;
+  cfg.link = net::LinkParams{delay, delay * 0.2, 1e9};
+  cfg.account_count = 4;
+  cfg.seed = seed;
+
+  ChainCluster cluster(cfg);
+  cluster.start();
+  // Run long enough for ~400 blocks.
+  cluster.run_for(block_interval * 400.0);
+
+  RunMetrics m = cluster.metrics();
+  ForkRun out;
+  out.blocks = m.blocks_produced;
+  out.orphaned = m.orphaned_blocks;
+  out.reorgs = m.reorgs;
+  out.max_depth = m.max_reorg_depth;
+  out.orphan_rate = m.blocks_produced
+                        ? static_cast<double>(m.orphaned_blocks) /
+                              static_cast<double>(m.blocks_produced)
+                        : 0.0;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== E4 / Fig. 4: temporary forks vs propagation delay ===\n\n";
+
+  std::cout << "Fixed delay (2 s one-way), varying block interval:\n";
+  core::Table t1({"interval s", "delay/interval", "blocks mined",
+                  "orphaned", "orphan rate", "reorgs", "max reorg depth"});
+  for (double interval : {600.0, 60.0, 15.0, 5.0, 2.0}) {
+    ForkRun r = run(interval, 2.0, 42);
+    t1.row({core::fmt(interval, 0), core::fmt(2.0 / interval, 3),
+            std::to_string(r.blocks), std::to_string(r.orphaned),
+            core::fmt(r.orphan_rate, 4), std::to_string(r.reorgs),
+            std::to_string(r.max_depth)});
+  }
+  t1.print();
+
+  std::cout << "\nFixed interval (15 s, Ethereum-like), varying delay:\n";
+  core::Table t2({"delay s", "delay/interval", "blocks mined", "orphaned",
+                  "orphan rate", "reorgs", "max reorg depth"});
+  for (double delay : {0.1, 0.5, 1.0, 3.0, 7.0}) {
+    ForkRun r = run(15.0, delay, 43);
+    t2.row({core::fmt(delay, 1), core::fmt(delay / 15.0, 3),
+            std::to_string(r.blocks), std::to_string(r.orphaned),
+            core::fmt(r.orphan_rate, 4), std::to_string(r.reorgs),
+            std::to_string(r.max_depth)});
+  }
+  t2.print();
+
+  std::cout
+      << "\nShape check (paper Fig. 4 + §IV-A): forks are rare when the "
+         "block interval dwarfs propagation delay (Bitcoin: 600 s vs "
+         "seconds) and frequent when they are comparable; deeper 'atypical' "
+         "forks (the figure's bottom chain) appear only in the high-ratio "
+         "regime. Orphaned blocks' transactions return to the mempool for "
+         "re-inclusion.\n";
+  return 0;
+}

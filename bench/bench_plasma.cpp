@@ -1,0 +1,117 @@
+// E12 -- Paper §VI-A: Plasma-style nested chains.
+//
+// "Only Merkle roots created in the sidechains are periodically
+// broadcasted to the main network during non-faulty states allowing
+// scalable transactions. For faulty states, stakeholders need to display
+// proof of fraud and the Byzantine node gets penalized."
+#include <iostream>
+
+#include "core/table.hpp"
+#include "scaling/plasma.hpp"
+#include "support/stats.hpp"
+
+using namespace dlt;
+using namespace dlt::core;
+using namespace dlt::scaling;
+
+int main() {
+  std::cout << "=== E12 / §VI-A: Plasma child chains ===\n\n";
+
+  Rng rng(5);
+  std::vector<crypto::KeyPair> users;
+  for (int i = 0; i < 32; ++i)
+    users.push_back(crypto::KeyPair::from_seed(0x800 + i));
+
+  std::cout << "Root-chain footprint vs child-chain activity (commitments "
+               "are 32-byte roots):\n";
+  Table t({"child txs", "child blocks", "root-chain commitments",
+           "root-chain bytes", "bytes if all on root chain"});
+  for (std::size_t txs : {100u, 1'000u, 10'000u}) {
+    PlasmaContract contract(1'000'000);
+    PlasmaOperator op(contract, /*block_tx_limit=*/500);
+    for (const auto& u : users) op.sync_deposit(u.account_id(), 1'000'000);
+
+    std::vector<std::uint64_t> nonces(users.size(), 0);
+    std::size_t submitted = 0;
+    Rng traffic(9);
+    while (submitted < txs) {
+      const std::size_t from = traffic.uniform(users.size());
+      const std::size_t to = traffic.uniform(users.size());
+      if (from == to) continue;
+      PlasmaTx tx;
+      tx.to = users[to].account_id();
+      tx.amount = 1 + traffic.uniform(10);
+      tx.nonce = nonces[from];
+      tx.sign(users[from], rng);
+      if (op.submit(tx).ok()) {
+        ++nonces[from];
+        ++submitted;
+      }
+      if (op.pending() >= 500) (void)op.seal_and_commit();
+    }
+    while (op.pending() > 0) (void)op.seal_and_commit();
+
+    const std::uint64_t root_bytes = contract.commitments() * (32 + 80);
+    const std::uint64_t naive_bytes = txs * 124;  // account-tx size
+    t.row({std::to_string(txs), std::to_string(op.blocks().size()),
+           std::to_string(contract.commitments()), format_bytes(root_bytes),
+           format_bytes(naive_bytes)});
+  }
+  t.print();
+
+  std::cout << "\nExit with Merkle proof (user leaves the child chain):\n";
+  {
+    PlasmaContract contract(1'000'000);
+    PlasmaOperator op(contract, 500);
+    op.sync_deposit(users[0].account_id(), 10'000);
+    PlasmaTx tx;
+    tx.to = users[1].account_id();
+    tx.amount = 4'000;
+    tx.nonce = 0;
+    tx.sign(users[0], rng);
+    (void)op.submit(tx);
+    auto block = op.seal_and_commit();
+    auto proof = op.prove(block->number, 0);
+    Status st =
+        contract.exit(users[1].account_id(), 4'000, block->number,
+                      block->txs[0], 0, *proof);
+    Table t2({"step", "result"});
+    t2.row({"commit root on root chain", "ok"});
+    t2.row({"exit 4000 with inclusion proof", st.ok() ? "accepted"
+                                                      : st.to_string()});
+    t2.row({"proof size",
+            std::to_string(proof->size() * 32) + " bytes"});
+    t2.print();
+  }
+
+  std::cout << "\nFraud proof (operator commits an invalid block):\n";
+  {
+    PlasmaContract contract(1'000'000);
+    PlasmaOperator op(contract, 500);
+    op.sync_deposit(users[0].account_id(), 10'000);
+    PlasmaTx forged;
+    forged.to = users[2].account_id();
+    forged.amount = 9'999;
+    forged.nonce = 0;
+    forged.sign(users[0], rng);
+    forged.signature.s ^= 1;  // broken signature hidden in the block
+    PlasmaBlock bad = op.seal_with_forgery(forged);
+    auto proof = op.prove(bad.number, bad.txs.size() - 1);
+    Status st = contract.challenge(bad.number, forged,
+                                   bad.txs.size() - 1, *proof);
+    Table t3({"step", "result"});
+    t3.row({"operator bond before", "1000000"});
+    t3.row({"challenge with fraud proof",
+            st.ok() ? "accepted" : st.to_string()});
+    t3.row({"operator slashed",
+            contract.operator_slashed() ? "yes (bond burned)" : "no"});
+    t3.row({"operator bond after", std::to_string(contract.operator_bond())});
+    t3.print();
+  }
+
+  std::cout << "\nShape check (paper §VI-A): thousands of child "
+               "transactions reach the root chain as a handful of 32-byte "
+               "roots; misbehaviour is punishable on-chain via fraud "
+               "proofs, penalizing the Byzantine operator.\n";
+  return 0;
+}

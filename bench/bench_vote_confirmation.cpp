@@ -1,0 +1,138 @@
+// E6 -- Paper §IV-B: Nano confirmation by weighted representative vote.
+//
+// "A transaction is confirmed when it receives a majority vote... beside
+// voting on conflicts, representatives vote automatically on blocks they
+// have not seen before", plus block cementing. Measures time-to-quorum vs
+// representative count and weight distribution, and conflict resolution.
+#include <iostream>
+
+#include "core/lattice_cluster.hpp"
+#include "core/table.hpp"
+
+using namespace dlt;
+using namespace dlt::core;
+
+namespace {
+
+struct VoteRun {
+  double confirm_median = 0;
+  double confirm_p95 = 0;
+  std::uint64_t confirmed = 0;
+  std::uint64_t cemented = 0;
+  std::uint64_t elections = 0;
+  std::uint64_t rollbacks = 0;
+  std::uint64_t vote_messages = 0;
+};
+
+VoteRun run(std::size_t reps, double link_delay, bool inject_conflicts) {
+  LatticeClusterConfig cfg;
+  cfg.node_count = std::max<std::size_t>(reps, 4);
+  cfg.representative_count = reps;
+  cfg.account_count = 16;
+  cfg.params.work_bits = 2;
+  cfg.link = net::LinkParams{link_delay, link_delay * 0.2, 1e8};
+  cfg.seed = 7 + reps;
+  LatticeCluster cluster(cfg);
+  cluster.fund_accounts();
+
+  Rng wl_rng(11);
+  WorkloadConfig wl;
+  wl.account_count = cfg.account_count;
+  wl.tx_rate = 2.0;
+  wl.duration = 40.0;
+  cluster.schedule_workload(generate_payments(wl, wl_rng));
+
+  if (inject_conflicts) {
+    // A malicious double-send every 10 s: build two blocks on one root.
+    for (double at : {10.0, 20.0, 30.0}) {
+      cluster.simulation().schedule_at(
+          cluster.simulation().now() + at, [&cluster, at] {
+            auto& owner = cluster.owner_of(0);
+            const auto& key = cluster.account(0);
+            const auto* info = owner.ledger().account(key.account_id());
+            if (!info || info->head().balance < 2) return;
+            Rng rng(static_cast<std::uint64_t>(at));
+            lattice::LatticeBlock s1, s2;
+            for (auto* s : {&s1, &s2}) {
+              s->type = lattice::BlockType::kSend;
+              s->account = key.account_id();
+              s->previous = info->head().hash();
+              s->representative = info->head().representative;
+            }
+            s1.balance = info->head().balance - 1;
+            s1.link = cluster.account(1).account_id();
+            s2.balance = info->head().balance - 2;
+            s2.link = cluster.account(2).account_id();
+            for (auto* s : {&s1, &s2}) {
+              s->solve_work(2);
+              s->sign(key, rng);
+            }
+            // Publish the conflicting pair from different nodes.
+            (void)cluster.node(0).publish(s1);
+            (void)cluster.node(1).publish(s2);
+          });
+    }
+  }
+
+  cluster.run_for(wl.duration + 30.0);
+
+  VoteRun out;
+  const auto& conf = cluster.node(0).confirmations();
+  out.confirmed = conf.blocks_confirmed;
+  out.cemented = conf.blocks_cemented;
+  out.elections = conf.elections_started;
+  out.rollbacks = conf.elections_lost_rollbacks;
+  out.confirm_median =
+      conf.time_to_confirm.count() ? conf.time_to_confirm.median() : 0;
+  out.confirm_p95 =
+      conf.time_to_confirm.count() ? conf.time_to_confirm.p95() : 0;
+  auto votes = cluster.network().traffic_by_type().find("lat-vote");
+  if (votes != cluster.network().traffic_by_type().end())
+    out.vote_messages = votes->second.messages;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== E6 / §IV-B: vote-based confirmation & cementing ===\n\n";
+
+  std::cout << "Time to majority-vote confirmation vs representative count "
+               "(50 ms links):\n";
+  Table t1({"representatives", "confirmed", "cemented", "median s", "p95 s",
+            "vote msgs"});
+  for (std::size_t reps : {1u, 2u, 4u, 8u}) {
+    VoteRun r = run(reps, 0.05, false);
+    t1.row({std::to_string(reps), std::to_string(r.confirmed),
+            std::to_string(r.cemented), fmt(r.confirm_median, 3),
+            fmt(r.confirm_p95, 3), std::to_string(r.vote_messages)});
+  }
+  t1.print();
+
+  std::cout << "\nEffect of network delay (4 representatives):\n";
+  Table t2({"link delay s", "median s", "p95 s"});
+  for (double delay : {0.02, 0.1, 0.3, 1.0}) {
+    VoteRun r = run(4, delay, false);
+    t2.row({fmt(delay, 2), fmt(r.confirm_median, 3), fmt(r.confirm_p95, 3)});
+  }
+  t2.print();
+
+  std::cout << "\nConflict resolution (malicious double-sends injected):\n";
+  Table t3({"representatives", "elections", "rollbacks", "confirmed"});
+  for (std::size_t reps : {2u, 4u}) {
+    VoteRun r = run(reps, 0.05, true);
+    t3.row({std::to_string(reps), std::to_string(r.elections),
+            std::to_string(r.rollbacks), std::to_string(r.confirmed)});
+  }
+  t3.print();
+
+  std::cout
+      << "\nShape check (paper §IV-B): confirmation latency is a few "
+         "network round-trips -- independent of any block interval -- and "
+         "rises with link delay, not with load. Conflicts trigger "
+         "elections; losers are rolled back, and cemented blocks are "
+         "immune (paper: block-cementing prevents rollback). For a "
+         "transaction with no issues, no extra voting round is required "
+         "beyond the automatic vote broadcast (§III-B).\n";
+  return 0;
+}

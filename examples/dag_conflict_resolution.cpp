@@ -1,0 +1,100 @@
+// A malicious double-send on the block-lattice, resolved by weighted
+// representative voting (paper §III-B, §IV-B).
+//
+// "Forks in Nano are only possible as a result of a malicious attack or
+// bad programming... In the case of a conflict, the winning transaction is
+// the one that gained the most votes with regards to the voter's weight."
+#include <iostream>
+
+#include "core/lattice_cluster.hpp"
+#include "support/hex.hpp"
+
+using namespace dlt;
+using namespace dlt::core;
+
+int main() {
+  LatticeClusterConfig cfg;
+  cfg.node_count = 4;
+  cfg.representative_count = 3;
+  cfg.account_count = 6;
+  cfg.params.work_bits = 4;
+  cfg.seed = 7;
+  LatticeCluster cluster(cfg);
+  cluster.fund_accounts();
+  std::cout << "Network: " << cfg.node_count << " nodes, "
+            << cfg.representative_count
+            << " representatives holding delegated weight.\n\n";
+
+  // Mallory (account 0) signs TWO sends spending the same chain position:
+  // one pays account 1, the other pays account 2.
+  auto& owner = cluster.owner_of(0);
+  const auto& mallory = cluster.account(0);
+  const auto* info = owner.ledger().account(mallory.account_id());
+  Rng rng(13);
+
+  lattice::LatticeBlock pay1, pay2;
+  for (auto* b : {&pay1, &pay2}) {
+    b->type = lattice::BlockType::kSend;
+    b->account = mallory.account_id();
+    b->previous = info->head().hash();
+    b->representative = info->head().representative;
+  }
+  pay1.balance = info->head().balance - 1000;
+  pay1.link = cluster.account(1).account_id();
+  pay2.balance = info->head().balance - 2000;
+  pay2.link = cluster.account(2).account_id();
+  for (auto* b : {&pay1, &pay2}) {
+    b->solve_work(cfg.params.work_bits);
+    b->sign(mallory, rng);
+  }
+  std::cout << "Mallory double-sends from one chain position:\n"
+            << "  candidate X " << short_hex(pay1.hash())
+            << " pays account 1\n"
+            << "  candidate Y " << short_hex(pay2.hash())
+            << " pays account 2\n\n";
+
+  // The two conflicting blocks enter the network at different nodes.
+  (void)cluster.node(1).publish(pay1);
+  cluster.run_for(0.01);
+  (void)cluster.node(2).publish(pay2);
+  std::cout << "Published X at node 1 and Y at node 2 -- nodes disagree, "
+               "elections begin...\n\n";
+  cluster.run_for(30.0);
+
+  // Outcome: every node settled on the same winner.
+  const auto head0 =
+      cluster.node(0).ledger().head_of(mallory.account_id());
+  std::cout << "After voting:\n";
+  bool all_agree = true;
+  for (std::size_t n = 0; n < cluster.node_count(); ++n) {
+    auto head = cluster.node(n).ledger().head_of(mallory.account_id());
+    std::cout << "  node " << n << " head of mallory's chain: "
+              << (head ? short_hex(*head) : std::string("?")) << "\n";
+    if (head != head0) all_agree = false;
+  }
+  const char* winner = *head0 == pay1.hash()   ? "X"
+                       : *head0 == pay2.hash() ? "Y"
+                                               : "?";
+  std::cout << "\nAll nodes agree: " << (all_agree ? "yes" : "NO")
+            << "; winner is candidate " << winner << ".\n";
+
+  std::uint64_t elections = 0, rollbacks = 0;
+  for (std::size_t n = 0; n < cluster.node_count(); ++n) {
+    elections += cluster.node(n).confirmations().elections_started;
+    rollbacks += cluster.node(n).confirmations().elections_lost_rollbacks;
+  }
+  std::cout << "Elections started across nodes: " << elections
+            << ", losing blocks rolled back: " << rollbacks << "\n";
+  std::cout << "Cemented (irreversible): "
+            << (cluster.node(0).ledger().is_cemented(*head0) ? "yes" : "no")
+            << "  -- block-cementing, paper §IV-B.\n";
+  std::cout << "Value conserved on every node: "
+            << (cluster.node(0).ledger().conserves_value() &&
+                        cluster.node(1).ledger().conserves_value()
+                    ? "yes"
+                    : "NO")
+            << "\n\nNote the contrast with fork_anatomy: no blocks of "
+               "unrelated accounts were disturbed -- the conflict stayed "
+               "inside one account-chain.\n";
+  return 0;
+}

@@ -1,0 +1,122 @@
+// A payment day on all three ledgers: the paper's comparison in miniature.
+//
+// The same Poisson/zipf payment workload is run through a Bitcoin-like
+// network, an Ethereum-like network and a Nano-like network; the program
+// prints the §IV/§V/§VI comparison table for the run.
+#include <iostream>
+
+#include "core/chain_cluster.hpp"
+#include "core/lattice_cluster.hpp"
+#include "core/table.hpp"
+
+using namespace dlt;
+using namespace dlt::core;
+
+namespace {
+
+constexpr std::size_t kAccounts = 20;
+constexpr double kRate = 0.5;        // payments per second
+constexpr double kDuration = 600.0;  // ten minutes of traffic
+
+RunMetrics run_chain(chain::ChainParams params, double interval) {
+  params.verify_pow = false;
+  params.retarget_window = 0;
+  params.block_interval = interval;
+  params.initial_difficulty = 1e6;
+
+  ChainClusterConfig cfg;
+  cfg.params = params;
+  cfg.node_count = 5;
+  cfg.miner_count = 3;
+  cfg.validator_count = 4;
+  cfg.total_hashrate = 1e6 / interval;
+  cfg.account_count = kAccounts;
+  cfg.initial_balance = 100'000'000;
+  cfg.genesis_outputs_per_account = 32;
+  cfg.seed = 9;
+  ChainCluster cluster(cfg);
+  cluster.start();
+
+  Rng wl(123);
+  WorkloadConfig w;
+  w.account_count = kAccounts;
+  w.tx_rate = kRate;
+  w.duration = kDuration;
+  cluster.schedule_workload(generate_payments(w, wl));
+  cluster.run_for(kDuration + 20 * interval);
+  return cluster.metrics();
+}
+
+RunMetrics run_lattice() {
+  LatticeClusterConfig cfg;
+  cfg.node_count = 5;
+  cfg.representative_count = 3;
+  cfg.account_count = kAccounts;
+  cfg.initial_balance = 100'000'000;
+  cfg.params.work_bits = 2;
+  cfg.seed = 9;
+  LatticeCluster cluster(cfg);
+  cluster.fund_accounts();
+
+  Rng wl(123);
+  WorkloadConfig w;
+  w.account_count = kAccounts;
+  w.tx_rate = kRate;
+  w.duration = kDuration;
+  cluster.schedule_workload(generate_payments(w, wl));
+  cluster.run_for(kDuration + 30.0);
+  return cluster.metrics();
+}
+
+std::string lat(const Percentiles& p) {
+  if (p.count() == 0) return "-";
+  return fmt(p.median(), 1) + " s";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Same workload (" << kAccounts << " accounts, " << kRate
+            << " tx/s for " << kDuration
+            << " s) on the paper's three reference designs:\n\n";
+
+  RunMetrics btc = run_chain(chain::bitcoin_like(), 600.0);
+  RunMetrics eth = run_chain(chain::ethereum_like(), 15.0);
+  RunMetrics nano = run_lattice();
+
+  Table t({"metric", "bitcoin-like", "ethereum-like", "nano-like"});
+  t.row({"payments submitted", fmt_u(btc.submitted), fmt_u(eth.submitted),
+         fmt_u(nano.submitted)});
+  t.row({"included in ledger", fmt_u(btc.included), fmt_u(eth.included),
+         fmt_u(nano.included)});
+  t.row({"confirmed", fmt_u(btc.confirmed), fmt_u(eth.confirmed),
+         fmt_u(nano.confirmed)});
+  t.row({"confirmation rule", "6 blocks deep", "11 blocks deep",
+         "majority vote"});
+  t.row({"median confirm latency", lat(btc.confirmation_latency),
+         lat(eth.confirmation_latency), lat(nano.confirmation_latency)});
+  t.row({"blocks produced", fmt_u(btc.blocks_produced),
+         fmt_u(eth.blocks_produced), fmt_u(nano.blocks_produced)});
+  t.row({"ledger bytes stored", format_bytes(btc.stored_bytes),
+         format_bytes(eth.stored_bytes), format_bytes(nano.stored_bytes)});
+  t.row({"orphaned blocks / reorgs",
+         fmt_u(btc.orphaned_blocks) + " / " + fmt_u(btc.reorgs),
+         fmt_u(eth.orphaned_blocks) + " / " + fmt_u(eth.reorgs),
+         "0 / 0 (no global chain)"});
+  t.row({"network messages", fmt_u(btc.messages), fmt_u(eth.messages),
+         fmt_u(nano.messages)});
+  t.print();
+
+  std::cout << "\nReading the table against the paper:\n"
+            << " - §IV: chain confirmations take many block intervals; the\n"
+            << "   lattice confirms in network round-trips via weighted "
+               "votes.\n"
+            << " - §V: per-payment storage is highest for the UTXO chain "
+               "(and\n"
+            << "   the lattice prunes to balances; see bench_ledger_size).\n"
+            << " - §VI: at this light load all systems keep up -- the "
+               "chains'\n"
+            << "   hard caps only bite under saturation (see "
+               "bench_throughput_*).\n";
+  return 0;
+}

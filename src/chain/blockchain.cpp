@@ -1,0 +1,519 @@
+#include "chain/blockchain.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <deque>
+#include <map>
+
+#include "support/hex.hpp"
+#include "support/log.hpp"
+
+namespace dlt::chain {
+
+Block make_genesis_block(const ChainParams& params, const GenesisSpec& spec) {
+  Block genesis;
+  genesis.header.height = 0;
+  genesis.header.timestamp = spec.timestamp;
+  genesis.header.difficulty = params.initial_difficulty;
+
+  if (params.tx_model == TxModel::kUtxo) {
+    // The initial state is one mint transaction paying every allocation.
+    UtxoTransaction mint;
+    for (const auto& [account, amount] : spec.allocations)
+      mint.outputs.push_back(TxOut{amount, account});
+    genesis.txs = UtxoTxList{std::move(mint)};
+  } else {
+    genesis.txs = AccountTxList{};
+    WorldState state;
+    for (const auto& [account, amount] : spec.allocations)
+      state = state.credit(account, amount);
+    genesis.header.state_root = state.root();
+  }
+  genesis.header.merkle_root = genesis.compute_merkle_root();
+  return genesis;
+}
+
+Blockchain::Blockchain(ChainParams params, GenesisSpec genesis)
+    : params_(std::move(params)) {
+  Block g = make_genesis_block(params_, genesis);
+  const BlockHash gh = g.hash();
+
+  Record rec;
+  rec.block = g;
+  rec.hash = gh;
+  rec.total_work = block_work(g.header.difficulty);
+
+  if (params_.tx_model == TxModel::kUtxo) {
+    for (const auto& tx : rec.block.utxo_txs()) {
+      tx_index_[tx.id()] = gh;
+      rec.undo.txs.push_back(utxo_.apply_transaction(tx));
+    }
+  } else {
+    WorldState state;
+    for (const auto& [account, amount] : genesis.allocations)
+      state = state.credit(account, amount);
+    state_ = state;
+    state_db_.put(state.root(), state);
+  }
+
+  index_.emplace(gh, std::move(rec));
+  active_.push_back(gh);
+}
+
+Blockchain::Record* Blockchain::find_record(const BlockHash& hash) {
+  auto it = index_.find(hash);
+  return it == index_.end() ? nullptr : &it->second;
+}
+
+const Blockchain::Record* Blockchain::find_record(
+    const BlockHash& hash) const {
+  auto it = index_.find(hash);
+  return it == index_.end() ? nullptr : &it->second;
+}
+
+const Block* Blockchain::find(const BlockHash& hash) const {
+  const Record* rec = find_record(hash);
+  return rec ? &rec->block : nullptr;
+}
+
+bool Blockchain::body_pruned(const BlockHash& hash) const {
+  const Record* rec = find_record(hash);
+  return rec != nullptr && rec->body_pruned;
+}
+
+const Block* Blockchain::at_height(std::uint32_t h) const {
+  if (h >= active_.size()) return nullptr;
+  return find(active_[h]);
+}
+
+bool Blockchain::on_active_chain(const BlockHash& hash) const {
+  const Record* rec = find_record(hash);
+  if (!rec) return false;
+  const std::uint32_t h = rec->block.header.height;
+  return h < active_.size() && active_[h] == hash;
+}
+
+double Blockchain::total_work() const {
+  return find_record(active_.back())->total_work;
+}
+
+double Blockchain::total_work_of(const BlockHash& hash) const {
+  const Record* rec = find_record(hash);
+  return rec ? rec->total_work : 0.0;
+}
+
+std::uint32_t Blockchain::confirmations(const TxId& txid) const {
+  auto h = tx_height(txid);
+  if (!h) return 0;
+  return height() - *h + 1;
+}
+
+std::optional<std::uint32_t> Blockchain::tx_height(const TxId& txid) const {
+  auto it = tx_index_.find(txid);
+  if (it == tx_index_.end()) return std::nullopt;
+  const Record* rec = find_record(it->second);
+  if (!rec) return std::nullopt;
+  const std::uint32_t h = rec->block.header.height;
+  if (h >= active_.size() || active_[h] != it->second) return std::nullopt;
+  return h;
+}
+
+double Blockchain::next_difficulty(const BlockHash& parent_hash) const {
+  const Record* parent = find_record(parent_hash);
+  assert(parent && "next_difficulty of unknown parent");
+  if (params_.consensus == ConsensusKind::kProofOfStake) return 1.0;
+
+  const std::uint32_t h_next = parent->block.header.height + 1;
+  const std::uint32_t window = params_.retarget_window;
+  if (window == 0 || h_next % window != 0)
+    return parent->block.header.difficulty;
+
+  std::uint32_t anc_height;
+  std::uint32_t intervals;
+  if (window == 1) {
+    // Per-block adjustment (Ethereum-style): last observed interval.
+    if (parent->block.header.height < 1)
+      return parent->block.header.difficulty;
+    anc_height = parent->block.header.height - 1;
+    intervals = 1;
+  } else {
+    if (h_next < window) return parent->block.header.difficulty;
+    anc_height = h_next - window;
+    intervals = window - 1;
+    if (intervals == 0) return parent->block.header.difficulty;
+  }
+
+  const Record* anc = parent;
+  while (anc->block.header.height > anc_height) {
+    anc = find_record(anc->block.header.parent);
+    assert(anc && "broken parent linkage");
+  }
+  const double span =
+      parent->block.header.timestamp - anc->block.header.timestamp;
+  return retarget_difficulty(params_, parent->block.header.difficulty, span,
+                             intervals);
+}
+
+Status Blockchain::check_stateless(const Block& block) const {
+  const bool expects_utxo = params_.tx_model == TxModel::kUtxo;
+  if (block.is_utxo() != expects_utxo)
+    return make_error("wrong-tx-model");
+  if (block.header.parent.is_zero())
+    return make_error("duplicate-genesis", "non-genesis with zero parent");
+  if (block.compute_merkle_root() != block.header.merkle_root)
+    return make_error("bad-merkle-root");
+  if (params_.max_block_bytes > 0 &&
+      block.serialized_size() > params_.max_block_bytes)
+    return make_error("oversize-block");
+  if (!block.is_utxo() && params_.block_gas_limit > 0 &&
+      block.total_gas() > params_.block_gas_limit)
+    return make_error("gas-limit-exceeded");
+  if (block.is_utxo()) {
+    const auto& txs = block.utxo_txs();
+    if (txs.empty() || !txs.front().is_coinbase())
+      return make_error("missing-coinbase");
+    for (std::size_t i = 1; i < txs.size(); ++i)
+      if (txs[i].is_coinbase())
+        return make_error("multiple-coinbase");
+  }
+  return Status::success();
+}
+
+Status Blockchain::check_contextual(const Block& block,
+                                    const Record& parent) const {
+  if (block.header.height != parent.block.header.height + 1)
+    return make_error("bad-height");
+  if (block.header.timestamp + 1e-9 < parent.block.header.timestamp)
+    return make_error("timestamp-regression");
+  const double expected = next_difficulty(parent.hash);
+  if (std::abs(block.header.difficulty - expected) >
+      1e-9 * std::max(1.0, expected))
+    return make_error("bad-difficulty");
+  if (params_.verify_pow &&
+      params_.consensus == ConsensusKind::kProofOfWork &&
+      !meets_target(block.header.pow_digest(), block.header.difficulty))
+    return make_error("bad-pow", "hash does not meet target");
+  return Status::success();
+}
+
+Status Blockchain::connect_block(Record& rec) {
+  const Block& block = rec.block;
+  const std::uint32_t h = block.header.height;
+
+  if (block.is_utxo()) {
+    const auto& txs = block.utxo_txs();
+    Amount fees = 0;
+    rec.undo.txs.clear();
+    std::size_t applied = 0;
+    Status failure = Status::success();
+    for (std::size_t i = 1; i < txs.size(); ++i) {
+      auto fee = utxo_.check_transaction(txs[i], h);
+      if (!fee) {
+        failure = fee.error();
+        break;
+      }
+      fees += *fee;
+      rec.undo.txs.push_back(utxo_.apply_transaction(txs[i]));
+      ++applied;
+    }
+    if (failure.ok()) {
+      // Coinbase may claim at most subsidy + fees (checked after fees are
+      // known; applied last but serialized first, as in Bitcoin).
+      if (txs.front().total_output() > params_.block_reward + fees)
+        failure = make_error("coinbase-inflation");
+    }
+    if (!failure.ok()) {
+      for (std::size_t i = applied; i-- > 0;)
+        utxo_.revert_transaction(rec.undo.txs[i]);
+      rec.undo.txs.clear();
+      rec.state_valid = false;
+      return failure;
+    }
+    // Apply the coinbase and move its undo to the front (block order).
+    TxUndo cb_undo = utxo_.apply_transaction(txs.front());
+    rec.undo.txs.insert(rec.undo.txs.begin(), std::move(cb_undo));
+    for (const auto& tx : txs) tx_index_[tx.id()] = rec.hash;
+  } else {
+    WorldState state = state_;
+    for (const auto& tx : block.account_txs()) {
+      auto next = state.apply_transaction(tx, block.header.proposer, gas_);
+      if (!next) {
+        rec.state_valid = false;
+        return next.error();
+      }
+      state = std::move(*next);
+    }
+    if (params_.block_reward > 0)
+      state = state.credit(block.header.proposer, params_.block_reward);
+    if (state.root() != block.header.state_root) {
+      rec.state_valid = false;
+      return make_error("bad-state-root");
+    }
+    state_db_.put(state.root(), state);
+    state_ = std::move(state);
+    for (const auto& tx : block.account_txs()) tx_index_[tx.id()] = rec.hash;
+  }
+
+  for (const auto& hook : connect_hooks_) hook(block);
+  return Status::success();
+}
+
+void Blockchain::disconnect_tip() {
+  assert(active_.size() > 1 && "cannot disconnect genesis");
+  Record* rec = find_record(active_.back());
+  assert(rec);
+  const Block& block = rec->block;
+
+  if (block.is_utxo()) {
+    const auto& txs = block.utxo_txs();
+    assert(rec->undo.txs.size() == txs.size());
+    for (std::size_t i = txs.size(); i-- > 0;)
+      utxo_.revert_transaction(rec->undo.txs[i]);
+    rec->undo.txs.clear();
+    for (const auto& tx : txs) tx_index_.erase(tx.id());
+  } else {
+    const Record* parent = find_record(block.header.parent);
+    assert(parent);
+    auto prev = state_db_.get(parent->block.header.state_root);
+    assert(prev && "reorg past pruned state (increase keep window)");
+    state_ = std::move(*prev);
+    for (const auto& tx : block.account_txs()) tx_index_.erase(tx.id());
+  }
+
+  for (const auto& hook : disconnect_hooks_) hook(block);
+  active_.pop_back();
+}
+
+Result<std::uint32_t> Blockchain::adopt_branch(const BlockHash& candidate) {
+  // Collect the candidate branch back to the active chain.
+  std::vector<Record*> branch;
+  Record* walk = find_record(candidate);
+  while (walk && !on_active_chain(walk->hash)) {
+    branch.push_back(walk);
+    walk = find_record(walk->block.header.parent);
+  }
+  if (!walk) return make_error("detached-branch");
+  std::reverse(branch.begin(), branch.end());
+
+  const std::uint32_t fork_height = walk->block.header.height;
+  if (fork_height < finalized_height_)
+    return make_error("finality-violation",
+                      "branch forks below the finalized checkpoint");
+  if (fork_height < pruned_below_)
+    return make_error("pruned-fork-point",
+                      "cannot reorg into pruned history");
+
+  // Disconnect down to the fork point, remembering what we removed so a
+  // failed branch can be rolled back.
+  std::vector<BlockHash> removed;
+  while (height() > fork_height) {
+    removed.push_back(active_.back());
+    disconnect_tip();
+  }
+
+  std::size_t connected = 0;
+  Status failure = Status::success();
+  for (Record* rec : branch) {
+    if (!rec->state_valid) {
+      failure = make_error("invalid-ancestor");
+      break;
+    }
+    Status st = connect_block(*rec);
+    if (!st.ok()) {
+      failure = st;
+      break;
+    }
+    active_.push_back(rec->hash);
+    ++connected;
+  }
+
+  if (!failure.ok()) {
+    // Unwind the partial branch and restore the original chain.
+    while (connected-- > 0) disconnect_tip();
+    for (std::size_t i = removed.size(); i-- > 0;) {
+      Record* rec = find_record(removed[i]);
+      assert(rec);
+      Status st = connect_block(*rec);
+      assert(st.ok() && "restoring previously valid chain must succeed");
+      (void)st;
+      active_.push_back(rec->hash);
+    }
+    return failure.error();
+  }
+
+  const auto depth = static_cast<std::uint32_t>(removed.size());
+  fork_stats_.reorgs += 1;
+  fork_stats_.blocks_disconnected += depth;
+  fork_stats_.max_reorg_depth = std::max(fork_stats_.max_reorg_depth, depth);
+  return depth;
+}
+
+Result<AcceptResult> Blockchain::submit(const Block& block) {
+  const BlockHash hash = block.hash();
+  if (index_.count(hash)) return AcceptResult{Accept::kDuplicate, 0};
+
+  Status st = check_stateless(block);
+  if (!st.ok()) return st.error();
+
+  Record* parent = find_record(block.header.parent);
+  if (!parent) {
+    orphans_[block.header.parent].push_back(block);
+    return AcceptResult{Accept::kOrphaned, 0};
+  }
+  if (!parent->state_valid)
+    return make_error("invalid-ancestor", "parent failed state validation");
+
+  st = check_contextual(block, *parent);
+  if (!st.ok()) return st.error();
+
+  Record rec;
+  rec.block = block;
+  rec.hash = hash;
+  rec.total_work = parent->total_work + block_work(block.header.difficulty);
+  auto [it, inserted] = index_.emplace(hash, std::move(rec));
+  assert(inserted);
+  Record& stored = it->second;
+
+  AcceptResult result;
+  if (block.header.parent == tip_hash()) {
+    Status cs = connect_block(stored);
+    if (!cs.ok()) return cs.error();
+    active_.push_back(hash);
+    result = AcceptResult{Accept::kConnected, 0};
+  } else if (stored.total_work > total_work()) {
+    auto depth = adopt_branch(hash);
+    if (!depth) return depth.error();
+    result = AcceptResult{Accept::kReorged, *depth};
+  } else {
+    fork_stats_.side_chain_blocks += 1;
+    result = AcceptResult{Accept::kSideChain, 0};
+  }
+
+  process_orphans(hash);
+  return result;
+}
+
+void Blockchain::process_orphans(const BlockHash& parent) {
+  std::deque<BlockHash> ready{parent};
+  while (!ready.empty()) {
+    const BlockHash next = ready.front();
+    ready.pop_front();
+    auto it = orphans_.find(next);
+    if (it == orphans_.end()) continue;
+    std::vector<Block> blocks = std::move(it->second);
+    orphans_.erase(it);
+    for (const Block& b : blocks) {
+      auto res = submit(b);
+      if (res && res->outcome != Accept::kOrphaned) ready.push_back(b.hash());
+    }
+  }
+}
+
+Status Blockchain::finalize(const BlockHash& hash) {
+  const Record* rec = find_record(hash);
+  if (!rec) return make_error("unknown-block");
+  if (!on_active_chain(hash))
+    return make_error("not-active", "cannot finalize an off-chain block");
+  finalized_height_ =
+      std::max(finalized_height_, rec->block.header.height);
+  return Status::success();
+}
+
+Result<Hash256> Blockchain::compute_state_root(
+    const AccountTxList& txs, const crypto::AccountId& proposer) const {
+  assert(params_.tx_model == TxModel::kAccount);
+  WorldState state = state_;
+  for (const auto& tx : txs) {
+    auto next = state.apply_transaction(tx, proposer, gas_);
+    if (!next) return next.error();
+    state = std::move(*next);
+  }
+  if (params_.block_reward > 0)
+    state = state.credit(proposer, params_.block_reward);
+  return state.root();
+}
+
+std::uint64_t Blockchain::prune_bodies(std::uint32_t keep_depth) {
+  if (height() <= keep_depth) return 0;
+  const std::uint32_t cutoff = height() - keep_depth;
+  std::uint64_t reclaimed = 0;
+  for (auto& [hash, rec] : index_) {
+    if (rec.body_pruned) continue;
+    if (rec.block.header.height >= cutoff) continue;
+    const std::size_t body =
+        rec.block.serialized_size() - rec.block.header.serialized_size();
+    reclaimed += body;
+    // Undo data of deep blocks is discarded with the body.
+    for (const auto& undo : rec.undo.txs)
+      reclaimed += undo.spent.size() * 76;
+    rec.undo.txs.clear();
+    if (rec.block.is_utxo())
+      rec.block.txs = UtxoTxList{};
+    else
+      rec.block.txs = AccountTxList{};
+    rec.body_pruned = true;
+  }
+  pruned_below_ = std::max(pruned_below_, cutoff);
+  return reclaimed;
+}
+
+std::size_t Blockchain::prune_states(std::uint32_t keep_depth) {
+  if (params_.tx_model != TxModel::kAccount) return 0;
+  std::vector<Hash256> keep;
+  const std::uint32_t from =
+      height() > keep_depth ? height() - keep_depth : 0;
+  for (std::uint32_t h = from; h <= height(); ++h)
+    keep.push_back(find(active_[h])->header.state_root);
+  return state_db_.prune_except(keep);
+}
+
+Blockchain::StorageBreakdown Blockchain::storage() const {
+  StorageBreakdown s;
+  for (const auto& [hash, rec] : index_) {
+    s.headers += rec.block.header.serialized_size();
+    if (!rec.body_pruned)
+      s.bodies += rec.block.serialized_size() -
+                  rec.block.header.serialized_size();
+    for (const auto& undo : rec.undo.txs)
+      s.undo_data += undo.spent.size() * 76 + undo.created.size() * 36;
+  }
+  if (params_.tx_model == TxModel::kUtxo) {
+    s.chainstate = utxo_.stored_bytes();
+  } else {
+    s.state_history = state_db_.measure().second;
+    std::uint64_t txs_on_chain = 0;
+    for (const BlockHash& h : active_) {
+      const Record* rec = find_record(h);
+      if (!rec->body_pruned) txs_on_chain += rec->block.tx_count();
+    }
+    s.receipts = txs_on_chain * params_.receipt_bytes_per_tx;
+  }
+  return s;
+}
+
+std::string Blockchain::render_tree(std::uint32_t from_height) const {
+  std::map<std::uint32_t, std::vector<const Record*>> by_height;
+  for (const auto& [hash, rec] : index_)
+    if (rec.block.header.height >= from_height)
+      by_height[rec.block.header.height].push_back(&rec);
+
+  std::string out;
+  for (auto& [h, recs] : by_height) {
+    std::sort(recs.begin(), recs.end(),
+              [](const Record* a, const Record* b) { return a->hash < b->hash; });
+    out += "h=" + std::to_string(h) + ":";
+    for (const Record* rec : recs) {
+      out += ' ';
+      const bool active = on_active_chain(rec->hash);
+      out += active ? '[' : ' ';
+      out += short_hex(rec->hash);
+      if (!rec->state_valid) out += "(invalid)";
+      out += active ? ']' : ' ';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace dlt::chain

@@ -1,0 +1,21 @@
+#include "chain/difficulty.hpp"
+
+#include <algorithm>
+
+namespace dlt::chain {
+
+double retarget_difficulty(const ChainParams& params, double old_difficulty,
+                           double actual_span, std::uint32_t intervals) {
+  if (intervals == 0) return old_difficulty;
+  const double ideal_span =
+      params.block_interval * static_cast<double>(intervals);
+  // Guard degenerate spans (identical timestamps in fast simulations).
+  const double span = std::max(actual_span, ideal_span * 1e-6);
+  double ratio = ideal_span / span;  // blocks too fast -> ratio > 1
+  ratio = std::clamp(ratio, 1.0 / params.retarget_clamp,
+                     params.retarget_clamp);
+  const double next = old_difficulty * ratio;
+  return std::max(next, 1.0);
+}
+
+}  // namespace dlt::chain

@@ -1,0 +1,24 @@
+// Dynamic difficulty retargeting (paper §VI-A).
+//
+// "The PoW puzzle difficulty is dynamic so that the block generation time
+// converges to a fixed value" -- this is why adding miners does not add
+// throughput, the key §VI-A scalability point.
+#pragma once
+
+#include <cstdint>
+
+#include "chain/params.hpp"
+
+namespace dlt::chain {
+
+/// New difficulty after a completed retarget window.
+/// `actual_span` is the observed time for `intervals` block intervals;
+/// the adjustment is clamped to params.retarget_clamp in either direction.
+double retarget_difficulty(const ChainParams& params, double old_difficulty,
+                           double actual_span, std::uint32_t intervals);
+
+/// Work contributed by one block at `difficulty` (expected hash attempts).
+/// Cumulative work drives the longest/heaviest-chain rule.
+inline double block_work(double difficulty) { return difficulty; }
+
+}  // namespace dlt::chain

@@ -1,0 +1,57 @@
+// Ethereum-style fast sync (paper §V-A).
+//
+// "Instead of processing the entire blockchain one link at a time and
+// replaying all transactions that ever happened in history, fast syncing
+// downloads the transaction receipts along the blocks, and pulls an entire
+// recent state... After downloading a state which is recent enough (head of
+// the chain - 1024 blocks, also called the pivot point), the process is
+// paused for state sync where the Merkle state tree is downloaded from the
+// pivot point. From the pivot point onward, all blocks are downloaded and
+// the node continues its usual operation."
+#pragma once
+
+#include <cstdint>
+
+#include "chain/blockchain.hpp"
+
+namespace dlt::chain {
+
+/// Geth's pivot offset: head - 1024.
+constexpr std::uint32_t kDefaultPivotOffset = 1024;
+
+struct SyncPlan {
+  // What a freshly joining node must download and do, in bytes/ops.
+  std::uint64_t header_bytes = 0;
+  std::uint64_t body_bytes = 0;       // full bodies downloaded
+  std::uint64_t receipt_bytes = 0;    // receipts downloaded (fast sync)
+  std::uint64_t state_nodes = 0;      // trie nodes downloaded at the pivot
+  std::uint64_t state_bytes = 0;
+  std::uint64_t txs_replayed = 0;     // transactions re-executed locally
+
+  std::uint32_t pivot_height = 0;
+
+  std::uint64_t total_bytes() const {
+    return header_bytes + body_bytes + receipt_bytes + state_bytes;
+  }
+};
+
+/// Cost of a classic full sync: every header + every body, replaying every
+/// transaction since genesis.
+SyncPlan plan_full_sync(const Blockchain& source);
+
+/// Cost of a fast sync against `source` (account-model chains): all
+/// headers, receipts up to the pivot, the pivot state trie, then full
+/// bodies from the pivot onward. Fails if the source pruned the pivot state.
+Result<SyncPlan> plan_fast_sync(const Blockchain& source,
+                                std::uint32_t pivot_offset =
+                                    kDefaultPivotOffset);
+
+/// Executes a fast sync end-to-end: "downloads" the pivot state by walking
+/// the source trie, verifies it against the pivot header's state root, and
+/// returns the reconstructed world state. This is the integrity check that
+/// makes fast sync trustworthy despite skipping replay.
+Result<WorldState> execute_fast_sync(const Blockchain& source,
+                                     std::uint32_t pivot_offset =
+                                         kDefaultPivotOffset);
+
+}  // namespace dlt::chain

@@ -1,0 +1,109 @@
+#include "chain/light_client.hpp"
+
+#include <cmath>
+
+#include "chain/difficulty.hpp"
+
+namespace dlt::chain {
+
+Status LightClient::set_genesis(const BlockHeader& genesis) {
+  if (!genesis.is_genesis())
+    return make_error("not-genesis", "header has a parent");
+  if (!headers_.empty()) return make_error("already-initialized");
+  headers_.push_back(genesis);
+  return Status::success();
+}
+
+const BlockHeader* LightClient::header_at(std::uint32_t h) const {
+  if (h >= headers_.size()) return nullptr;
+  return &headers_[h];
+}
+
+double LightClient::next_difficulty() const {
+  const BlockHeader& parent = headers_.back();
+  if (params_.consensus == ConsensusKind::kProofOfStake) return 1.0;
+  const std::uint32_t h_next =
+      static_cast<std::uint32_t>(headers_.size());
+  const std::uint32_t window = params_.retarget_window;
+  if (window == 0 || h_next % window != 0) return parent.difficulty;
+
+  std::uint32_t anc_height;
+  std::uint32_t intervals;
+  if (window == 1) {
+    if (headers_.size() < 2) return parent.difficulty;
+    anc_height = h_next - 2;
+    intervals = 1;
+  } else {
+    if (h_next < window) return parent.difficulty;
+    anc_height = h_next - window;
+    intervals = window - 1;
+  }
+  const double span = parent.timestamp - headers_[anc_height].timestamp;
+  return retarget_difficulty(params_, parent.difficulty, span, intervals);
+}
+
+Status LightClient::accept_header(const BlockHeader& header) {
+  if (headers_.empty())
+    return make_error("uninitialized", "set_genesis first");
+  const BlockHeader& parent = headers_.back();
+  if (header.parent != parent.hash())
+    return make_error("wrong-parent",
+                      "header does not extend this client's chain");
+  if (header.height != parent.height + 1) return make_error("bad-height");
+  if (header.timestamp + 1e-9 < parent.timestamp)
+    return make_error("timestamp-regression");
+  const double expected = next_difficulty();
+  if (std::abs(header.difficulty - expected) >
+      1e-9 * std::max(1.0, expected))
+    return make_error("bad-difficulty");
+  if (params_.verify_pow &&
+      params_.consensus == ConsensusKind::kProofOfWork &&
+      !meets_target(header.pow_digest(), header.difficulty))
+    return make_error("bad-pow");
+  headers_.push_back(header);
+  return Status::success();
+}
+
+Result<std::uint32_t> LightClient::verify_inclusion(
+    const InclusionProof& proof) const {
+  const BlockHeader* header = header_at(proof.height);
+  if (!header)
+    return make_error("unknown-height", "client has not synced that far");
+  if (!crypto::MerkleTree::verify(header->merkle_root, proof.txid,
+                                  proof.index, proof.merkle))
+    return make_error("bad-proof", "merkle path does not reach the root");
+  return height() - proof.height + 1;  // confirmations (paper §IV-A)
+}
+
+Result<InclusionProof> make_inclusion_proof(const Blockchain& chain,
+                                            const TxId& txid) {
+  auto h = chain.tx_height(txid);
+  if (!h) return make_error("unknown-tx", "not on the active chain");
+  const Block* block = chain.at_height(*h);
+  if (!block) return make_error("unknown-block");
+  if (block->tx_count() == 0)
+    return make_error("pruned", "block body no longer stored (§V-A)");
+
+  const std::vector<Hash256> ids = block->tx_ids();
+  std::size_t index = ids.size();
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (ids[i] == txid) {
+      index = i;
+      break;
+    }
+  }
+  if (index == ids.size()) return make_error("index-mismatch");
+
+  crypto::MerkleTree tree(ids);
+  auto merkle = tree.prove(index);
+  if (!merkle) return merkle.error();
+
+  InclusionProof proof;
+  proof.txid = txid;
+  proof.height = *h;
+  proof.index = index;
+  proof.merkle = std::move(*merkle);
+  return proof;
+}
+
+}  // namespace dlt::chain

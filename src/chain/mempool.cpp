@@ -1,0 +1,184 @@
+#include "chain/mempool.hpp"
+
+#include <algorithm>
+
+namespace dlt::chain {
+
+Status UtxoMempool::add(const UtxoTransaction& tx, const UtxoSet& utxo,
+                        std::uint32_t height) {
+  const TxId id = tx.id();
+  if (pool_.count(id)) return make_error("already-pooled");
+  for (const TxIn& in : tx.inputs)
+    if (claimed_.count(in.prevout))
+      return make_error("mempool-conflict", "input claimed by pooled tx");
+
+  auto fee = utxo.check_transaction(tx, height);
+  if (!fee) return fee.error();
+
+  Entry entry{tx, *fee, tx.serialized_size()};
+  pending_bytes_ += entry.bytes;
+  for (const TxIn& in : tx.inputs) claimed_[in.prevout] = id;
+  pool_.emplace(id, std::move(entry));
+  return Status::success();
+}
+
+std::vector<UtxoTransaction> UtxoMempool::select(
+    std::uint64_t max_bytes) const {
+  std::vector<const Entry*> order;
+  order.reserve(pool_.size());
+  for (const auto& [id, entry] : pool_) order.push_back(&entry);
+  std::sort(order.begin(), order.end(), [](const Entry* a, const Entry* b) {
+    return a->fee_rate() > b->fee_rate();
+  });
+
+  std::vector<UtxoTransaction> out;
+  std::uint64_t used = 0;
+  for (const Entry* e : order) {
+    if (max_bytes > 0 && used + e->bytes > max_bytes) continue;
+    out.push_back(e->tx);
+    used += e->bytes;
+  }
+  return out;
+}
+
+void UtxoMempool::remove_included(const std::vector<UtxoTransaction>& txs) {
+  // Inputs spent by the block invalidate any pool entry claiming them.
+  for (const UtxoTransaction& tx : txs) {
+    auto it = pool_.find(tx.id());
+    if (it != pool_.end()) {
+      pending_bytes_ -= it->second.bytes;
+      for (const TxIn& in : it->second.tx.inputs) claimed_.erase(in.prevout);
+      pool_.erase(it);
+    }
+    for (const TxIn& in : tx.inputs) {
+      auto claim = claimed_.find(in.prevout);
+      if (claim == claimed_.end()) continue;
+      auto conflict = pool_.find(claim->second);
+      if (conflict != pool_.end()) {
+        pending_bytes_ -= conflict->second.bytes;
+        for (const TxIn& cin : conflict->second.tx.inputs)
+          claimed_.erase(cin.prevout);
+        pool_.erase(conflict);
+      } else {
+        claimed_.erase(claim);
+      }
+    }
+  }
+}
+
+void UtxoMempool::reinject(const std::vector<UtxoTransaction>& txs,
+                           const UtxoSet& utxo, std::uint32_t height) {
+  for (const UtxoTransaction& tx : txs) {
+    if (tx.is_coinbase()) continue;  // coinbases die with their block
+    (void)add(tx, utxo, height);     // best effort
+  }
+}
+
+Status AccountMempool::add(const AccountTransaction& tx,
+                           const WorldState& state) {
+  if (!tx.verify_signature()) return make_error("bad-signature");
+  auto account = state.get(tx.from);
+  const std::uint64_t base_nonce = account ? account->nonce : 0;
+  if (tx.nonce < base_nonce)
+    return make_error("stale-nonce", "nonce already used");
+
+  auto& queue = by_sender_[tx.from];
+  if (queue.count(tx.nonce)) return make_error("duplicate-nonce");
+  // Contiguity: nonce must extend the queue (or be the base nonce).
+  const std::uint64_t expected =
+      queue.empty() ? base_nonce : queue.rbegin()->first + 1;
+  if (tx.nonce != expected)
+    return make_error("nonce-gap", "non-contiguous nonce");
+
+  queue.emplace(tx.nonce, tx);
+  return Status::success();
+}
+
+std::vector<AccountTransaction> AccountMempool::select(
+    std::uint64_t gas_limit, const WorldState& state) const {
+  // Per-sender cursors; repeatedly take the best-priced executable head.
+  struct Cursor {
+    std::map<std::uint64_t, AccountTransaction>::const_iterator it, end;
+  };
+  std::vector<Cursor> cursors;
+  for (const auto& [sender, queue] : by_sender_) {
+    auto account = state.get(sender);
+    const std::uint64_t next_nonce = account ? account->nonce : 0;
+    auto it = queue.find(next_nonce);
+    if (it != queue.end()) cursors.push_back({it, queue.end()});
+  }
+
+  std::vector<AccountTransaction> out;
+  std::uint64_t gas_used = 0;
+  for (;;) {
+    Cursor* best = nullptr;
+    for (Cursor& c : cursors) {
+      if (c.it == c.end) continue;
+      if (gas_limit > 0 && gas_used + c.it->second.gas_used() > gas_limit)
+        continue;
+      if (!best || c.it->second.gas_price > best->it->second.gas_price)
+        best = &c;
+    }
+    if (!best) break;
+    out.push_back(best->it->second);
+    gas_used += best->it->second.gas_used();
+    ++best->it;
+  }
+  return out;
+}
+
+void AccountMempool::remove_included(
+    const std::vector<AccountTransaction>& txs) {
+  for (const AccountTransaction& tx : txs) {
+    auto it = by_sender_.find(tx.from);
+    if (it == by_sender_.end()) continue;
+    // The included nonce and anything below it are now unusable.
+    auto& queue = it->second;
+    queue.erase(queue.begin(), queue.upper_bound(tx.nonce));
+    if (queue.empty()) by_sender_.erase(it);
+  }
+}
+
+void AccountMempool::reinject(const std::vector<AccountTransaction>& txs,
+                              const WorldState& state) {
+  // Disconnected-block txs come back in nonce order per sender.
+  std::vector<AccountTransaction> sorted = txs;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const AccountTransaction& a, const AccountTransaction& b) {
+              if (a.from != b.from) return a.from < b.from;
+              return a.nonce < b.nonce;
+            });
+  for (const AccountTransaction& tx : sorted) (void)add(tx, state);
+}
+
+void AccountMempool::revalidate(const WorldState& state) {
+  for (auto it = by_sender_.begin(); it != by_sender_.end();) {
+    auto account = state.get(it->first);
+    const std::uint64_t next_nonce = account ? account->nonce : 0;
+    auto& queue = it->second;
+    queue.erase(queue.begin(), queue.lower_bound(next_nonce));
+    it = queue.empty() ? by_sender_.erase(it) : std::next(it);
+  }
+}
+
+bool AccountMempool::contains(const Hash256& id) const {
+  for (const auto& [sender, queue] : by_sender_)
+    for (const auto& [nonce, tx] : queue)
+      if (tx.id() == id) return true;
+  return false;
+}
+
+std::size_t AccountMempool::size() const {
+  std::size_t n = 0;
+  for (const auto& [sender, queue] : by_sender_) n += queue.size();
+  return n;
+}
+
+std::uint64_t AccountMempool::pending_gas() const {
+  std::uint64_t gas = 0;
+  for (const auto& [sender, queue] : by_sender_)
+    for (const auto& [nonce, tx] : queue) gas += tx.gas_used();
+  return gas;
+}
+
+}  // namespace dlt::chain

@@ -1,0 +1,43 @@
+#include "chain/params.hpp"
+
+namespace dlt::chain {
+
+ChainParams bitcoin_like() {
+  ChainParams p;
+  p.name = "bitcoin-like";
+  p.tx_model = TxModel::kUtxo;
+  p.consensus = ConsensusKind::kProofOfWork;
+  p.block_interval = 600.0;       // ~10 minutes (paper §VI-A)
+  p.max_block_bytes = 1'000'000;  // 1 MB (paper §VI-A)
+  p.block_gas_limit = 0;
+  p.retarget_window = 2016;
+  p.retarget_clamp = 4.0;
+  p.confirmation_depth = 6;  // paper §IV-A
+  return p;
+}
+
+ChainParams ethereum_like() {
+  ChainParams p;
+  p.name = "ethereum-like";
+  p.tx_model = TxModel::kAccount;
+  p.consensus = ConsensusKind::kProofOfWork;
+  p.block_interval = 15.0;  // ~15 seconds (paper §VI-A)
+  p.max_block_bytes = 0;    // capped by gas, not bytes
+  p.block_gas_limit = 8'000'000;
+  p.retarget_window = 1;  // Ethereum adjusts difficulty every block
+  p.retarget_clamp = 1.05;
+  p.block_reward = 5'0000'0000ULL;
+  p.confirmation_depth = 11;  // paper §IV-A: five to eleven; conservative
+  return p;
+}
+
+ChainParams pos_like() {
+  ChainParams p = ethereum_like();
+  p.name = "pos-like";
+  p.consensus = ConsensusKind::kProofOfStake;
+  p.block_interval = 4.0;  // paper §VI-A: "4 seconds or lower"
+  p.epoch_length = 50;
+  return p;
+}
+
+}  // namespace dlt::chain

@@ -1,0 +1,84 @@
+// Consensus parameters for blockchain instances (paper §II-A, §VI-A).
+//
+// Two presets mirror the paper's reference implementations:
+//  - bitcoin_like():  10-minute blocks, 1 MB size cap  -> 3-7 TPS
+//  - ethereum_like(): 15-second blocks, gas-limited    -> 7-15 TPS
+// plus pos_like(): the §VI-A "transition to PoS should decrease Ethereum's
+// block generation time to 4 seconds or lower".
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dlt::chain {
+
+/// Token amounts. Smallest unit (satoshi / wei analogue).
+using Amount = std::uint64_t;
+
+enum class TxModel {
+  kUtxo,     // Bitcoin: unspent transaction outputs
+  kAccount,  // Ethereum: balances + nonces in a state trie
+};
+
+enum class ConsensusKind {
+  kProofOfWork,
+  kProofOfStake,
+};
+
+struct ChainParams {
+  std::string name;
+
+  TxModel tx_model = TxModel::kUtxo;
+  ConsensusKind consensus = ConsensusKind::kProofOfWork;
+
+  /// Target seconds between blocks (PoW: retarget goal; PoS: slot length).
+  double block_interval = 600.0;
+
+  /// Hard cap on serialized block size in bytes (0 = uncapped; Ethereum
+  /// caps by gas instead).
+  std::uint64_t max_block_bytes = 1'000'000;
+
+  /// Gas cap per block (account model only; 0 = unlimited).
+  std::uint64_t block_gas_limit = 0;
+
+  /// Difficulty retarget window in blocks (Bitcoin: 2016).
+  std::uint32_t retarget_window = 2016;
+  /// Max factor the difficulty may move per retarget (Bitcoin: 4).
+  double retarget_clamp = 4.0;
+
+  /// Initial difficulty: expected hash attempts per block.
+  double initial_difficulty = 1.0e6;
+
+  /// Extra bytes added to every block's modelled wire size. Lets a
+  /// simulation reproduce FULL blocks' propagation cost (fork pressure,
+  /// §VI-A) without materializing every transaction.
+  std::uint64_t simulated_extra_block_bytes = 0;
+
+  /// When true, blocks must carry a real hashcash solution and receivers
+  /// verify it. Large-scale simulations disable verification and model the
+  /// mining race statistically (identical in distribution; see DESIGN.md),
+  /// while unit tests and examples run real PoW at low difficulty.
+  bool verify_pow = true;
+
+  /// Block subsidy paid to the miner/proposer.
+  Amount block_reward = 50'0000'0000ULL;  // 50 coins at 1e8 units
+
+  /// Depth at which the implementation's community deems a block
+  /// confirmed (paper §IV-A: 6 for Bitcoin, 5-11 for Ethereum).
+  std::uint32_t confirmation_depth = 6;
+
+  /// Receipt bytes stored per transaction (account model; fast sync
+  /// downloads receipts alongside blocks, §V-A).
+  std::uint64_t receipt_bytes_per_tx = 120;
+
+  /// PoS only: epoch length in blocks for Casper-style checkpoints.
+  std::uint32_t epoch_length = 50;
+  /// PoS only: fraction of total stake whose votes justify a checkpoint.
+  double checkpoint_quorum = 2.0 / 3.0;
+};
+
+ChainParams bitcoin_like();
+ChainParams ethereum_like();
+ChainParams pos_like();
+
+}  // namespace dlt::chain

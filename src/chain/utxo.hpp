@@ -1,0 +1,70 @@
+// UTXO set: the Bitcoin-model chain state (paper §II-A, §V-B contrast:
+// "the accounts keep record of account balances instead of unspent
+// transaction inputs").
+//
+// Applying a block consumes spent outputs and creates new ones, producing
+// an undo record so a soft-fork reorg (paper Fig. 4) can roll the state
+// back block by block.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "chain/transaction.hpp"
+#include "support/result.hpp"
+
+namespace dlt::chain {
+
+/// Undo data for one applied transaction: what it spent (to restore) and
+/// what it created (to delete) on revert.
+struct TxUndo {
+  std::vector<std::pair<Outpoint, TxOut>> spent;
+  std::vector<Outpoint> created;
+};
+
+struct BlockUndo {
+  std::vector<TxUndo> txs;  // in block order
+};
+
+class UtxoSet {
+ public:
+  std::size_t size() const { return map_.size(); }
+
+  std::optional<TxOut> get(const Outpoint& op) const;
+  bool contains(const Outpoint& op) const { return map_.count(op) != 0; }
+
+  /// Validates a transaction against this set and current height:
+  /// inputs exist, signatures valid, owners match, no value inflation,
+  /// lock height respected. Returns the fee (inputs - outputs).
+  Result<Amount> check_transaction(const UtxoTransaction& tx,
+                                   std::uint32_t height) const;
+
+  /// Applies an already-checked transaction; returns its undo record.
+  TxUndo apply_transaction(const UtxoTransaction& tx);
+
+  /// Reverts a transaction using its undo record (inverse order of apply).
+  void revert_transaction(const TxUndo& undo);
+
+  /// Sum of all unspent values (conservation checks in tests).
+  Amount total_value() const;
+
+  /// All outpoints owned by `owner`, via the wallet index (O(own coins)).
+  std::vector<std::pair<Outpoint, TxOut>> find_owned(
+      const crypto::AccountId& owner) const;
+
+  /// Serialized-size model of the set (chainstate database size).
+  std::size_t stored_bytes() const;
+
+ private:
+  void drop_index(const Outpoint& op, const crypto::AccountId& owner);
+
+  std::unordered_map<Outpoint, TxOut> map_;
+  // Wallet index: owner -> outpoints. Kept in lockstep with map_.
+  std::unordered_map<crypto::AccountId, std::unordered_set<Outpoint>>
+      by_owner_;
+};
+
+}  // namespace dlt::chain

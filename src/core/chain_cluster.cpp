@@ -1,0 +1,204 @@
+#include "core/chain_cluster.hpp"
+
+#include <cassert>
+
+namespace dlt::core {
+
+ChainCluster::ChainCluster(ChainClusterConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {
+  net_ = std::make_unique<net::Network>(sim_, rng_.fork());
+
+  // Workload accounts funded in the genesis allocation (paper §II-A: the
+  // initial state is hard-coded in the first block).
+  accounts_.reserve(config_.account_count);
+  chain::GenesisSpec genesis;
+  for (std::size_t i = 0; i < config_.account_count; ++i) {
+    accounts_.push_back(crypto::KeyPair::from_seed(0x9000 + i));
+    const std::size_t coins =
+        std::max<std::size_t>(1, config_.genesis_outputs_per_account);
+    for (std::size_t j = 0; j < coins; ++j)
+      genesis.allocations.emplace_back(accounts_.back().account_id(),
+                                       config_.initial_balance);
+  }
+  next_nonce_.assign(config_.account_count, 0);
+
+  // PoS stake table shared by every node.
+  std::vector<chain::StakeAllocation> stakes;
+  if (config_.params.consensus == chain::ConsensusKind::kProofOfStake) {
+    for (std::size_t i = 0; i < config_.validator_count; ++i) {
+      const crypto::KeyPair key = crypto::KeyPair::from_seed(0x4000 + i);
+      stakes.push_back(chain::StakeAllocation{
+          key.account_id(), key.public_key(), config_.stake_per_validator});
+    }
+  }
+
+  for (std::size_t i = 0; i < config_.node_count; ++i) {
+    chain::NodeConfig nc;
+    nc.wallet_seed = 0x4000 + i;  // validators sign with their stake key
+    if (config_.params.consensus == chain::ConsensusKind::kProofOfWork &&
+        i < config_.miner_count) {
+      nc.hashrate = config_.total_hashrate /
+                    static_cast<double>(config_.miner_count);
+      nc.solve_pow = config_.params.verify_pow;
+    }
+    nodes_.push_back(std::make_unique<chain::ChainNode>(
+        *net_, config_.params, genesis, nc, rng_.fork(), stakes));
+  }
+
+  std::vector<net::NodeId> ids;
+  for (const auto& n : nodes_) ids.push_back(n->id());
+  switch (config_.topology) {
+    case Topology::kComplete:
+      net::build_complete(*net_, ids, config_.link);
+      break;
+    case Topology::kRandom:
+      net::build_random(*net_, ids, config_.random_degree, rng_,
+                        config_.link);
+      break;
+    case Topology::kSmallWorld:
+      net::build_small_world(*net_, ids, /*k=*/4, /*beta=*/0.1, rng_,
+                             config_.link);
+      break;
+  }
+}
+
+void ChainCluster::start() {
+  for (auto& n : nodes_) n->start();
+}
+
+Status ChainCluster::submit_payment(std::size_t from, std::size_t to,
+                                    chain::Amount amount) {
+  Status st = config_.params.tx_model == chain::TxModel::kUtxo
+                  ? submit_utxo_payment(from, to, amount)
+                  : submit_account_payment(from, to, amount);
+  if (st.ok())
+    ++submitted_;
+  else
+    ++rejected_;
+  return st;
+}
+
+Status ChainCluster::submit_utxo_payment(std::size_t from, std::size_t to,
+                                         chain::Amount amount) {
+  chain::ChainNode& node = *nodes_[0];
+  const crypto::KeyPair& key = accounts_[from];
+  const chain::Amount fee = 1000;
+
+  // Coin selection against the reference node's chainstate, skipping
+  // outpoints already committed to in-flight transactions.
+  auto coins = node.chain().utxo_set().find_owned(key.account_id());
+  std::vector<std::pair<chain::Outpoint, chain::TxOut>> selected;
+  chain::Amount gathered = 0;
+  for (const auto& [op, out] : coins) {
+    if (reserved_.count(op)) continue;
+    selected.emplace_back(op, out);
+    gathered += out.value;
+    if (gathered >= amount + fee) break;
+  }
+  if (gathered < amount + fee)
+    return make_error("insufficient-funds", "wallet cannot cover amount+fee");
+
+  chain::UtxoTransaction tx;
+  for (const auto& [op, out] : selected)
+    tx.inputs.push_back(chain::TxIn{op, key.public_key(), {}});
+  tx.outputs.push_back(
+      chain::TxOut{amount, accounts_[to].account_id()});
+  if (gathered > amount + fee)
+    tx.outputs.push_back(
+        chain::TxOut{gathered - amount - fee, key.account_id()});
+  tx.sign_all({key}, rng_);
+
+  Status st = node.submit_transaction(tx);
+  if (st.ok())
+    for (const auto& [op, out] : selected) reserved_.insert(op);
+  // Reserved outpoints are released lazily: once spent they vanish from
+  // the UTXO set and future scans skip them anyway. Compact with a
+  // doubling threshold so the scan cost stays amortized O(1) per payment.
+  if (reserved_.size() > reserved_compact_at_) {
+    for (auto it = reserved_.begin(); it != reserved_.end();) {
+      it = node.chain().utxo_set().contains(*it) ? std::next(it)
+                                                 : reserved_.erase(it);
+    }
+    reserved_compact_at_ = std::max<std::size_t>(8192, reserved_.size() * 2);
+  }
+  return st;
+}
+
+Status ChainCluster::submit_account_payment(std::size_t from, std::size_t to,
+                                            chain::Amount amount) {
+  chain::ChainNode& node = *nodes_[0];
+  const crypto::KeyPair& key = accounts_[from];
+
+  chain::AccountTransaction tx;
+  tx.to = accounts_[to].account_id();
+  tx.value = amount;
+  tx.nonce = next_nonce_[from];
+  if (config_.account_tx_data_mean > 0)
+    tx.data_size = static_cast<std::uint32_t>(
+        rng_.uniform(2 * config_.account_tx_data_mean + 1));
+  tx.gas_limit = tx.intrinsic_gas();
+  tx.gas_price = 1 + rng_.uniform(10);  // a little fee-market variety
+  tx.sign(key, rng_);
+
+  Status st = node.submit_transaction(tx);
+  if (st.ok()) ++next_nonce_[from];
+  return st;
+}
+
+void ChainCluster::schedule_workload(const std::vector<PaymentEvent>& events) {
+  for (const PaymentEvent& ev : events) {
+    sim_.schedule_at(sim_.now() + ev.time, [this, ev] {
+      (void)submit_payment(ev.from, ev.to, ev.amount);
+    });
+  }
+}
+
+void ChainCluster::run_for(double seconds) {
+  sim_.run_until(sim_.now() + seconds);
+}
+
+RunMetrics ChainCluster::metrics() const {
+  RunMetrics m;
+  m.system = config_.params.name;
+  m.sim_duration = sim_.now();
+  m.submitted = submitted_;
+  m.rejected = rejected_;
+
+  const chain::Blockchain& chain = nodes_[0]->chain();
+  // Included: payments on the active chain (excludes coinbases).
+  std::uint64_t included = 0, confirmed = 0;
+  for (std::uint32_t h = 1; h <= chain.height(); ++h) {
+    const chain::Block* b = chain.at_height(h);
+    const std::uint64_t txs =
+        b->is_utxo() ? b->tx_count() - 1 : b->tx_count();
+    included += txs;
+    if (chain.height() - h + 1 >= chain.params().confirmation_depth)
+      confirmed += txs;
+  }
+  m.included = included;
+  m.confirmed = confirmed;
+  m.pending_end = nodes_[0]->mempool_size();
+
+  for (const auto& n : nodes_) m.blocks_produced += n->blocks_mined();
+  // Latencies live on node 0 (the submission node).
+  m.inclusion_latency = nodes_[0]->timings().inclusion_latency;
+  m.confirmation_latency = nodes_[0]->timings().confirmation_latency;
+
+  const chain::ForkStats& f = chain.fork_stats();
+  m.reorgs = f.reorgs;
+  m.orphaned_blocks = f.side_chain_blocks + f.blocks_disconnected;
+  m.max_reorg_depth = f.max_reorg_depth;
+  m.stored_bytes = chain.storage().total();
+  m.messages = net_->traffic().messages;
+  m.message_bytes = net_->traffic().bytes;
+  return m;
+}
+
+bool ChainCluster::converged() const {
+  const chain::BlockHash tip = nodes_[0]->chain().tip_hash();
+  for (const auto& n : nodes_)
+    if (!(n->chain().tip_hash() == tip)) return false;
+  return true;
+}
+
+}  // namespace dlt::core

@@ -1,0 +1,37 @@
+#include "core/confidence.hpp"
+
+#include <cmath>
+
+namespace dlt::core {
+
+double catch_up_probability(double q, std::uint32_t z) {
+  if (q <= 0.0) return 0.0;
+  const double p = 1.0 - q;
+  if (q >= p) return 1.0;
+  return std::pow(q / p, static_cast<double>(z));
+}
+
+double reversal_probability(double q, std::uint32_t z) {
+  if (q <= 0.0) return 0.0;
+  const double p = 1.0 - q;
+  if (q >= p) return 1.0;
+  const double lambda = static_cast<double>(z) * (q / p);
+
+  double sum = 0.0;
+  double poisson = std::exp(-lambda);  // Pois(0)
+  for (std::uint32_t k = 0; k <= z; ++k) {
+    if (k > 0) poisson *= lambda / static_cast<double>(k);
+    const double catch_up = std::pow(q / p, static_cast<double>(z - k));
+    sum += poisson * (1.0 - catch_up);
+  }
+  return 1.0 - sum;
+}
+
+std::uint32_t depth_for_risk(double q, double risk, std::uint32_t max_depth) {
+  for (std::uint32_t z = 0; z <= max_depth; ++z) {
+    if (reversal_probability(q, z) <= risk) return z;
+  }
+  return max_depth;
+}
+
+}  // namespace dlt::core

@@ -1,0 +1,30 @@
+// Analytic confirmation confidence for PoW chains (paper §IV-A).
+//
+// "As the chain increases in length over the referent block, the
+// probability of the block being discarded decreases. Depending on the
+// implementation, there is a suggested number of blocks that need to be
+// appended above the referent one before it is safe to say that it will
+// remain in the chain with great certainty" -- 6 for Bitcoin, 5-11 for
+// Ethereum. These are Nakamoto's gambler's-ruin numbers; this module
+// computes them exactly so the simulation results can be cross-checked.
+#pragma once
+
+#include <cstdint>
+
+namespace dlt::core {
+
+/// Probability an attacker with hash share q (honest share p = 1-q) ever
+/// catches up from z blocks behind: 1 if q >= p, else (q/p)^z.
+double catch_up_probability(double q, std::uint32_t z);
+
+/// Nakamoto's full double-spend success probability after the merchant
+/// waits for z confirmations (Poisson-mixed attacker progress):
+///   P = 1 - sum_{k=0}^{z} Pois(k; z*q/p) * (1 - (q/p)^(z-k))
+double reversal_probability(double q, std::uint32_t z);
+
+/// Smallest confirmation depth z such that the reversal probability is at
+/// most `risk` (e.g. risk = 0.001 reproduces Bitcoin's 6 blocks at q~0.10).
+std::uint32_t depth_for_risk(double q, double risk,
+                             std::uint32_t max_depth = 1000);
+
+}  // namespace dlt::core

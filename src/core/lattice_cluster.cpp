@@ -1,0 +1,150 @@
+#include "core/lattice_cluster.hpp"
+
+#include <cassert>
+
+namespace dlt::core {
+
+LatticeCluster::LatticeCluster(LatticeClusterConfig config)
+    : config_(std::move(config)),
+      rng_(config_.seed),
+      genesis_key_(crypto::KeyPair::from_seed(0x6e5)) {
+  if (config_.supply == 0) {
+    config_.supply = config_.initial_balance *
+                     static_cast<lattice::Amount>(config_.account_count) *
+                     5 / 4;
+  }
+  net_ = std::make_unique<net::Network>(sim_, rng_.fork());
+
+  accounts_.reserve(config_.account_count);
+  for (std::size_t i = 0; i < config_.account_count; ++i)
+    accounts_.push_back(crypto::KeyPair::from_seed(0x9000 + i));
+
+  for (std::size_t i = 0; i < config_.node_count; ++i) {
+    lattice::LatticeNodeConfig nc;
+    if (i < config_.roles.size()) nc.role = config_.roles[i];
+    nc.solve_work = config_.params.verify_work;
+    nodes_.push_back(std::make_unique<lattice::LatticeNode>(
+        *net_, config_.params, genesis_key_, config_.supply, nc,
+        rng_.fork()));
+  }
+
+  // Voting identities. Node 0's is the genesis account itself, so the
+  // genesis weight votes from the start; every other node gets a dedicated
+  // representative account that accumulates weight via delegation.
+  nodes_[0]->add_account(genesis_key_);
+  for (std::size_t i = 1; i < config_.node_count; ++i)
+    nodes_[i]->add_account(crypto::KeyPair::from_seed(0x7000 + i));
+
+  // Workload accounts are controlled by their owner node.
+  for (std::size_t i = 0; i < config_.account_count; ++i)
+    owner_of(i).add_account(accounts_[i]);
+
+  std::vector<net::NodeId> ids;
+  for (const auto& n : nodes_) ids.push_back(n->id());
+  net::build_complete(*net_, ids, config_.link);
+
+  for (auto& n : nodes_) n->start();
+}
+
+void LatticeCluster::fund_accounts() {
+  // Genesis account showers every workload account (send blocks); owner
+  // nodes auto-receive (open blocks) as the sends arrive -- Fig. 3 flow.
+  for (std::size_t i = 0; i < config_.account_count; ++i) {
+    auto sent = nodes_[0]->send(genesis_key_, accounts_[i].account_id(),
+                                config_.initial_balance);
+    assert(sent);
+    (void)sent;
+  }
+  // Let sends propagate and receives settle.
+  run_for(30.0);
+
+  // Delegate each account's weight to a representative, spreading voting
+  // weight across representative_count nodes (kChange blocks, §III-B).
+  // Delegations go to nodes 1..R (never the genesis holder), so voting
+  // weight is spread across representatives and quorum requires real
+  // network rounds.
+  const std::size_t reps = std::max<std::size_t>(
+      1, std::min(config_.representative_count, nodes_.size() - 1));
+  for (std::size_t i = 0; i < config_.account_count; ++i) {
+    lattice::LatticeNode& owner = owner_of(i);
+    const std::size_t rep_node = 1 + (i % reps);
+    const crypto::KeyPair* rep = nodes_[rep_node]->representative_key();
+    assert(rep);
+    (void)owner.change_representative(accounts_[i], rep->account_id());
+  }
+  run_for(30.0);
+}
+
+Status LatticeCluster::submit_payment(std::size_t from, std::size_t to,
+                                      lattice::Amount amount) {
+  lattice::LatticeNode& owner = owner_of(from);
+  auto res = owner.send(accounts_[from], accounts_[to].account_id(), amount);
+  if (res) {
+    ++submitted_;
+    return Status::success();
+  }
+  ++rejected_;
+  return res.error();
+}
+
+void LatticeCluster::schedule_workload(
+    const std::vector<PaymentEvent>& events) {
+  for (const PaymentEvent& ev : events) {
+    sim_.schedule_at(sim_.now() + ev.time, [this, ev] {
+      (void)submit_payment(ev.from, ev.to, ev.amount);
+    });
+  }
+}
+
+void LatticeCluster::run_for(double seconds) {
+  sim_.run_until(sim_.now() + seconds);
+}
+
+RunMetrics LatticeCluster::metrics() const {
+  RunMetrics m;
+  m.system = "nano-like";
+  m.sim_duration = sim_.now();
+  m.submitted = submitted_;
+  m.rejected = rejected_;
+
+  const lattice::Ledger& ledger = nodes_[0]->ledger();
+  // Included payments = send blocks in the reference ledger.
+  std::uint64_t sends = 0;
+  for (std::size_t i = 0; i < config_.account_count; ++i) {
+    const lattice::AccountInfo* info =
+        ledger.account(accounts_[i].account_id());
+    if (!info) continue;
+    for (const lattice::LatticeBlock& b : info->chain)
+      if (b.type == lattice::BlockType::kSend) ++sends;
+  }
+  // Plus sends from the genesis chain (funding).
+  if (const lattice::AccountInfo* g =
+          ledger.account(genesis_key_.account_id())) {
+    for (const lattice::LatticeBlock& b : g->chain)
+      if (b.type == lattice::BlockType::kSend) ++sends;
+  }
+  m.included = sends;
+  m.confirmed = nodes_[0]->confirmations().blocks_confirmed;
+  m.pending_end = ledger.pending().size();  // unsettled sends (Fig. 3)
+
+  m.confirmation_latency = nodes_[0]->confirmations().time_to_confirm;
+  m.blocks_produced = ledger.block_count();
+  m.stored_bytes = ledger.storage().total();
+  m.messages = net_->traffic().messages;
+  m.message_bytes = net_->traffic().bytes;
+  return m;
+}
+
+bool LatticeCluster::converged() const {
+  for (std::size_t i = 0; i < config_.account_count; ++i) {
+    auto head0 = nodes_[0]->ledger().head_of(accounts_[i].account_id());
+    for (std::size_t n = 1; n < nodes_.size(); ++n) {
+      if (nodes_[n]->config().role == lattice::NodeRole::kLight) continue;
+      if (nodes_[n]->ledger().head_of(accounts_[i].account_id()) != head0)
+        return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dlt::core

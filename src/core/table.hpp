@@ -1,0 +1,56 @@
+// Tiny fixed-width table printer for bench output -- every bench prints
+// the rows/series the paper reports through this.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace dlt::core {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  Table& row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> widths(headers_.size(), 0);
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+      widths[c] = headers_[c].size();
+    for (const auto& r : rows_)
+      for (std::size_t c = 0; c < r.size() && c < widths.size(); ++c)
+        widths[c] = std::max(widths[c], r[c].size());
+
+    auto line = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < widths.size(); ++c) {
+        const std::string& s = c < cells.size() ? cells[c] : std::string{};
+        os << "| " << s << std::string(widths[c] - s.size() + 1, ' ');
+      }
+      os << "|\n";
+    };
+    line(headers_);
+    for (std::size_t c = 0; c < widths.size(); ++c)
+      os << "|" << std::string(widths[c] + 2, '-');
+    os << "|\n";
+    for (const auto& r : rows_) line(r);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+inline std::string fmt_u(std::uint64_t v) { return std::to_string(v); }
+
+}  // namespace dlt::core

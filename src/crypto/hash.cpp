@@ -1,0 +1,46 @@
+#include "crypto/hash.hpp"
+
+namespace dlt::crypto {
+
+Hash256 tagged_hash(std::string_view tag, ByteView data) {
+  const Hash256 tag_digest = Sha256::digest(as_bytes(tag));
+  Sha256 ctx;
+  ctx.update(tag_digest.view());
+  ctx.update(tag_digest.view());
+  ctx.update(data);
+  return ctx.finalize();
+}
+
+Hash256 combine(std::string_view tag, const Hash256& left,
+                const Hash256& right) {
+  const Hash256 tag_digest = Sha256::digest(as_bytes(tag));
+  Sha256 ctx;
+  ctx.update(tag_digest.view());
+  ctx.update(tag_digest.view());
+  ctx.update(left.view());
+  ctx.update(right.view());
+  return ctx.finalize();
+}
+
+std::uint64_t hash_prefix_u64(const Hash256& h) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | h.v[static_cast<std::size_t>(i)];
+  return v;
+}
+
+int leading_zero_bits(const Hash256& h) {
+  int bits = 0;
+  for (Byte b : h.v) {
+    if (b == 0) {
+      bits += 8;
+      continue;
+    }
+    for (int i = 7; i >= 0; --i) {
+      if (b & (1u << i)) return bits;
+      ++bits;
+    }
+  }
+  return bits;
+}
+
+}  // namespace dlt::crypto

@@ -1,0 +1,29 @@
+// Hashing helpers on top of SHA-256: domain separation and combining.
+//
+// Every distinct object kind (account id, trie node, merkle interior, vote,
+// ...) is hashed under its own ASCII tag, so hashes from different domains
+// can never collide structurally.
+#pragma once
+
+#include <string_view>
+
+#include "crypto/sha256.hpp"
+#include "support/bytes.hpp"
+
+namespace dlt::crypto {
+
+/// H(tag-digest || tag-digest || data) -- BIP-340 style tagged hash.
+Hash256 tagged_hash(std::string_view tag, ByteView data);
+
+/// H(tag || left || right) -- interior node combiner.
+Hash256 combine(std::string_view tag, const Hash256& left,
+                const Hash256& right);
+
+/// Interprets the first 8 bytes of a digest as a big-endian integer.
+/// Used to compare hashes against PoW targets.
+std::uint64_t hash_prefix_u64(const Hash256& h);
+
+/// Number of leading zero bits in the digest.
+int leading_zero_bits(const Hash256& h);
+
+}  // namespace dlt::crypto

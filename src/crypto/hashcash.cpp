@@ -1,0 +1,44 @@
+#include "crypto/hashcash.hpp"
+
+#include <cmath>
+
+#include "support/serialize.hpp"
+
+namespace dlt::crypto {
+
+Hash256 pow_hash(ByteView payload, std::uint64_t nonce) {
+  Writer w;
+  w.raw(payload);
+  w.u64(nonce);
+  const Hash256 first = Sha256::digest(ByteView{w.bytes().data(), w.size()});
+  return Sha256::digest(first.view());
+}
+
+bool meets_difficulty(const Hash256& digest, int bits) {
+  return leading_zero_bits(digest) >= bits;
+}
+
+std::optional<PowSolution> solve(ByteView payload, int difficulty_bits,
+                                 std::uint64_t start_nonce,
+                                 std::uint64_t max_tries) {
+  std::uint64_t nonce = start_nonce;
+  std::uint64_t tries = 0;
+  for (;;) {
+    ++tries;
+    const Hash256 digest = pow_hash(payload, nonce);
+    if (meets_difficulty(digest, difficulty_bits))
+      return PowSolution{nonce, digest, tries};
+    if (max_tries != 0 && tries >= max_tries) return std::nullopt;
+    ++nonce;
+  }
+}
+
+bool verify(ByteView payload, std::uint64_t nonce, int difficulty_bits) {
+  return meets_difficulty(pow_hash(payload, nonce), difficulty_bits);
+}
+
+double expected_tries(int bits) {
+  return std::ldexp(1.0, bits);
+}
+
+}  // namespace dlt::crypto

@@ -1,0 +1,42 @@
+// Partial hash inversion -- the Proof-of-Work puzzle (paper §III-A1) and
+// Nano's per-block anti-spam work (paper §III-B, "similar to Hashcash").
+//
+// The puzzle: find a nonce such that SHA-256d(payload || nonce) starts with
+// at least `difficulty_bits` zero bits. Real solving is implemented and used
+// at low difficulty in tests/examples; the network simulation models mining
+// races statistically (sim/), which is equivalent in distribution.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "crypto/hash.hpp"
+#include "support/bytes.hpp"
+
+namespace dlt::crypto {
+
+struct PowSolution {
+  std::uint64_t nonce = 0;
+  Hash256 digest;       // the winning hash
+  std::uint64_t tries = 0;  // attempts taken (for work accounting)
+};
+
+/// Hash of payload under a given nonce; the function being inverted.
+Hash256 pow_hash(ByteView payload, std::uint64_t nonce);
+
+/// True if `digest` meets a difficulty of `bits` leading zero bits.
+bool meets_difficulty(const Hash256& digest, int bits);
+
+/// Solves the puzzle by brute force starting from `start_nonce`.
+/// Returns nullopt if `max_tries` is exhausted first (0 = unbounded).
+std::optional<PowSolution> solve(ByteView payload, int difficulty_bits,
+                                 std::uint64_t start_nonce = 0,
+                                 std::uint64_t max_tries = 0);
+
+/// Verifies a claimed solution.
+bool verify(ByteView payload, std::uint64_t nonce, int difficulty_bits);
+
+/// Expected number of hash attempts to solve at `bits`: 2^bits.
+double expected_tries(int bits);
+
+}  // namespace dlt::crypto

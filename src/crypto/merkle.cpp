@@ -1,0 +1,72 @@
+#include "crypto/merkle.hpp"
+
+namespace dlt::crypto {
+namespace {
+constexpr std::string_view kNodeTag = "dlt/merkle-node";
+constexpr std::string_view kEmptyTag = "dlt/merkle-empty";
+
+std::vector<Hash256> next_level(const std::vector<Hash256>& level) {
+  std::vector<Hash256> up;
+  up.reserve((level.size() + 1) / 2);
+  for (std::size_t i = 0; i < level.size(); i += 2) {
+    // Bitcoin rule: duplicate the last hash when the level is odd.
+    const Hash256& left = level[i];
+    const Hash256& right = (i + 1 < level.size()) ? level[i + 1] : level[i];
+    up.push_back(combine(kNodeTag, left, right));
+  }
+  return up;
+}
+}  // namespace
+
+MerkleTree::MerkleTree(std::vector<Hash256> leaves)
+    : leaf_count_(leaves.size()) {
+  if (leaves.empty()) {
+    levels_.push_back({empty_root()});
+    return;
+  }
+  levels_.push_back(std::move(leaves));
+  while (levels_.back().size() > 1) levels_.push_back(next_level(levels_.back()));
+}
+
+Hash256 MerkleTree::empty_root() {
+  return tagged_hash(kEmptyTag, {});
+}
+
+Result<MerkleProof> MerkleTree::prove(std::size_t index) const {
+  if (index >= leaf_count_)
+    return make_error("out-of-range", "merkle proof index");
+  MerkleProof proof;
+  std::size_t i = index;
+  for (std::size_t level = 0; level + 1 < levels_.size(); ++level) {
+    const auto& nodes = levels_[level];
+    const std::size_t sibling = (i % 2 == 0) ? i + 1 : i - 1;
+    MerkleStep step;
+    // Odd-width level: the last node is paired with itself.
+    step.sibling = sibling < nodes.size() ? nodes[sibling] : nodes[i];
+    step.sibling_on_right = (i % 2 == 0);
+    proof.push_back(step);
+    i /= 2;
+  }
+  return proof;
+}
+
+bool MerkleTree::verify(const Hash256& root, const Hash256& leaf,
+                        std::size_t index, const MerkleProof& proof) {
+  Hash256 acc = leaf;
+  std::size_t i = index;
+  for (const MerkleStep& step : proof) {
+    acc = step.sibling_on_right ? combine(kNodeTag, acc, step.sibling)
+                                : combine(kNodeTag, step.sibling, acc);
+    i /= 2;
+  }
+  (void)i;
+  return acc == root;
+}
+
+Hash256 MerkleTree::compute_root(std::vector<Hash256> leaves) {
+  if (leaves.empty()) return empty_root();
+  while (leaves.size() > 1) leaves = next_level(leaves);
+  return leaves.front();
+}
+
+}  // namespace dlt::crypto

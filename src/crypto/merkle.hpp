@@ -1,0 +1,52 @@
+// Binary Merkle tree over transaction hashes (paper §II-A).
+//
+// "Transactions in Bitcoin and Ethereum are hashed in Merkle Trees."
+// Bitcoin commits to the transaction list of a block via the Merkle root in
+// the header; light clients verify inclusion with a logarithmic proof.
+// Odd levels duplicate the last element (Bitcoin's rule).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/hash.hpp"
+#include "support/bytes.hpp"
+#include "support/result.hpp"
+
+namespace dlt::crypto {
+
+/// One step of an inclusion proof: sibling hash + which side it is on.
+struct MerkleStep {
+  Hash256 sibling;
+  bool sibling_on_right = false;
+};
+
+using MerkleProof = std::vector<MerkleStep>;
+
+class MerkleTree {
+ public:
+  /// Builds the full tree; leaves are already-hashed items (tx ids).
+  explicit MerkleTree(std::vector<Hash256> leaves);
+
+  /// Root of the empty tree is the tagged hash of nothing.
+  static Hash256 empty_root();
+
+  const Hash256& root() const { return levels_.back().front(); }
+  std::size_t leaf_count() const { return leaf_count_; }
+
+  /// Inclusion proof for leaf index i.
+  Result<MerkleProof> prove(std::size_t index) const;
+
+  /// Verifies that `leaf` at `index` is committed under `root`.
+  static bool verify(const Hash256& root, const Hash256& leaf,
+                     std::size_t index, const MerkleProof& proof);
+
+  /// Root-only computation without storing levels (hot path for mining).
+  static Hash256 compute_root(std::vector<Hash256> leaves);
+
+ private:
+  std::size_t leaf_count_;
+  std::vector<std::vector<Hash256>> levels_;  // levels_[0] = leaves
+};
+
+}  // namespace dlt::crypto

@@ -1,0 +1,40 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Every hash in the system -- block ids, transaction ids, Merkle nodes,
+// trie nodes, PoW puzzles, account ids -- goes through this implementation,
+// exactly as Bitcoin does with SHA-256d (paper §III-A1: "partial hash
+// inversion requires that the hash of a block of transactions together with
+// a nonce matches a certain pattern").
+#pragma once
+
+#include <cstdint>
+
+#include "support/bytes.hpp"
+
+namespace dlt::crypto {
+
+class Sha256 {
+ public:
+  Sha256();
+
+  /// Streaming interface.
+  void update(ByteView data);
+  Hash256 finalize();
+
+  /// One-shot convenience.
+  static Hash256 digest(ByteView data);
+
+ private:
+  void process_block(const Byte* block);
+
+  std::uint32_t h_[8];
+  Byte buf_[64];
+  std::size_t buf_len_ = 0;
+  std::uint64_t total_len_ = 0;
+  bool finalized_ = false;
+};
+
+/// SHA-256(SHA-256(x)) -- Bitcoin's block/tx hash.
+Hash256 sha256d(ByteView data);
+
+}  // namespace dlt::crypto

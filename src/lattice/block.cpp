@@ -1,0 +1,91 @@
+#include "lattice/block.hpp"
+
+#include "crypto/hash.hpp"
+#include "support/hex.hpp"
+#include "support/serialize.hpp"
+
+namespace dlt::lattice {
+
+const char* to_string(BlockType t) {
+  switch (t) {
+    case BlockType::kOpen: return "open";
+    case BlockType::kSend: return "send";
+    case BlockType::kReceive: return "receive";
+    case BlockType::kChange: return "change";
+  }
+  return "?";
+}
+
+namespace {
+void write_core(Writer& w, const LatticeBlock& b) {
+  w.u8(static_cast<std::uint8_t>(b.type));
+  w.fixed(b.account);
+  w.fixed(b.previous);
+  w.u64(b.balance);
+  w.fixed(b.link);
+  w.fixed(b.representative);
+}
+}  // namespace
+
+BlockHash LatticeBlock::hash() const {
+  Writer w;
+  write_core(w, *this);
+  return crypto::tagged_hash("dlt/lattice-block",
+                             ByteView{w.bytes().data(), w.size()});
+}
+
+Bytes LatticeBlock::work_payload() const {
+  // Work covers the chain position (account for open, previous otherwise),
+  // exactly as Nano precomputes work against the current head.
+  Writer w;
+  if (previous.is_zero())
+    w.fixed(account);
+  else
+    w.fixed(previous);
+  return std::move(w).take();
+}
+
+Bytes LatticeBlock::serialize() const {
+  Writer w;
+  write_core(w, *this);
+  w.u64(work);
+  w.u64(pubkey);
+  w.u64(signature.r);
+  w.u64(signature.s);
+  return std::move(w).take();
+}
+
+void LatticeBlock::sign(const crypto::KeyPair& key, Rng& rng) {
+  pubkey = key.public_key();
+  signature = key.sign(hash().view(), rng);
+}
+
+bool LatticeBlock::verify_signature() const {
+  if (crypto::account_of(pubkey) != account) return false;
+  return crypto::verify(pubkey, hash().view(), signature);
+}
+
+void LatticeBlock::solve_work(int difficulty_bits) {
+  const Bytes payload = work_payload();
+  auto solution =
+      crypto::solve(ByteView{payload.data(), payload.size()}, difficulty_bits);
+  work = solution->nonce;
+}
+
+bool LatticeBlock::verify_work(int difficulty_bits) const {
+  const Bytes payload = work_payload();
+  return crypto::verify(ByteView{payload.data(), payload.size()}, work,
+                        difficulty_bits);
+}
+
+std::string LatticeBlock::to_short_string() const {
+  std::string out = to_string(type);
+  out += " ";
+  out += short_hex(hash());
+  out += " acct=";
+  out += short_hex(account);
+  out += " bal=" + std::to_string(balance);
+  return out;
+}
+
+}  // namespace dlt::lattice

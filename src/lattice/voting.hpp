@@ -1,0 +1,70 @@
+// Representative voting (paper §III-B, §IV-B).
+//
+// "Representatives vote in order to resolve conflicts. Their votes are
+// weighted: a representative's weight is calculated as the sum of all
+// balances for accounts that chose this representative. In the case of a
+// conflict, the winning transaction is the one that gained the most votes
+// with regards to the voter's weight."
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_map>
+
+#include "crypto/keys.hpp"
+#include "lattice/block.hpp"
+#include "support/result.hpp"
+
+namespace dlt::lattice {
+
+struct Vote {
+  crypto::AccountId representative;
+  Root root;            // the contested chain position
+  BlockHash block;      // candidate this vote endorses
+  std::uint64_t sequence = 0;  // later votes supersede earlier ones
+  std::uint64_t pubkey = 0;
+  crypto::Signature signature{};
+
+  Hash256 sighash() const;
+  void sign(const crypto::KeyPair& key, Rng& rng);
+  bool verify() const;
+
+  static constexpr std::size_t kSerializedSize = 32 + 64 + 32 + 8 + 24;
+};
+
+/// Per-root tally. Tracks each representative's latest vote only, so a
+/// representative switching sides moves its whole weight.
+class Election {
+ public:
+  Election(Root root, double started_at)
+      : root_(root), started_at_(started_at) {}
+
+  const Root& root() const { return root_; }
+  double started_at() const { return started_at_; }
+
+  /// Records/updates a representative's weighted vote.
+  void add_vote(const crypto::AccountId& representative, Amount weight,
+                const BlockHash& candidate, std::uint64_t sequence);
+
+  /// Candidate with the greatest weight (ties: lower hash, deterministic).
+  std::optional<std::pair<BlockHash, Amount>> leader() const;
+
+  Amount weight_for(const BlockHash& candidate) const;
+  Amount total_voted_weight() const;
+  std::size_t candidate_count() const;
+  std::size_t voter_count() const { return votes_.size(); }
+
+ private:
+  struct RepVote {
+    BlockHash candidate;
+    Amount weight = 0;
+    std::uint64_t sequence = 0;
+  };
+
+  Root root_;
+  double started_at_;
+  std::unordered_map<crypto::AccountId, RepVote> votes_;
+};
+
+}  // namespace dlt::lattice

@@ -1,0 +1,175 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dlt::net {
+namespace {
+
+std::uint64_t link_key(NodeId from, NodeId to) {
+  return (static_cast<std::uint64_t>(from) << 32) | to;
+}
+
+}  // namespace
+
+NodeId Network::add_node() {
+  nodes_.emplace_back();
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void Network::set_handler(NodeId node,
+                          std::function<void(const Message&)> handler) {
+  assert(node < nodes_.size());
+  nodes_[node].handler = std::move(handler);
+}
+
+void Network::connect(NodeId a, NodeId b, LinkParams params) {
+  assert(a < nodes_.size() && b < nodes_.size() && a != b);
+  if (connected(a, b)) return;
+  links_[link_key(a, b)] = Link{params, 0.0};
+  links_[link_key(b, a)] = Link{params, 0.0};
+  nodes_[a].neighbors.push_back(b);
+  nodes_[b].neighbors.push_back(a);
+}
+
+bool Network::connected(NodeId a, NodeId b) const {
+  return links_.count(link_key(a, b)) != 0;
+}
+
+const std::vector<NodeId>& Network::neighbors(NodeId node) const {
+  assert(node < nodes_.size());
+  return nodes_[node].neighbors;
+}
+
+bool Network::partitioned(NodeId a, NodeId b) const {
+  return nodes_[a].partition_group != nodes_[b].partition_group;
+}
+
+Network::Link* Network::find_link(NodeId from, NodeId to) {
+  auto it = links_.find(link_key(from, to));
+  return it == links_.end() ? nullptr : &it->second;
+}
+
+void Network::send(NodeId from, NodeId to, Message msg) {
+  Link* link = find_link(from, to);
+  if (link == nullptr || partitioned(from, to)) return;
+  if (loss_rate_ > 0.0 && rng_.chance(loss_rate_)) return;
+
+  msg.from = from;
+
+  // Serialization delay: the link transmits one message at a time.
+  const double now = sim_.now();
+  const double start = std::max(now, link->busy_until);
+  const double tx_time =
+      static_cast<double>(msg.bytes) / std::max(link->params.bandwidth, 1.0);
+  link->busy_until = start + tx_time;
+
+  double prop = link->params.latency;
+  if (link->params.jitter > 0.0)
+    prop = std::max(0.0, rng_.normal(prop, link->params.jitter));
+
+  const double arrive = start + tx_time + prop;
+
+  total_traffic_.messages += 1;
+  total_traffic_.bytes += msg.bytes;
+  auto& t = by_type_[msg.type];
+  t.messages += 1;
+  t.bytes += msg.bytes;
+
+  sim_.schedule_at(arrive, [this, to, msg = std::move(msg), now] {
+    delivery_delay_.add(sim_.now() - now);
+    deliver(msg.from, to, msg);
+  });
+}
+
+void Network::deliver(NodeId /*from*/, NodeId to, const Message& msg) {
+  assert(to < nodes_.size());
+  NodeState& node = nodes_[to];
+  if (msg.gossip_id != 0) {
+    if (!node.seen_gossip.insert(msg.gossip_id).second) return;  // duplicate
+    relay_gossip(to, msg);
+  }
+  if (node.handler) node.handler(msg);
+}
+
+void Network::relay_gossip(NodeId at, const Message& msg) {
+  for (NodeId peer : nodes_[at].neighbors) {
+    if (peer == msg.from) continue;
+    Message copy = msg;
+    send(at, peer, std::move(copy));
+  }
+}
+
+std::uint64_t Network::gossip(NodeId origin, Message msg) {
+  assert(origin < nodes_.size());
+  msg.gossip_id = next_gossip_id_++;
+  nodes_[origin].seen_gossip.insert(msg.gossip_id);
+  msg.from = origin;
+  relay_gossip(origin, msg);
+  return msg.gossip_id;
+}
+
+void Network::set_partitions(const std::vector<std::vector<NodeId>>& groups) {
+  for (auto& n : nodes_) n.partition_group = 0;
+  int g = 1;
+  for (const auto& group : groups) {
+    for (NodeId id : group) {
+      assert(id < nodes_.size());
+      nodes_[id].partition_group = g;
+    }
+    ++g;
+  }
+}
+
+void build_complete(Network& net, const std::vector<NodeId>& nodes,
+                    LinkParams params) {
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    for (std::size_t j = i + 1; j < nodes.size(); ++j)
+      net.connect(nodes[i], nodes[j], params);
+}
+
+void build_ring(Network& net, const std::vector<NodeId>& nodes,
+                LinkParams params) {
+  if (nodes.size() < 2) return;
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    net.connect(nodes[i], nodes[(i + 1) % nodes.size()], params);
+}
+
+void build_random(Network& net, const std::vector<NodeId>& nodes,
+                  std::size_t degree, Rng& rng, LinkParams params) {
+  if (nodes.size() < 2) return;
+  // Ring first so the graph is always connected, then random extra edges.
+  build_ring(net, nodes, params);
+  for (NodeId a : nodes) {
+    for (std::size_t d = 0; d < degree; ++d) {
+      const NodeId b = nodes[rng.uniform(nodes.size())];
+      if (a != b && !net.connected(a, b)) net.connect(a, b, params);
+    }
+  }
+}
+
+void build_small_world(Network& net, const std::vector<NodeId>& nodes,
+                       std::size_t k, double beta, Rng& rng,
+                       LinkParams params) {
+  const std::size_t n = nodes.size();
+  if (n < 2) return;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 1; j <= k / 2; ++j) {
+      NodeId target = nodes[(i + j) % n];
+      if (rng.chance(beta)) {
+        // Rewire to a uniform random non-self, non-duplicate peer.
+        for (int tries = 0; tries < 16; ++tries) {
+          const NodeId cand = nodes[rng.uniform(n)];
+          if (cand != nodes[i] && !net.connected(nodes[i], cand)) {
+            target = cand;
+            break;
+          }
+        }
+      }
+      if (target != nodes[i] && !net.connected(nodes[i], target))
+        net.connect(nodes[i], target, params);
+    }
+  }
+}
+
+}  // namespace dlt::net

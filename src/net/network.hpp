@@ -1,0 +1,154 @@
+// Simulated peer-to-peer overlay network.
+//
+// Nodes exchange opaque messages over links with configurable latency,
+// jitter and bandwidth; gossip floods with per-node deduplication. Network
+// delay is the root cause of the paper's Fig. 4 soft forks ("due to network
+// delays, some nodes will receive one block over the other") and of the
+// real-world throughput ceilings §VI attributes to "network conditions".
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/simulation.hpp"
+#include "support/bytes.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace dlt::net {
+
+using NodeId = std::uint32_t;
+constexpr NodeId kNoNode = ~0u;
+
+/// A delivered message. `payload` carries an arbitrary protocol object
+/// (shared, immutable); `bytes` is its modelled wire size, which drives
+/// bandwidth queueing and traffic accounting.
+struct Message {
+  NodeId from = kNoNode;
+  std::string type;
+  std::shared_ptr<const std::any> payload;
+  std::size_t bytes = 0;
+  std::uint64_t gossip_id = 0;  // nonzero when part of a gossip flood
+};
+
+/// Per-link delay model.
+struct LinkParams {
+  double latency = 0.05;        // seconds, one-way base propagation delay
+  double jitter = 0.0;          // stddev of gaussian jitter, seconds
+  double bandwidth = 1.25e6;    // bytes/second (default ~10 Mbit/s)
+};
+
+struct TrafficStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+class Network {
+ public:
+  Network(sim::Simulation& simulation, Rng rng)
+      : sim_(simulation), rng_(std::move(rng)) {}
+
+  /// Adds a node; the handler is invoked on each delivered message.
+  NodeId add_node();
+  void set_handler(NodeId node, std::function<void(const Message&)> handler);
+
+  std::size_t node_count() const { return nodes_.size(); }
+
+  /// Creates a bidirectional link (both directions share parameters).
+  void connect(NodeId a, NodeId b, LinkParams params = {});
+  bool connected(NodeId a, NodeId b) const;
+  const std::vector<NodeId>& neighbors(NodeId node) const;
+
+  /// Point-to-point send; silently dropped if no link or partitioned.
+  void send(NodeId from, NodeId to, Message msg);
+
+  /// Gossip flood: delivers to every reachable node exactly once (including
+  /// relay hops and their delays). Returns the flood id.
+  std::uint64_t gossip(NodeId origin, Message msg);
+
+  /// Partition management: nodes in different groups cannot communicate.
+  /// An empty group list heals all partitions.
+  void set_partitions(const std::vector<std::vector<NodeId>>& groups);
+  void heal() { set_partitions({}); }
+
+  /// Drop probability applied to every delivery (message loss).
+  void set_loss_rate(double p) { loss_rate_ = p; }
+
+  const TrafficStats& traffic() const { return total_traffic_; }
+  const std::map<std::string, TrafficStats>& traffic_by_type() const {
+    return by_type_;
+  }
+  Summary& delivery_delay() { return delivery_delay_; }
+
+  sim::Simulation& simulation() { return sim_; }
+  Rng& rng() { return rng_; }
+
+ private:
+  struct Link {
+    LinkParams params;
+    double busy_until = 0.0;  // serialization queue per direction
+  };
+  struct NodeState {
+    std::function<void(const Message&)> handler;
+    std::vector<NodeId> neighbors;
+    std::unordered_set<std::uint64_t> seen_gossip;
+    int partition_group = 0;
+  };
+
+  bool partitioned(NodeId a, NodeId b) const;
+  Link* find_link(NodeId from, NodeId to);
+  void deliver(NodeId from, NodeId to, const Message& msg);
+  void relay_gossip(NodeId at, const Message& msg);
+
+  sim::Simulation& sim_;
+  Rng rng_;
+  std::vector<NodeState> nodes_;
+  // Directed link state keyed by (from, to).
+  std::unordered_map<std::uint64_t, Link> links_;
+  std::uint64_t next_gossip_id_ = 1;
+  double loss_rate_ = 0.0;
+
+  TrafficStats total_traffic_;
+  std::map<std::string, TrafficStats> by_type_;
+  Summary delivery_delay_;
+};
+
+/// Topology builders (return the network for chaining-free use).
+void build_complete(Network& net, const std::vector<NodeId>& nodes,
+                    LinkParams params = {});
+void build_ring(Network& net, const std::vector<NodeId>& nodes,
+                LinkParams params = {});
+/// Each node links to `degree` uniformly random distinct peers.
+void build_random(Network& net, const std::vector<NodeId>& nodes,
+                  std::size_t degree, Rng& rng, LinkParams params = {});
+/// Watts-Strogatz small world: ring with k nearest neighbours, rewired
+/// with probability beta.
+void build_small_world(Network& net, const std::vector<NodeId>& nodes,
+                       std::size_t k, double beta, Rng& rng,
+                       LinkParams params = {});
+
+/// Convenience for constructing a typed message.
+template <typename T>
+Message make_message(std::string type, T payload, std::size_t bytes) {
+  Message m;
+  m.type = std::move(type);
+  m.payload = std::make_shared<const std::any>(std::move(payload));
+  m.bytes = bytes;
+  return m;
+}
+
+/// Extracts a typed payload (asserts on type mismatch in debug builds).
+template <typename T>
+const T& payload_as(const Message& msg) {
+  return *std::any_cast<T>(msg.payload.get());
+}
+
+}  // namespace dlt::net

@@ -1,0 +1,142 @@
+#include "scaling/channel.hpp"
+
+#include <vector>
+
+#include "crypto/hash.hpp"
+#include "support/serialize.hpp"
+
+namespace dlt::scaling {
+
+Hash256 ChannelState::sighash() const {
+  Writer w;
+  w.fixed(channel_id);
+  w.u64(sequence);
+  w.u64(balance_a);
+  w.u64(balance_b);
+  return crypto::tagged_hash("dlt/channel-state",
+                             ByteView{w.bytes().data(), w.size()});
+}
+
+bool SignedState::verify(std::uint64_t pubkey_a,
+                         std::uint64_t pubkey_b) const {
+  const Hash256 digest = state.sighash();
+  return crypto::verify(pubkey_a, digest.view(), sig_a) &&
+         crypto::verify(pubkey_b, digest.view(), sig_b);
+}
+
+PaymentChannel::PaymentChannel(const crypto::KeyPair& a,
+                               const crypto::KeyPair& b, Amount deposit_a,
+                               Amount deposit_b, Rng& rng)
+    : a_(a), b_(b), deposit_a_(deposit_a), deposit_b_(deposit_b) {
+  Writer w;
+  w.u64(a.public_key());
+  w.u64(b.public_key());
+  w.u64(deposit_a);
+  w.u64(deposit_b);
+  w.u64(rng.next());  // channel nonce
+  current_.state.channel_id = crypto::tagged_hash(
+      "dlt/channel-id", ByteView{w.bytes().data(), w.size()});
+  current_.state.sequence = 0;
+  current_.state.balance_a = deposit_a;
+  current_.state.balance_b = deposit_b;
+  const Hash256 digest = current_.state.sighash();
+  current_.sig_a = a_.sign(digest.view(), rng);
+  current_.sig_b = b_.sign(digest.view(), rng);
+  history_.push_back(current_);
+}
+
+Status PaymentChannel::pay(Amount amount, bool from_a, Rng& rng) {
+  ChannelState next = current_.state;
+  if (from_a) {
+    if (next.balance_a < amount)
+      return make_error("insufficient-channel-balance");
+    next.balance_a -= amount;
+    next.balance_b += amount;
+  } else {
+    if (next.balance_b < amount)
+      return make_error("insufficient-channel-balance");
+    next.balance_b -= amount;
+    next.balance_a += amount;
+  }
+  next.sequence = current_.state.sequence + 1;
+
+  SignedState signed_next;
+  signed_next.state = next;
+  const Hash256 digest = next.sighash();
+  signed_next.sig_a = a_.sign(digest.view(), rng);
+  signed_next.sig_b = b_.sign(digest.view(), rng);
+  current_ = signed_next;
+  history_.push_back(signed_next);
+  ++payments_;
+  return Status::success();
+}
+
+std::optional<SignedState> PaymentChannel::state_at(
+    std::uint64_t sequence) const {
+  for (const SignedState& s : history_)
+    if (s.state.sequence == sequence) return s;
+  return std::nullopt;
+}
+
+SignedState PaymentChannel::resolve_dispute(
+    const SignedState& claim, const std::optional<SignedState>& counter,
+    std::uint64_t pubkey_a, std::uint64_t pubkey_b) {
+  // The dispute contract: highest valid sequence wins the window.
+  if (counter && counter->verify(pubkey_a, pubkey_b) &&
+      counter->state.sequence > claim.state.sequence) {
+    return *counter;
+  }
+  return claim;
+}
+
+chain::UtxoTransaction PaymentChannel::make_funding_tx(
+    const std::vector<std::pair<chain::Outpoint, chain::TxOut>>& coins_a,
+    const std::vector<std::pair<chain::Outpoint, chain::TxOut>>& coins_b,
+    Rng& rng) const {
+  chain::UtxoTransaction tx;
+  std::vector<crypto::KeyPair> keys;
+  Amount in_a = 0, in_b = 0;
+  for (const auto& [op, out] : coins_a) {
+    tx.inputs.push_back(chain::TxIn{op, a_.public_key(), {}});
+    keys.push_back(a_);
+    in_a += out.value;
+  }
+  for (const auto& [op, out] : coins_b) {
+    tx.inputs.push_back(chain::TxIn{op, b_.public_key(), {}});
+    keys.push_back(b_);
+    in_b += out.value;
+  }
+  // Lock the channel capacity to a joint authority. A real chain uses a
+  // 2-of-2 multisig script; our UTXO model has single-key outputs, so the
+  // joint authority is a key both parties derive from the channel id.
+  const crypto::KeyPair joint = crypto::KeyPair::from_seed(
+      crypto::hash_prefix_u64(current_.state.channel_id));
+  tx.outputs.push_back(chain::TxOut{capacity(), joint.account_id()});
+  // Each party gets its own change back.
+  if (in_a > deposit_a_)
+    tx.outputs.push_back(chain::TxOut{in_a - deposit_a_, a_.account_id()});
+  if (in_b > deposit_b_)
+    tx.outputs.push_back(chain::TxOut{in_b - deposit_b_, b_.account_id()});
+  tx.sign_all(keys, rng);
+  return tx;
+}
+
+chain::UtxoTransaction PaymentChannel::make_settlement_tx(
+    const chain::Outpoint& funding, const SignedState& final_state,
+    Rng& rng) const {
+  chain::UtxoTransaction tx;
+  // Spend the joint-authority funding output (see make_funding_tx).
+  const crypto::KeyPair joint = crypto::KeyPair::from_seed(
+      crypto::hash_prefix_u64(final_state.state.channel_id));
+  tx.inputs.push_back(chain::TxIn{funding, joint.public_key(), {}});
+  if (final_state.state.balance_a > 0)
+    tx.outputs.push_back(
+        chain::TxOut{final_state.state.balance_a, a_.account_id()});
+  if (final_state.state.balance_b > 0)
+    tx.outputs.push_back(
+        chain::TxOut{final_state.state.balance_b, b_.account_id()});
+  tx.sign_all({joint}, rng);
+  return tx;
+}
+
+}  // namespace dlt::scaling

@@ -1,0 +1,99 @@
+// Off-chain payment channels (paper §VI-A; Lightning / Raiden).
+//
+// "The solution revolves around creating an off chain channel to which a
+// prepaid amount is locked in for the lifetime of the channel. The
+// involved parties are able to run micro transactions at high volume and
+// speed, avoiding the transaction cap of the network. Any party may choose
+// to leave the channel, after which the final account balances are
+// recorded on chain and the channel is closed."
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "chain/transaction.hpp"
+#include "crypto/keys.hpp"
+#include "support/result.hpp"
+
+namespace dlt::scaling {
+
+using Amount = chain::Amount;
+
+/// A co-signed channel state: the authoritative off-chain balance split.
+struct ChannelState {
+  Hash256 channel_id;
+  std::uint64_t sequence = 0;  // monotonically increasing
+  Amount balance_a = 0;
+  Amount balance_b = 0;
+
+  Hash256 sighash() const;
+};
+
+struct SignedState {
+  ChannelState state;
+  crypto::Signature sig_a{};
+  crypto::Signature sig_b{};
+
+  /// Both signatures valid under the channel parties' keys.
+  bool verify(std::uint64_t pubkey_a, std::uint64_t pubkey_b) const;
+};
+
+/// One end of a bidirectional payment channel. Each party runs its own
+/// instance; states are exchanged and co-signed out of band (instantly, in
+/// simulation terms -- that is the point of channels).
+class PaymentChannel {
+ public:
+  /// Opens a channel funded with `deposit_a` + `deposit_b`.
+  PaymentChannel(const crypto::KeyPair& a, const crypto::KeyPair& b,
+                 Amount deposit_a, Amount deposit_b, Rng& rng);
+
+  const Hash256& id() const { return current_.state.channel_id; }
+  Amount balance_a() const { return current_.state.balance_a; }
+  Amount balance_b() const { return current_.state.balance_b; }
+  Amount capacity() const { return balance_a() + balance_b(); }
+  std::uint64_t sequence() const { return current_.state.sequence; }
+  std::uint64_t payments_made() const { return payments_; }
+
+  /// Off-chain payment a->b (positive) or b->a (negative direction flag).
+  Status pay(Amount amount, bool from_a, Rng& rng);
+
+  const SignedState& latest() const { return current_; }
+
+  /// A stale state retained by a cheater (testing the dispute path).
+  std::optional<SignedState> state_at(std::uint64_t sequence) const;
+
+  // ---- Settlement --------------------------------------------------------
+  /// Cooperative close: final balances, 1 on-chain transaction.
+  SignedState cooperative_close() const { return current_; }
+
+  /// Unilateral close: a party publishes `claim`; the counterparty may
+  /// overturn it with any strictly newer co-signed state within the
+  /// dispute window. Returns the state that settles.
+  static SignedState resolve_dispute(const SignedState& claim,
+                                     const std::optional<SignedState>& counter,
+                                     std::uint64_t pubkey_a,
+                                     std::uint64_t pubkey_b);
+
+  /// On-chain funding transaction spending the two parties' outpoints into
+  /// a joint 2-of-2-style output (owner = channel id as a script hash).
+  chain::UtxoTransaction make_funding_tx(
+      const std::vector<std::pair<chain::Outpoint, chain::TxOut>>& coins_a,
+      const std::vector<std::pair<chain::Outpoint, chain::TxOut>>& coins_b,
+      Rng& rng) const;
+
+  /// On-chain settlement paying each party its final balance.
+  chain::UtxoTransaction make_settlement_tx(const chain::Outpoint& funding,
+                                            const SignedState& final_state,
+                                            Rng& rng) const;
+
+ private:
+  crypto::KeyPair a_;
+  crypto::KeyPair b_;
+  Amount deposit_a_ = 0;
+  Amount deposit_b_ = 0;
+  SignedState current_;
+  std::vector<SignedState> history_;  // what a cheater could replay
+  std::uint64_t payments_ = 0;
+};
+
+}  // namespace dlt::scaling

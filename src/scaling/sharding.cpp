@@ -1,0 +1,137 @@
+#include "scaling/sharding.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dlt::scaling {
+
+std::size_t ShardedLedger::shard_of(const crypto::AccountId& account) const {
+  std::uint64_t prefix = 0;
+  for (int i = 0; i < 8; ++i)
+    prefix = (prefix << 8) | account.v[static_cast<std::size_t>(i)];
+  return prefix % params_.shard_count;
+}
+
+void ShardedLedger::credit(const crypto::AccountId& account,
+                           std::uint64_t amount) {
+  shards_[shard_of(account)].balances[account] += amount;
+}
+
+std::uint64_t ShardedLedger::balance_of(
+    const crypto::AccountId& account) const {
+  const Shard& shard = shards_[shard_of(account)];
+  auto it = shard.balances.find(account);
+  return it == shard.balances.end() ? 0 : it->second;
+}
+
+Result<bool> ShardedLedger::transfer(const crypto::AccountId& from,
+                                     const crypto::AccountId& to,
+                                     std::uint64_t amount) {
+  const std::size_t src = shard_of(from);
+  const std::size_t dst = shard_of(to);
+  Shard& shard = shards_[src];
+
+  // Admission check against the *current* balance; queued debits may still
+  // fail at seal time, which run_op handles by dropping the op.
+  auto bal = shard.balances.find(from);
+  if (bal == shard.balances.end() || bal->second < amount)
+    return make_error("insufficient-balance");
+
+  ++transfers_total_;
+  if (src == dst) {
+    shard.queue.push_back(
+        Op{Op::Kind::kTransfer, from, to, amount, src});
+    return false;
+  }
+  ++transfers_cross_;
+  shard.queue.push_back(Op{Op::Kind::kDebitAndEmit, from, to, amount, dst});
+  return true;
+}
+
+void ShardedLedger::run_op(std::size_t shard_index, const Op& op,
+                           std::vector<std::pair<std::size_t, Op>>& outbox) {
+  Shard& shard = shards_[shard_index];
+  switch (op.kind) {
+    case Op::Kind::kTransfer: {
+      auto bal = shard.balances.find(op.from);
+      if (bal == shard.balances.end() || bal->second < op.amount) return;
+      bal->second -= op.amount;
+      shard.balances[op.to] += op.amount;
+      break;
+    }
+    case Op::Kind::kDebitAndEmit: {
+      auto bal = shard.balances.find(op.from);
+      if (bal == shard.balances.end() || bal->second < op.amount) return;
+      bal->second -= op.amount;
+      ++shard.stats.receipts_emitted;
+      // The receipt becomes redeemable on the destination shard in a
+      // future block (cross-shard latency >= one interval).
+      Op redeem{Op::Kind::kRedeem, op.from, op.to, op.amount, op.dest_shard};
+      outbox.emplace_back(op.dest_shard, redeem);
+      break;
+    }
+    case Op::Kind::kRedeem: {
+      shard.balances[op.to] += op.amount;
+      ++shard.stats.receipts_redeemed;
+      break;
+    }
+  }
+}
+
+void ShardedLedger::seal_round() {
+  ++rounds_;
+  std::vector<std::pair<std::size_t, Op>> outbox;
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    Shard& shard = shards_[k];
+    shard.stats.queue_peak =
+        std::max<std::uint64_t>(shard.stats.queue_peak, shard.queue.size());
+    std::uint64_t budget = params_.block_tx_capacity;
+    while (budget > 0 && !shard.queue.empty()) {
+      const Op op = shard.queue.front();
+      shard.queue.pop_front();
+      run_op(k, op, outbox);
+      ++shard.stats.ops_processed;
+      --budget;
+    }
+    ++shard.stats.blocks_sealed;
+  }
+  // Receipts land after the round so redemption is strictly later.
+  for (auto& [dest, op] : outbox) shards_[dest].queue.push_back(op);
+}
+
+std::uint64_t ShardedLedger::pending_ops() const {
+  std::uint64_t n = 0;
+  for (const Shard& s : shards_) n += s.queue.size();
+  return n;
+}
+
+std::uint64_t ShardedLedger::total_supply() const {
+  std::uint64_t sum = 0;
+  for (const Shard& s : shards_) {
+    for (const auto& [account, balance] : s.balances) sum += balance;
+    // In-flight cross-shard value lives in queued redeem receipts.
+    for (const Op& op : s.queue)
+      if (op.kind == Op::Kind::kRedeem) sum += op.amount;
+  }
+  return sum;
+}
+
+ShardStats ShardedLedger::aggregate_stats() const {
+  ShardStats agg;
+  for (const Shard& s : shards_) {
+    agg.blocks_sealed += s.stats.blocks_sealed;
+    agg.ops_processed += s.stats.ops_processed;
+    agg.receipts_emitted += s.stats.receipts_emitted;
+    agg.receipts_redeemed += s.stats.receipts_redeemed;
+    agg.queue_peak = std::max(agg.queue_peak, s.stats.queue_peak);
+  }
+  return agg;
+}
+
+double ShardedLedger::cross_shard_fraction() const {
+  if (transfers_total_ == 0) return 0.0;
+  return static_cast<double>(transfers_cross_) /
+         static_cast<double>(transfers_total_);
+}
+
+}  // namespace dlt::scaling

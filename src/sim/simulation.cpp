@@ -1,0 +1,71 @@
+#include "sim/simulation.hpp"
+
+#include <cassert>
+
+namespace dlt::sim {
+
+EventId Simulation::schedule_at(Time at, std::function<void()> fn) {
+  assert(at >= now_ && "cannot schedule into the past");
+  if (at < now_) at = now_;
+  const EventId id = next_seq_;
+  heap_.push(Event{at, next_seq_, id});
+  fns_.emplace(id, std::move(fn));
+  ++next_seq_;
+  return id;
+}
+
+bool Simulation::cancel(EventId id) {
+  auto it = fns_.find(id);
+  if (it == fns_.end()) return false;
+  fns_.erase(it);
+  cancelled_.insert(id);
+  return true;
+}
+
+bool Simulation::step() {
+  while (!heap_.empty()) {
+    Event ev = heap_.top();
+    heap_.pop();
+    auto c = cancelled_.find(ev.id);
+    if (c != cancelled_.end()) {
+      cancelled_.erase(c);
+      continue;
+    }
+    auto it = fns_.find(ev.id);
+    assert(it != fns_.end());
+    std::function<void()> fn = std::move(it->second);
+    fns_.erase(it);
+    now_ = ev.at;
+    ++fired_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Simulation::run_until(Time horizon) {
+  std::uint64_t n = 0;
+  stop_requested_ = false;
+  while (!heap_.empty() && !stop_requested_) {
+    // Peek past cancelled entries without firing.
+    Event top = heap_.top();
+    if (cancelled_.count(top.id)) {
+      heap_.pop();
+      cancelled_.erase(top.id);
+      continue;
+    }
+    if (top.at > horizon) break;
+    if (step()) ++n;
+  }
+  if (now_ < horizon) now_ = horizon;
+  return n;
+}
+
+std::uint64_t Simulation::run() {
+  std::uint64_t n = 0;
+  stop_requested_ = false;
+  while (!stop_requested_ && step()) ++n;
+  return n;
+}
+
+}  // namespace dlt::sim

@@ -1,0 +1,86 @@
+// Basic byte-buffer vocabulary types shared by every module.
+//
+// The whole codebase traffics in opaque byte strings (hashes, serialized
+// blocks, keys). We standardize on std::vector<std::uint8_t> for owned
+// buffers and std::span<const std::uint8_t> for views, plus a fixed-size
+// array wrapper used for digests and identifiers.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dlt {
+
+using Byte = std::uint8_t;
+using Bytes = std::vector<Byte>;
+using ByteView = std::span<const Byte>;
+
+/// Fixed-size byte array with value semantics, ordering and hashing.
+/// Used for digests (Hash256), account ids, signatures, etc.
+template <std::size_t N>
+struct FixedBytes {
+  std::array<Byte, N> v{};
+
+  constexpr FixedBytes() = default;
+  explicit FixedBytes(const std::array<Byte, N>& a) : v(a) {}
+
+  static constexpr std::size_t size() { return N; }
+  const Byte* data() const { return v.data(); }
+  Byte* data() { return v.data(); }
+
+  Byte operator[](std::size_t i) const { return v[i]; }
+  Byte& operator[](std::size_t i) { return v[i]; }
+
+  auto operator<=>(const FixedBytes&) const = default;
+
+  ByteView view() const { return ByteView{v.data(), N}; }
+  Bytes bytes() const { return Bytes(v.begin(), v.end()); }
+
+  bool is_zero() const {
+    for (Byte b : v)
+      if (b != 0) return false;
+    return true;
+  }
+
+  /// Fills from a view; view must be exactly N bytes (asserted by caller).
+  static FixedBytes from_view(ByteView view) {
+    FixedBytes out;
+    const std::size_t n = view.size() < N ? view.size() : N;
+    std::memcpy(out.v.data(), view.data(), n);
+    return out;
+  }
+};
+
+using Hash256 = FixedBytes<32>;
+
+inline ByteView as_bytes(std::string_view s) {
+  return ByteView{reinterpret_cast<const Byte*>(s.data()), s.size()};
+}
+
+inline Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+}  // namespace dlt
+
+namespace std {
+template <std::size_t N>
+struct hash<dlt::FixedBytes<N>> {
+  size_t operator()(const dlt::FixedBytes<N>& b) const noexcept {
+    // Digests are uniformly distributed, but mix head and tail so that
+    // adversarially similar non-digest values still spread.
+    size_t head = 0, tail = 0;
+    constexpr size_t take = sizeof(size_t) < N ? sizeof(size_t) : N;
+    std::memcpy(&head, b.v.data(), take);
+    std::memcpy(&tail, b.v.data() + (N - take), take);
+    return head ^ (tail * 0x9e3779b97f4a7c15ULL);
+  }
+};
+}  // namespace std

@@ -1,0 +1,45 @@
+#include "support/hex.hpp"
+
+namespace dlt {
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string to_hex(ByteView bytes) {
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (Byte b : bytes) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0x0f]);
+  }
+  return out;
+}
+
+std::string short_hex(ByteView bytes, std::size_t prefix_bytes) {
+  if (bytes.size() <= prefix_bytes) return to_hex(bytes);
+  return to_hex(bytes.subspan(0, prefix_bytes)) + "..";
+}
+
+std::optional<Bytes> from_hex(std::string_view hex) {
+  if (hex.size() % 2 != 0) return std::nullopt;
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = nibble(hex[i]);
+    const int lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out.push_back(static_cast<Byte>((hi << 4) | lo));
+  }
+  return out;
+}
+
+}  // namespace dlt

@@ -1,0 +1,38 @@
+// Hex encoding/decoding for digests and debug output.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "support/bytes.hpp"
+
+namespace dlt {
+
+/// Lower-case hex encoding of an arbitrary byte view.
+std::string to_hex(ByteView bytes);
+
+template <std::size_t N>
+std::string to_hex(const FixedBytes<N>& b) {
+  return to_hex(b.view());
+}
+
+/// Short prefix form used in log lines and chain diagrams (first 4 bytes).
+std::string short_hex(ByteView bytes, std::size_t prefix_bytes = 4);
+
+template <std::size_t N>
+std::string short_hex(const FixedBytes<N>& b, std::size_t prefix_bytes = 4) {
+  return short_hex(b.view(), prefix_bytes);
+}
+
+/// Decodes hex (upper or lower case). Returns nullopt on bad length/char.
+std::optional<Bytes> from_hex(std::string_view hex);
+
+/// Decodes into a fixed-size array; nullopt unless exactly N bytes decode.
+template <std::size_t N>
+std::optional<FixedBytes<N>> fixed_from_hex(std::string_view hex) {
+  auto raw = from_hex(hex);
+  if (!raw || raw->size() != N) return std::nullopt;
+  return FixedBytes<N>::from_view(*raw);
+}
+
+}  // namespace dlt

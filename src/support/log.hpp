@@ -1,0 +1,41 @@
+// Minimal leveled logger. Simulations are chatty; default level is Warn so
+// tests and benches stay quiet, while examples turn on Info for narration.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+namespace dlt {
+
+enum class LogLevel { Trace = 0, Debug, Info, Warn, Error, Off };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+
+template <typename... Args>
+std::string format(const char* fmt, Args&&... args) {
+  const int n = std::snprintf(nullptr, 0, fmt, std::forward<Args>(args)...);
+  if (n <= 0) return fmt;
+  std::string out(static_cast<std::size_t>(n), '\0');
+  std::snprintf(out.data(), out.size() + 1, fmt, std::forward<Args>(args)...);
+  return out;
+}
+inline std::string format(const char* fmt) { return fmt; }
+}  // namespace detail
+
+template <typename... Args>
+void log(LogLevel level, const char* fmt, Args&&... args) {
+  if (level < log_level()) return;
+  detail::log_line(level, detail::format(fmt, std::forward<Args>(args)...));
+}
+
+#define DLT_LOG_INFO(...) ::dlt::log(::dlt::LogLevel::Info, __VA_ARGS__)
+#define DLT_LOG_DEBUG(...) ::dlt::log(::dlt::LogLevel::Debug, __VA_ARGS__)
+#define DLT_LOG_WARN(...) ::dlt::log(::dlt::LogLevel::Warn, __VA_ARGS__)
+#define DLT_LOG_ERROR(...) ::dlt::log(::dlt::LogLevel::Error, __VA_ARGS__)
+
+}  // namespace dlt

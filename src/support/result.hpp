@@ -1,0 +1,89 @@
+// Lightweight Result<T> for recoverable validation errors.
+//
+// DLT validation code rejects inputs constantly (bad signature, unknown
+// predecessor, double spend, ...). Exceptions are reserved for programming
+// errors; expected rejections travel as values. This is a minimal
+// std::expected stand-in (we target GCC 12 / C++20, which lacks it).
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace dlt {
+
+/// Error payload: machine-readable code plus human-readable detail.
+struct Error {
+  std::string code;    // stable identifier, e.g. "double-spend"
+  std::string detail;  // free-form context for logs/tests
+
+  std::string to_string() const {
+    return detail.empty() ? code : code + ": " + detail;
+  }
+};
+
+inline Error make_error(std::string code, std::string detail = {}) {
+  return Error{std::move(code), std::move(detail)};
+}
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Error err) : v_(std::move(err)) {}  // NOLINT: implicit by design
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(v_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(v_);
+  }
+
+  T value_or(T fallback) const& { return ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<T, Error> v_;
+};
+
+/// Result<void> analogue.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;                               // success
+  Status(Error err) : err_(std::move(err)) {}       // NOLINT: implicit
+  static Status success() { return Status{}; }
+
+  bool ok() const { return err_.code.empty(); }
+  explicit operator bool() const { return ok(); }
+
+  const Error& error() const {
+    assert(!ok());
+    return err_;
+  }
+
+  std::string to_string() const { return ok() ? "ok" : err_.to_string(); }
+
+ private:
+  Error err_{};
+};
+
+}  // namespace dlt

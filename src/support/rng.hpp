@@ -1,0 +1,74 @@
+// Deterministic pseudo-random generation for simulations and workloads.
+//
+// Every stochastic element in the system (mining races, network jitter,
+// workload inter-arrival, zipf account popularity) draws from an Rng seeded
+// explicitly, so a run is exactly reproducible from its seed. The engine is
+// xoshiro256** (public-domain algorithm by Blackman & Vigna): fast, tiny
+// state, and -- unlike std::mt19937 distributions -- our distribution code
+// is self-contained so results are identical across standard libraries.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dlt {
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0xdeadbeefcafebabeULL);
+
+  /// UniformRandomBitGenerator interface (usable with std <random> too).
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound). bound must be > 0. Unbiased (rejection).
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t uniform_range(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Bernoulli trial.
+  bool chance(double p);
+
+  /// Exponential variate with the given mean (> 0). Models Poisson
+  /// inter-arrival times: block discovery, transaction arrivals.
+  double exponential(double mean);
+
+  /// Normal variate (Box-Muller), for latency jitter.
+  double normal(double mean, double stddev);
+
+  /// Zipf-distributed rank in [0, n): rank 0 most popular. Models skewed
+  /// account popularity in payment workloads. s is the exponent (~1.0).
+  std::size_t zipf(std::size_t n, double s);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derives an independent child generator (for per-node streams).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+
+  // Zipf sampling uses a cached harmonic table per (n, s).
+  std::size_t zipf_n_ = 0;
+  double zipf_s_ = 0.0;
+  std::vector<double> zipf_cdf_;
+};
+
+}  // namespace dlt

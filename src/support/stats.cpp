@@ -1,0 +1,141 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace dlt {
+
+void Summary::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void Summary::merge(const Summary& o) {
+  if (o.n_ == 0) return;
+  if (n_ == 0) {
+    *this = o;
+    return;
+  }
+  const double delta = o.mean_ - mean_;
+  const auto n = static_cast<double>(n_), m = static_cast<double>(o.n_);
+  m2_ += o.m2_ + delta * delta * n * m / (n + m);
+  mean_ += delta * m / (n + m);
+  n_ += o.n_;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+}
+
+double Summary::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+std::string Summary::to_string() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.4g min=%.4g max=%.4g sd=%.4g",
+                static_cast<unsigned long long>(n_), mean(), min(), max(),
+                stddev());
+  return buf;
+}
+
+double Percentiles::quantile(double q) const {
+  if (xs_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(xs_.begin(), xs_.end());
+    sorted_ = true;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(xs_.size() - 1);
+  const auto i = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(i);
+  if (i + 1 >= xs_.size()) return xs_.back();
+  return xs_[i] * (1.0 - frac) + xs_[i + 1] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  assert(hi > lo && buckets > 0);
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const double span = hi_ - lo_;
+  auto i = static_cast<std::size_t>((x - lo_) / span *
+                                    static_cast<double>(counts_.size()));
+  if (i >= counts_.size()) i = counts_.size() - 1;
+  ++counts_[i];
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char line[256];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar =
+        static_cast<std::size_t>(static_cast<double>(counts_[i]) /
+                                 static_cast<double>(peak) *
+                                 static_cast<double>(width));
+    std::snprintf(line, sizeof(line), "[%10.3g, %10.3g) %8llu |",
+                  bucket_lo(i), bucket_hi(i),
+                  static_cast<unsigned long long>(counts_[i]));
+    out += line;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double v = static_cast<double>(bytes);
+  int u = 0;
+  while (v >= 1024.0 && u < 4) {
+    v /= 1024.0;
+    ++u;
+  }
+  char buf[64];
+  if (u == 0)
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  else
+    std::snprintf(buf, sizeof(buf), "%.2f %s", v, units[u]);
+  return buf;
+}
+
+std::string format_si(double v) {
+  const char* units[] = {"", "k", "M", "G", "T"};
+  int u = 0;
+  double a = std::fabs(v);
+  while (a >= 1000.0 && u < 4) {
+    a /= 1000.0;
+    v /= 1000.0;
+    ++u;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3g%s", v, units[u]);
+  return buf;
+}
+
+}  // namespace dlt

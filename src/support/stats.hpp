@@ -1,0 +1,80 @@
+// Statistics accumulators used by the metrics layer and the benches.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace dlt {
+
+/// Streaming summary: count / mean / min / max / stddev (Welford).
+class Summary {
+ public:
+  void add(double x);
+  void merge(const Summary& other);
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+  std::string to_string() const;
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Retains samples for exact percentiles. Fine at simulation scale
+/// (bounded by transaction counts in the tens of thousands).
+class Percentiles {
+ public:
+  void add(double x) { xs_.push_back(x); }
+  std::uint64_t count() const { return xs_.size(); }
+
+  /// q in [0, 1]; linear interpolation between order statistics.
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+
+ private:
+  mutable std::vector<double> xs_;
+  mutable bool sorted_ = false;
+};
+
+/// Fixed-bucket histogram over [lo, hi); overflow/underflow tracked.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  std::uint64_t count() const { return total_; }
+  std::uint64_t bucket(std::size_t i) const { return counts_[i]; }
+  std::size_t buckets() const { return counts_.size(); }
+  double bucket_lo(std::size_t i) const;
+  double bucket_hi(std::size_t i) const { return bucket_lo(i + 1); }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+
+  /// ASCII rendering for bench output.
+  std::string render(std::size_t width = 40) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0, overflow_ = 0, total_ = 0;
+};
+
+/// Human formatting helpers for bench tables.
+std::string format_bytes(std::uint64_t bytes);
+std::string format_si(double v);  // 3.2k, 1.5M, ...
+
+}  // namespace dlt

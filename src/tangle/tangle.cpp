@@ -1,0 +1,257 @@
+#include "tangle/tangle.hpp"
+
+#include <cmath>
+#include <deque>
+
+#include "crypto/hash.hpp"
+#include "support/serialize.hpp"
+
+namespace dlt::tangle {
+
+TxHash TangleTx::hash() const {
+  Writer w;
+  w.fixed(issuer);
+  w.fixed(trunk);
+  w.fixed(branch);
+  w.fixed(payload);
+  w.fixed(spend_key);
+  w.u64(static_cast<std::uint64_t>(timestamp * 1e6));
+  return crypto::tagged_hash("dlt/tangle-tx",
+                             ByteView{w.bytes().data(), w.size()});
+}
+
+Bytes TangleTx::work_payload() const {
+  // Work binds the approval choice (trunk/branch), like IOTA's PoW over
+  // the transaction trits.
+  Writer w;
+  w.fixed(trunk);
+  w.fixed(branch);
+  w.fixed(payload);
+  return std::move(w).take();
+}
+
+void TangleTx::solve_work(int difficulty_bits) {
+  const Bytes payload_bytes = work_payload();
+  auto solution = crypto::solve(
+      ByteView{payload_bytes.data(), payload_bytes.size()}, difficulty_bits);
+  work = solution->nonce;
+}
+
+bool TangleTx::verify_work(int difficulty_bits) const {
+  const Bytes payload_bytes = work_payload();
+  return crypto::verify(ByteView{payload_bytes.data(), payload_bytes.size()},
+                        work, difficulty_bits);
+}
+
+void TangleTx::sign(const crypto::KeyPair& key, Rng& rng) {
+  issuer = key.account_id();
+  pubkey = key.public_key();
+  signature = key.sign(hash().view(), rng);
+}
+
+bool TangleTx::verify_signature() const {
+  if (crypto::account_of(pubkey) != issuer) return false;
+  return crypto::verify(pubkey, hash().view(), signature);
+}
+
+Tangle::Tangle(TangleParams params) : params_(std::move(params)) {
+  TangleTx genesis;
+  genesis.payload = crypto::tagged_hash("dlt/tangle-genesis", {});
+  genesis_hash_ = genesis.hash();
+  txs_.emplace(genesis_hash_, genesis);
+  approvers_[genesis_hash_];
+  tips_.insert(genesis_hash_);
+}
+
+const TangleTx* Tangle::find(const TxHash& hash) const {
+  auto it = txs_.find(hash);
+  return it == txs_.end() ? nullptr : &it->second;
+}
+
+std::unordered_set<TxHash> Tangle::past_cone(const TxHash& hash) const {
+  std::unordered_set<TxHash> cone;
+  if (!contains(hash)) return cone;
+  std::deque<TxHash> frontier{hash};
+  while (!frontier.empty()) {
+    const TxHash cur = frontier.front();
+    frontier.pop_front();
+    if (!cone.insert(cur).second) continue;
+    if (cur == genesis_hash_) continue;
+    const TangleTx& tx = txs_.at(cur);
+    frontier.push_back(tx.trunk);
+    if (tx.branch != tx.trunk) frontier.push_back(tx.branch);
+  }
+  return cone;
+}
+
+std::unordered_set<Hash256> Tangle::cone_spend_keys(
+    const TxHash& hash) const {
+  std::unordered_set<Hash256> keys;
+  for (const TxHash& h : past_cone(hash)) {
+    const TangleTx& tx = txs_.at(h);
+    if (!tx.spend_key.is_zero()) keys.insert(tx.spend_key);
+  }
+  return keys;
+}
+
+bool Tangle::cone_conflicts(const TxHash& a, const TxHash& b) const {
+  // Two cones conflict if some spend key appears on BOTH sides via
+  // DIFFERENT transactions. Build key->tx maps and compare.
+  auto collect = [this](const TxHash& h) {
+    std::unordered_map<Hash256, TxHash> out;
+    for (const TxHash& t : past_cone(h)) {
+      const TangleTx& tx = txs_.at(t);
+      if (!tx.spend_key.is_zero()) out.emplace(tx.spend_key, t);
+    }
+    return out;
+  };
+  const auto ka = collect(a);
+  if (ka.empty()) return false;
+  for (const TxHash& t : past_cone(b)) {
+    const TangleTx& tx = txs_.at(t);
+    if (tx.spend_key.is_zero()) continue;
+    auto it = ka.find(tx.spend_key);
+    if (it != ka.end() && it->second != t) return true;
+  }
+  return false;
+}
+
+Status Tangle::attach(const TangleTx& tx) {
+  const TxHash hash = tx.hash();
+  if (txs_.count(hash)) return make_error("duplicate");
+  if (!tx.verify_signature()) return make_error("bad-signature");
+  if (params_.verify_work && !tx.verify_work(params_.work_bits))
+    return make_error("insufficient-work");
+  if (!contains(tx.trunk)) return make_error("unknown-trunk");
+  if (!contains(tx.branch)) return make_error("unknown-branch");
+
+  // Consistency: the combined past cone must be conflict-free, and the
+  // new transaction must not double-spend a key already in that cone
+  // (its own re-attachment under the same key elsewhere is the conflict
+  // the network later resolves by starvation).
+  if (cone_conflicts(tx.trunk, tx.branch))
+    return make_error("inconsistent-parents",
+                      "trunk and branch cones double-spend");
+  if (!tx.spend_key.is_zero()) {
+    auto keys = cone_spend_keys(tx.trunk);
+    auto branch_keys = cone_spend_keys(tx.branch);
+    keys.insert(branch_keys.begin(), branch_keys.end());
+    if (keys.count(tx.spend_key))
+      return make_error("double-spend",
+                        "spend key already present in the approved cone");
+  }
+
+  txs_.emplace(hash, tx);
+  approvers_[tx.trunk].push_back(hash);
+  if (tx.branch != tx.trunk) approvers_[tx.branch].push_back(hash);
+  approvers_[hash];
+  tips_.erase(tx.trunk);
+  tips_.erase(tx.branch);
+  tips_.insert(hash);
+  if (!tx.spend_key.is_zero()) spends_[tx.spend_key].push_back(hash);
+  return Status::success();
+}
+
+std::vector<TxHash> Tangle::tips() const {
+  return std::vector<TxHash>(tips_.begin(), tips_.end());
+}
+
+std::size_t Tangle::cumulative_weight(const TxHash& hash) const {
+  if (!contains(hash)) return 0;
+  // Future cone size: BFS over approvers.
+  std::unordered_set<TxHash> seen;
+  std::deque<TxHash> frontier{hash};
+  while (!frontier.empty()) {
+    const TxHash cur = frontier.front();
+    frontier.pop_front();
+    if (!seen.insert(cur).second) continue;
+    auto it = approvers_.find(cur);
+    if (it == approvers_.end()) continue;
+    for (const TxHash& child : it->second) frontier.push_back(child);
+  }
+  return seen.size();
+}
+
+double Tangle::confirmation_confidence(const TxHash& hash) const {
+  if (!contains(hash) || tips_.empty()) return 0.0;
+  std::size_t approving = 0;
+  for (const TxHash& tip : tips_) {
+    if (past_cone(tip).count(hash)) ++approving;
+  }
+  return static_cast<double>(approving) / static_cast<double>(tips_.size());
+}
+
+double Tangle::walk_confidence(const TxHash& hash, Rng& rng,
+                               int samples) const {
+  if (!contains(hash) || samples <= 0) return 0.0;
+  int approving = 0;
+  for (int i = 0; i < samples; ++i) {
+    const TxHash tip = select_tip(rng);
+    if (past_cone(tip).count(hash)) ++approving;
+  }
+  return static_cast<double>(approving) / samples;
+}
+
+TxHash Tangle::select_tip(Rng& rng,
+                          const std::vector<Hash256>& spend_keys) const {
+  // Biased random walk from genesis toward the tips, skipping children
+  // whose cone conflicts with the issuer's intended spends.
+  TxHash current = genesis_hash_;
+  for (;;) {
+    auto it = approvers_.find(current);
+    if (it == approvers_.end() || it->second.empty()) return current;
+
+    std::vector<TxHash> viable;
+    std::vector<double> weight;
+    for (const TxHash& child : it->second) {
+      if (!spend_keys.empty()) {
+        const auto cone_keys = cone_spend_keys(child);
+        bool conflicted = false;
+        for (const Hash256& k : spend_keys)
+          if (cone_keys.count(k)) conflicted = true;
+        if (conflicted) continue;
+      }
+      viable.push_back(child);
+      weight.push_back(static_cast<double>(cumulative_weight(child)));
+    }
+    if (viable.empty()) return current;
+
+    // Transition probability ~ exp(alpha * weight), normalized against
+    // the max for numerical stability.
+    double max_w = 0;
+    for (double w : weight) max_w = std::max(max_w, w);
+    std::vector<double> p(viable.size());
+    double total = 0;
+    for (std::size_t i = 0; i < viable.size(); ++i) {
+      p[i] = std::exp(params_.alpha * (weight[i] - max_w));
+      total += p[i];
+    }
+    double ticket = rng.uniform01() * total;
+    std::size_t pick = viable.size() - 1;
+    for (std::size_t i = 0; i < viable.size(); ++i) {
+      ticket -= p[i];
+      if (ticket <= 0) {
+        pick = i;
+        break;
+      }
+    }
+    current = viable[pick];
+  }
+}
+
+TangleTx make_tx(const Tangle& tangle, const crypto::KeyPair& issuer,
+                 const TxHash& trunk, const TxHash& branch,
+                 const Hash256& payload, double timestamp, Rng& rng,
+                 const Hash256& spend_key) {
+  TangleTx tx;
+  tx.trunk = trunk;
+  tx.branch = branch;
+  tx.payload = payload;
+  tx.spend_key = spend_key;
+  tx.timestamp = timestamp;
+  tx.solve_work(tangle.params().work_bits);
+  tx.sign(issuer, rng);
+  return tx;
+}
+
+}  // namespace dlt::tangle

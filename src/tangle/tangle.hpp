@@ -1,0 +1,136 @@
+// An IOTA-style tangle (paper §II-B, footnote 1: "Other DAG approaches
+// are IOTA and Byteball").
+//
+// Where Nano's block-lattice gives each account its own chain, the tangle
+// is a single DAG in which every transaction approves TWO earlier
+// transactions (trunk and branch). Issuers perform a small proof of work
+// per transaction (spam protection, as in §III-B) and implicitly vote for
+// the history they approve. Confirmation confidence of a transaction is
+// the fraction of current tips whose past cone contains it; cumulative
+// weight (1 + number of approvers, direct and indirect) drives the
+// biased random walk used for tip selection (the whitepaper's MCMC).
+//
+// Double spends are modelled with an optional `spend_key`: two
+// transactions sharing a spend key conflict, a consistent cone may
+// contain at most one of them, and the network's tip selection starves
+// the losing side -- the tangle's §IV analogue of fork resolution.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "crypto/hashcash.hpp"
+#include "crypto/keys.hpp"
+#include "support/result.hpp"
+#include "support/rng.hpp"
+
+namespace dlt::tangle {
+
+using TxHash = Hash256;
+
+struct TangleTx {
+  crypto::AccountId issuer;
+  TxHash trunk;    // first approved transaction
+  TxHash branch;   // second approved transaction (may equal trunk)
+  Hash256 payload; // opaque content commitment
+  /// Two transactions with the same (nonzero) spend key conflict.
+  Hash256 spend_key;
+  double timestamp = 0.0;
+  std::uint64_t work = 0;
+  std::uint64_t pubkey = 0;
+  crypto::Signature signature{};
+
+  TxHash hash() const;
+  Bytes work_payload() const;
+  void solve_work(int difficulty_bits);
+  bool verify_work(int difficulty_bits) const;
+  void sign(const crypto::KeyPair& key, Rng& rng);
+  bool verify_signature() const;
+
+  static constexpr std::size_t kSerializedSize = 32 * 5 + 8 * 4;
+};
+
+struct TangleParams {
+  int work_bits = 4;
+  bool verify_work = true;
+  /// MCMC walk bias: 0 = uniform random walk, higher = steeper preference
+  /// for heavy branches (faster conflict starvation, more orphaned tips).
+  double alpha = 0.05;
+};
+
+class Tangle {
+ public:
+  explicit Tangle(TangleParams params);
+
+  const TangleParams& params() const { return params_; }
+  const TxHash& genesis() const { return genesis_hash_; }
+  std::size_t size() const { return txs_.size(); }
+
+  /// Validates and attaches a transaction: signature, work, both parents
+  /// present, and the union of the parents' past cones free of spend-key
+  /// conflicts (with each other and with the new transaction).
+  Status attach(const TangleTx& tx);
+
+  bool contains(const TxHash& hash) const { return txs_.count(hash) != 0; }
+  const TangleTx* find(const TxHash& hash) const;
+
+  /// Transactions no one approves yet.
+  std::vector<TxHash> tips() const;
+  std::size_t tip_count() const { return tips_.size(); }
+
+  /// 1 + number of distinct transactions referencing `hash` (directly or
+  /// transitively) -- the whitepaper's cumulative weight.
+  std::size_t cumulative_weight(const TxHash& hash) const;
+
+  /// Fraction of current tips whose past cone contains `hash`; the
+  /// tangle's confirmation confidence (compare §IV's depth rule).
+  double confirmation_confidence(const TxHash& hash) const;
+
+  /// Monte-Carlo confidence: the probability that a fresh transaction's
+  /// tip-selection walk approves `hash`. Unlike the tip fraction, stale
+  /// abandoned tips barely matter because the walk rarely reaches them.
+  double walk_confidence(const TxHash& hash, Rng& rng,
+                         int samples = 64) const;
+
+  /// Weighted-random-walk tip selection (MCMC): a walk from genesis
+  /// steps to approvers with probability proportional to
+  /// exp(alpha * cumulative weight), never entering a cone that
+  /// conflicts with `avoid_conflicts_with` (the issuer's own pending
+  /// spend keys). Returns a tip.
+  TxHash select_tip(Rng& rng,
+                    const std::vector<Hash256>& spend_keys = {}) const;
+
+  /// Every transaction in `hash`'s past cone (ancestors, incl. itself).
+  std::unordered_set<TxHash> past_cone(const TxHash& hash) const;
+
+  /// All spend keys present in the past cone of `hash`.
+  std::unordered_set<Hash256> cone_spend_keys(const TxHash& hash) const;
+
+  /// Storage model: one node per transaction.
+  std::uint64_t stored_bytes() const {
+    return txs_.size() * TangleTx::kSerializedSize;
+  }
+
+ private:
+  bool cone_conflicts(const TxHash& a, const TxHash& b) const;
+
+  TangleParams params_;
+  TxHash genesis_hash_;
+  std::unordered_map<TxHash, TangleTx> txs_;
+  std::unordered_map<TxHash, std::vector<TxHash>> approvers_;  // children
+  std::unordered_set<TxHash> tips_;
+  // spend_key -> txs carrying it (conflict detection).
+  std::unordered_map<Hash256, std::vector<TxHash>> spends_;
+};
+
+/// Convenience issuer: builds, works and signs a transaction approving
+/// the two selected tips.
+TangleTx make_tx(const Tangle& tangle, const crypto::KeyPair& issuer,
+                 const TxHash& trunk, const TxHash& branch,
+                 const Hash256& payload, double timestamp, Rng& rng,
+                 const Hash256& spend_key = {});
+
+}  // namespace dlt::tangle

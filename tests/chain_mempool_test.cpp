@@ -1,0 +1,201 @@
+// Mempools: fee priority, conflicts, nonce queues, reorg reinjection
+// (paper §IV-A, §VI).
+#include <gtest/gtest.h>
+
+#include "chain/mempool.hpp"
+#include "chain_test_util.hpp"
+
+namespace dlt::chain {
+namespace {
+
+using testutil::make_keys;
+
+class UtxoMempoolTest : public ::testing::Test {
+ protected:
+  UtxoMempoolTest() : keys(make_keys(4)), rng(1) {
+    UtxoTransaction mint;
+    for (int i = 0; i < 4; ++i)
+      mint.outputs.push_back(TxOut{100'000, keys[static_cast<std::size_t>(i)].account_id()});
+    mint_id = mint.id();
+    utxo.apply_transaction(mint);
+  }
+
+  UtxoTransaction spend(std::size_t who, Amount out_value) {
+    UtxoTransaction tx;
+    tx.inputs.push_back(
+        TxIn{Outpoint{mint_id, static_cast<std::uint32_t>(who)}, 0, {}});
+    tx.outputs.push_back(TxOut{out_value, keys[(who + 1) % 4].account_id()});
+    tx.sign_all({keys[who]}, rng);
+    return tx;
+  }
+
+  std::vector<crypto::KeyPair> keys;
+  Rng rng;
+  UtxoSet utxo;
+  TxId mint_id;
+  UtxoMempool pool;
+};
+
+TEST_F(UtxoMempoolTest, AddAndSelect) {
+  auto tx = spend(0, 99'000);  // fee 1000
+  ASSERT_TRUE(pool.add(tx, utxo, 1).ok());
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_TRUE(pool.contains(tx.id()));
+  auto selected = pool.select(1'000'000);
+  ASSERT_EQ(selected.size(), 1u);
+  EXPECT_EQ(selected[0].id(), tx.id());
+}
+
+TEST_F(UtxoMempoolTest, RejectsInvalid) {
+  auto tx = spend(0, 200'000);  // inflation
+  EXPECT_FALSE(pool.add(tx, utxo, 1).ok());
+  EXPECT_EQ(pool.size(), 0u);
+}
+
+TEST_F(UtxoMempoolTest, RejectsPoolConflict) {
+  auto tx1 = spend(0, 99'000);
+  auto tx2 = spend(0, 98'000);  // same input, different tx
+  ASSERT_TRUE(pool.add(tx1, utxo, 1).ok());
+  auto st = pool.add(tx2, utxo, 1);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, "mempool-conflict");
+}
+
+TEST_F(UtxoMempoolTest, SelectionPrefersFeeRate) {
+  auto cheap = spend(0, 99'900);   // fee 100
+  auto rich = spend(1, 90'000);    // fee 10000
+  auto mid = spend(2, 99'000);     // fee 1000
+  ASSERT_TRUE(pool.add(cheap, utxo, 1).ok());
+  ASSERT_TRUE(pool.add(rich, utxo, 1).ok());
+  ASSERT_TRUE(pool.add(mid, utxo, 1).ok());
+
+  // Budget for only one transaction: the richest fee must win.
+  auto selected = pool.select(cheap.serialized_size());
+  ASSERT_EQ(selected.size(), 1u);
+  EXPECT_EQ(selected[0].id(), rich.id());
+}
+
+TEST_F(UtxoMempoolTest, ByteBudgetRespected) {
+  for (std::size_t i = 0; i < 4; ++i)
+    ASSERT_TRUE(pool.add(spend(i, 99'000), utxo, 1).ok());
+  const std::size_t one = spend(0, 99'000).serialized_size();
+  auto selected = pool.select(one * 2);
+  EXPECT_EQ(selected.size(), 2u);
+}
+
+TEST_F(UtxoMempoolTest, RemoveIncludedDropsConflicts) {
+  auto tx1 = spend(0, 99'000);
+  ASSERT_TRUE(pool.add(tx1, utxo, 1).ok());
+  // A different tx spending the same coin got mined instead.
+  auto rival = spend(0, 95'000);
+  pool.remove_included({rival});
+  EXPECT_EQ(pool.size(), 0u);
+  EXPECT_EQ(pool.pending_bytes(), 0u);
+}
+
+TEST_F(UtxoMempoolTest, ReinjectAfterDisconnect) {
+  auto tx = spend(0, 99'000);
+  // Simulate: tx was mined (not in pool), then its block was orphaned.
+  pool.reinject({tx}, utxo, 1);
+  EXPECT_TRUE(pool.contains(tx.id()));
+  // Coinbases never come back.
+  auto cb = UtxoTransaction::coinbase(keys[0].account_id(), 50, 3);
+  pool.reinject({cb}, utxo, 3);
+  EXPECT_FALSE(pool.contains(cb.id()));
+}
+
+class AccountMempoolTest : public ::testing::Test {
+ protected:
+  AccountMempoolTest() : keys(make_keys(3)), rng(2) {
+    state = WorldState{}
+                .credit(keys[0].account_id(), 10'000'000)
+                .credit(keys[1].account_id(), 10'000'000);
+  }
+
+  AccountTransaction tx_with(std::size_t who, std::uint64_t nonce,
+                             Amount gas_price) {
+    AccountTransaction tx;
+    tx.to = keys[2].account_id();
+    tx.value = 100;
+    tx.nonce = nonce;
+    tx.gas_limit = 21'000;
+    tx.gas_price = gas_price;
+    tx.sign(keys[who], rng);
+    return tx;
+  }
+
+  std::vector<crypto::KeyPair> keys;
+  Rng rng;
+  WorldState state;
+  AccountMempool pool;
+};
+
+TEST_F(AccountMempoolTest, NonceOrderEnforced) {
+  ASSERT_TRUE(pool.add(tx_with(0, 0, 1), state).ok());
+  ASSERT_TRUE(pool.add(tx_with(0, 1, 1), state).ok());
+  auto gap = pool.add(tx_with(0, 5, 1), state);
+  ASSERT_FALSE(gap.ok());
+  EXPECT_EQ(gap.error().code, "nonce-gap");
+  auto stale = pool.add(tx_with(0, 0, 2), state);
+  ASSERT_FALSE(stale.ok());
+  EXPECT_EQ(stale.error().code, "duplicate-nonce");
+}
+
+TEST_F(AccountMempoolTest, SelectRespectsGasLimitAndPrice) {
+  ASSERT_TRUE(pool.add(tx_with(0, 0, 5), state).ok());
+  ASSERT_TRUE(pool.add(tx_with(0, 1, 9), state).ok());
+  ASSERT_TRUE(pool.add(tx_with(1, 0, 7), state).ok());
+
+  // Budget for two 21k txs.
+  auto selected = pool.select(42'000, state);
+  ASSERT_EQ(selected.size(), 2u);
+  // Sender-0 nonce order must hold even though its second tx pays more.
+  EXPECT_EQ(selected[0].gas_price, 7u);  // key1's tx (highest executable)
+  EXPECT_EQ(selected[1].gas_price, 5u);  // key0 nonce 0 before nonce 1
+}
+
+TEST_F(AccountMempoolTest, SelectAllWhenRoomy) {
+  ASSERT_TRUE(pool.add(tx_with(0, 0, 1), state).ok());
+  ASSERT_TRUE(pool.add(tx_with(0, 1, 1), state).ok());
+  ASSERT_TRUE(pool.add(tx_with(1, 0, 2), state).ok());
+  auto selected = pool.select(0 /* unlimited */, state);
+  EXPECT_EQ(selected.size(), 3u);
+  EXPECT_EQ(pool.pending_gas(), 3 * 21'000u);
+}
+
+TEST_F(AccountMempoolTest, RemoveIncludedAdvancesQueue) {
+  auto t0 = tx_with(0, 0, 1);
+  auto t1 = tx_with(0, 1, 1);
+  ASSERT_TRUE(pool.add(t0, state).ok());
+  ASSERT_TRUE(pool.add(t1, state).ok());
+  pool.remove_included({t0});
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_TRUE(pool.contains(t1.id()));
+}
+
+TEST_F(AccountMempoolTest, RevalidateDropsStaleNonces) {
+  auto t0 = tx_with(0, 0, 1);
+  ASSERT_TRUE(pool.add(t0, state).ok());
+  // The chain advanced: sender nonce is now 1.
+  WorldState advanced = state.with_account(
+      keys[0].account_id(), AccountState{10'000'000, 1, 0});
+  pool.revalidate(advanced);
+  EXPECT_EQ(pool.size(), 0u);
+}
+
+TEST_F(AccountMempoolTest, ReinjectSortsByNonce) {
+  auto t0 = tx_with(0, 0, 1);
+  auto t1 = tx_with(0, 1, 1);
+  // Deliberately out of order.
+  pool.reinject({t1, t0}, state);
+  EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST_F(AccountMempoolTest, BadSignatureRejected) {
+  auto tx = tx_with(0, 0, 1);
+  tx.value = 999;
+  EXPECT_FALSE(pool.add(tx, state).ok());
+}
+
+}  // namespace
+}  // namespace dlt::chain

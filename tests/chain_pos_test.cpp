@@ -1,0 +1,214 @@
+// Proof of Stake: stake-weighted election, slashing, Casper FFG finality
+// (paper §III-A2, §IV-A).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "chain/pos.hpp"
+#include "chain_test_util.hpp"
+
+namespace dlt::chain {
+namespace {
+
+using testutil::make_keys;
+
+TEST(ValidatorSet, DepositWithdrawSlash) {
+  auto keys = make_keys(2);
+  ValidatorSet vs;
+  vs.deposit(keys[0].account_id(), keys[0].public_key(), 100);
+  vs.deposit(keys[1].account_id(), keys[1].public_key(), 300);
+  vs.deposit(keys[0].account_id(), keys[0].public_key(), 50);  // top-up
+  EXPECT_EQ(vs.total_stake(), 450u);
+  EXPECT_EQ(vs.stake_of(keys[0].account_id()), 150u);
+
+  EXPECT_TRUE(vs.withdraw(keys[0].account_id()).ok());
+  EXPECT_EQ(vs.total_stake(), 300u);
+  EXPECT_FALSE(vs.withdraw(keys[0].account_id()).ok());
+
+  // "Burning stake has the same economic effect as dismantling an
+  // attacker's mining equipment" (§III-A2).
+  EXPECT_EQ(vs.slash(keys[1].account_id()), 300u);
+  EXPECT_EQ(vs.total_stake(), 0u);
+  EXPECT_EQ(vs.total_slashed(), 300u);
+  EXPECT_EQ(vs.slash(keys[1].account_id()), 0u);  // idempotent
+}
+
+TEST(ValidatorSet, EmptySetHasNoProposer) {
+  ValidatorSet vs;
+  EXPECT_FALSE(vs.proposer_for_slot(Hash256{}, 1).ok());
+}
+
+TEST(ValidatorSet, ProposerDeterministicAcrossReplicas) {
+  auto keys = make_keys(4);
+  ValidatorSet a, b;
+  for (const auto& k : keys) {
+    a.deposit(k.account_id(), k.public_key(), 100);
+    b.deposit(k.account_id(), k.public_key(), 100);
+  }
+  Hash256 seed = crypto::Sha256::digest(as_bytes("seed"));
+  for (std::uint64_t slot = 0; slot < 50; ++slot)
+    EXPECT_EQ(*a.proposer_for_slot(seed, slot),
+              *b.proposer_for_slot(seed, slot));
+}
+
+TEST(ValidatorSet, SelectionProportionalToStake) {
+  // "The more tokens a validator stakes, it has a higher chance to create
+  // the next block" (§III-A2).
+  auto keys = make_keys(2);
+  ValidatorSet vs;
+  vs.deposit(keys[0].account_id(), keys[0].public_key(), 900);
+  vs.deposit(keys[1].account_id(), keys[1].public_key(), 100);
+
+  Hash256 seed = crypto::Sha256::digest(as_bytes("prop"));
+  std::map<crypto::AccountId, int> wins;
+  const int slots = 5000;
+  for (int s = 0; s < slots; ++s)
+    ++wins[*vs.proposer_for_slot(seed, static_cast<std::uint64_t>(s))];
+
+  const double big = wins[keys[0].account_id()];
+  EXPECT_NEAR(big / slots, 0.9, 0.03);
+}
+
+class FfgTest : public ::testing::Test {
+ protected:
+  FfgTest() : keys(make_keys(3)), params(pos_like()), rng(9) {
+    for (const auto& k : keys)
+      validators.deposit(k.account_id(), k.public_key(), 100);
+    genesis = crypto::Sha256::digest(as_bytes("genesis"));
+    gadget = std::make_unique<FinalityGadget>(params, validators, genesis);
+    for (int e = 1; e <= 4; ++e) {
+      checkpoint[e] =
+          crypto::Sha256::digest(as_bytes("cp" + std::to_string(e)));
+    }
+  }
+
+  CheckpointVote vote(std::size_t who, std::uint64_t se, Hash256 sh,
+                      std::uint64_t te, Hash256 th) {
+    CheckpointVote v;
+    v.source_epoch = se;
+    v.source_hash = sh;
+    v.target_epoch = te;
+    v.target_hash = th;
+    v.sign(keys[who], rng);
+    return v;
+  }
+
+  std::vector<crypto::KeyPair> keys;
+  ChainParams params;
+  ValidatorSet validators;
+  Hash256 genesis;
+  std::unique_ptr<FinalityGadget> gadget;
+  std::map<int, Hash256> checkpoint;
+  Rng rng;
+};
+
+TEST_F(FfgTest, SupermajorityJustifiesAndFinalizes) {
+  // Two of three validators (2/3 stake) link genesis -> epoch 1.
+  auto o1 = gadget->process_vote(vote(0, 0, genesis, 1, checkpoint[1]));
+  ASSERT_TRUE(o1.ok());
+  EXPECT_TRUE(o1->counted);
+  EXPECT_FALSE(o1->justified_target);  // 1/3 < 2/3
+
+  auto o2 = gadget->process_vote(vote(1, 0, genesis, 1, checkpoint[1]));
+  ASSERT_TRUE(o2.ok());
+  EXPECT_TRUE(o2->justified_target);
+  // Consecutive-epoch link finalizes the source (genesis, already final).
+  EXPECT_EQ(gadget->last_justified_epoch(), 1u);
+  EXPECT_TRUE(gadget->is_justified(1, checkpoint[1]));
+
+  // Next epoch: votes 1 -> 2 finalize checkpoint 1.
+  ASSERT_TRUE(gadget->process_vote(vote(0, 1, checkpoint[1], 2, checkpoint[2])).ok());
+  auto o3 = gadget->process_vote(vote(1, 1, checkpoint[1], 2, checkpoint[2]));
+  ASSERT_TRUE(o3.ok());
+  EXPECT_TRUE(o3->justified_target);
+  EXPECT_TRUE(o3->finalized_source);
+  EXPECT_EQ(gadget->last_finalized_epoch(), 1u);
+  EXPECT_EQ(gadget->last_finalized_hash(), checkpoint[1]);
+}
+
+TEST_F(FfgTest, MinorityNeverJustifies) {
+  auto o = gadget->process_vote(vote(0, 0, genesis, 1, checkpoint[1]));
+  ASSERT_TRUE(o.ok());
+  EXPECT_FALSE(gadget->is_justified(1, checkpoint[1]));
+  EXPECT_EQ(gadget->last_justified_epoch(), 0u);
+}
+
+TEST_F(FfgTest, UnjustifiedSourceRejected) {
+  auto o = gadget->process_vote(vote(0, 1, checkpoint[1], 2, checkpoint[2]));
+  ASSERT_FALSE(o.ok());
+  EXPECT_EQ(o.error().code, "unjustified-source");
+}
+
+TEST_F(FfgTest, BadSignatureRejected) {
+  auto v = vote(0, 0, genesis, 1, checkpoint[1]);
+  v.signature.s ^= 1;
+  EXPECT_FALSE(gadget->process_vote(v).ok());
+}
+
+TEST_F(FfgTest, UnknownValidatorRejected) {
+  auto ghost = crypto::KeyPair::from_seed(0xbeef);
+  CheckpointVote v;
+  v.source_epoch = 0;
+  v.source_hash = genesis;
+  v.target_epoch = 1;
+  v.target_hash = checkpoint[1];
+  v.sign(ghost, rng);
+  auto o = gadget->process_vote(v);
+  ASSERT_FALSE(o.ok());
+  EXPECT_EQ(o.error().code, "unknown-validator");
+}
+
+TEST_F(FfgTest, DoubleVoteSlashed) {
+  ASSERT_TRUE(gadget->process_vote(vote(0, 0, genesis, 1, checkpoint[1])).ok());
+  // Same target epoch, different hash: Casper commandment violated.
+  Hash256 rival = crypto::Sha256::digest(as_bytes("rival"));
+  auto o = gadget->process_vote(vote(0, 0, genesis, 1, rival));
+  ASSERT_TRUE(o.ok());
+  ASSERT_TRUE(o->slashed.has_value());
+  EXPECT_EQ(*o->slashed, keys[0].account_id());
+  EXPECT_EQ(validators.stake_of(keys[0].account_id()), 0u);
+  EXPECT_EQ(gadget->slashings(), 1u);
+}
+
+TEST_F(FfgTest, SurroundVoteSlashed) {
+  // Justify epochs 1 and 2 with the other validators so sources exist.
+  ASSERT_TRUE(gadget->process_vote(vote(1, 0, genesis, 1, checkpoint[1])).ok());
+  ASSERT_TRUE(gadget->process_vote(vote(2, 0, genesis, 1, checkpoint[1])).ok());
+  // keys[0] votes 1 -> 2, then a surrounding 0 -> 3.
+  ASSERT_TRUE(
+      gadget->process_vote(vote(0, 1, checkpoint[1], 2, checkpoint[2])).ok());
+  auto o = gadget->process_vote(vote(0, 0, genesis, 3, checkpoint[3]));
+  ASSERT_TRUE(o.ok());
+  ASSERT_TRUE(o->slashed.has_value());
+  EXPECT_EQ(*o->slashed, keys[0].account_id());
+}
+
+TEST_F(FfgTest, DuplicateIdenticalVoteNotDoubleCounted) {
+  ASSERT_TRUE(gadget->process_vote(vote(0, 0, genesis, 1, checkpoint[1])).ok());
+  ASSERT_TRUE(gadget->process_vote(vote(0, 0, genesis, 1, checkpoint[1])).ok());
+  // Still only 1/3 of stake: not justified.
+  EXPECT_FALSE(gadget->is_justified(1, checkpoint[1]));
+}
+
+TEST_F(FfgTest, SlashedValidatorLosesVotingPower) {
+  // Slash keys[0] via double vote.
+  ASSERT_TRUE(gadget->process_vote(vote(0, 0, genesis, 1, checkpoint[1])).ok());
+  Hash256 rival = crypto::Sha256::digest(as_bytes("rival"));
+  ASSERT_TRUE(gadget->process_vote(vote(0, 0, genesis, 1, rival)).ok());
+  EXPECT_EQ(validators.total_stake(), 200u);
+
+  // Now the remaining two validators ARE the supermajority (200/200).
+  ASSERT_TRUE(gadget->process_vote(vote(1, 0, genesis, 1, checkpoint[1])).ok());
+  auto o = gadget->process_vote(vote(2, 0, genesis, 1, checkpoint[1]));
+  ASSERT_TRUE(o.ok());
+  EXPECT_TRUE(o->justified_target);
+}
+
+TEST_F(FfgTest, BadLinkRejected) {
+  auto o = gadget->process_vote(vote(0, 1, genesis, 1, checkpoint[1]));
+  ASSERT_FALSE(o.ok());
+  EXPECT_EQ(o.error().code, "bad-link");
+}
+
+}  // namespace
+}  // namespace dlt::chain

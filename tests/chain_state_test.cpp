@@ -1,0 +1,195 @@
+// Account-model world state over the trie: execution semantics, fees,
+// nonces, version store (paper §II-A, §V-A).
+#include <gtest/gtest.h>
+
+#include "chain/state.hpp"
+#include "chain_test_util.hpp"
+
+namespace dlt::chain {
+namespace {
+
+using testutil::make_keys;
+
+class WorldStateTest : public ::testing::Test {
+ protected:
+  WorldStateTest() : keys(make_keys(3)), rng(7) {
+    state = WorldState{}
+                .credit(keys[0].account_id(), 1'000'000)
+                .credit(keys[1].account_id(), 500'000);
+    miner = keys[2].account_id();
+  }
+
+  AccountTransaction transfer(std::size_t from, std::size_t to, Amount value,
+                              std::uint64_t nonce, Amount gas_price = 1) {
+    AccountTransaction tx;
+    tx.to = keys[to].account_id();
+    tx.value = value;
+    tx.nonce = nonce;
+    tx.gas_limit = 30'000;
+    tx.gas_price = gas_price;
+    tx.sign(keys[from], rng);
+    return tx;
+  }
+
+  std::vector<crypto::KeyPair> keys;
+  Rng rng;
+  WorldState state;
+  crypto::AccountId miner;
+};
+
+TEST_F(WorldStateTest, EncodeDecodeRoundTrip) {
+  AccountState st{12345, 67, 890};
+  auto decoded = AccountState::decode(
+      ByteView{st.encode().data(), st.encode().size()});
+  // encode() is called twice above; take a stable copy instead.
+  const Bytes raw = st.encode();
+  decoded = AccountState::decode(ByteView{raw.data(), raw.size()});
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->balance, 12345u);
+  EXPECT_EQ(decoded->nonce, 67u);
+  EXPECT_EQ(decoded->code_size, 890u);
+}
+
+TEST_F(WorldStateTest, TransferMovesValueAndPaysFee) {
+  auto tx = transfer(0, 1, 100'000, 0, /*gas_price=*/2);
+  auto next = state.apply_transaction(tx, miner);
+  ASSERT_TRUE(next.ok()) << next.error().to_string();
+
+  const Amount fee = 21'000 * 2;
+  EXPECT_EQ(next->balance_of(keys[0].account_id()),
+            1'000'000u - 100'000u - fee);
+  EXPECT_EQ(next->balance_of(keys[1].account_id()), 600'000u);
+  EXPECT_EQ(next->balance_of(miner), fee);
+  EXPECT_EQ(next->get(keys[0].account_id())->nonce, 1u);
+  // Value conservation.
+  EXPECT_EQ(next->total_supply(), state.total_supply());
+}
+
+TEST_F(WorldStateTest, OriginalStateUntouched) {
+  auto tx = transfer(0, 1, 100, 0);
+  auto next = state.apply_transaction(tx, miner);
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(state.balance_of(keys[0].account_id()), 1'000'000u);
+  EXPECT_EQ(state.get(keys[0].account_id())->nonce, 0u);
+}
+
+TEST_F(WorldStateTest, BadNonceRejected) {
+  auto tx = transfer(0, 1, 100, 5);
+  auto next = state.apply_transaction(tx, miner);
+  ASSERT_FALSE(next.ok());
+  EXPECT_EQ(next.error().code, "bad-nonce");
+}
+
+TEST_F(WorldStateTest, ReplayRejected) {
+  auto tx = transfer(0, 1, 100, 0);
+  auto s1 = state.apply_transaction(tx, miner);
+  ASSERT_TRUE(s1.ok());
+  auto replay = s1->apply_transaction(tx, miner);
+  ASSERT_FALSE(replay.ok());
+  EXPECT_EQ(replay.error().code, "bad-nonce");
+}
+
+TEST_F(WorldStateTest, InsufficientBalanceCoversMaxFee) {
+  // balance must cover value + gas_limit*price, not just value.
+  auto tx = transfer(1, 0, 500'000 - 10'000, 0);  // leaves < max_fee
+  auto next = state.apply_transaction(tx, miner);
+  ASSERT_FALSE(next.ok());
+  EXPECT_EQ(next.error().code, "insufficient-balance");
+}
+
+TEST_F(WorldStateTest, UnknownSenderRejected) {
+  auto ghost = crypto::KeyPair::from_seed(0xdead);
+  AccountTransaction tx;
+  tx.to = keys[0].account_id();
+  tx.value = 1;
+  tx.sign(ghost, rng);
+  auto next = state.apply_transaction(tx, miner);
+  ASSERT_FALSE(next.ok());
+  EXPECT_EQ(next.error().code, "unknown-sender");
+}
+
+TEST_F(WorldStateTest, BadSignatureRejected) {
+  auto tx = transfer(0, 1, 100, 0);
+  tx.value = 200;
+  auto next = state.apply_transaction(tx, miner);
+  ASSERT_FALSE(next.ok());
+  EXPECT_EQ(next.error().code, "bad-signature");
+}
+
+TEST_F(WorldStateTest, GasLimitBelowIntrinsicRejected) {
+  auto tx = transfer(0, 1, 100, 0);
+  tx.gas_limit = 1000;
+  tx.sign(keys[0], rng);
+  auto next = state.apply_transaction(tx, miner);
+  ASSERT_FALSE(next.ok());
+  EXPECT_EQ(next.error().code, "out-of-gas");
+}
+
+TEST_F(WorldStateTest, ContractCreationMakesAccount) {
+  AccountTransaction tx;
+  // to == zero -> creation
+  tx.value = 5000;
+  tx.data_size = 200;
+  tx.gas_limit = 100'000;
+  tx.sign(keys[0], rng);
+  auto next = state.apply_transaction(tx, miner);
+  ASSERT_TRUE(next.ok()) << next.error().to_string();
+  auto contract = next->get(tx.id());
+  ASSERT_TRUE(contract.has_value());
+  EXPECT_EQ(contract->balance, 5000u);
+  EXPECT_EQ(contract->code_size, 200u);
+}
+
+TEST_F(WorldStateTest, RootReflectsContent) {
+  const Hash256 r0 = state.root();
+  auto tx = transfer(0, 1, 100, 0);
+  auto next = state.apply_transaction(tx, miner);
+  ASSERT_TRUE(next.ok());
+  EXPECT_NE(next->root(), r0);
+  EXPECT_EQ(state.root(), r0);
+}
+
+TEST(StateDB, VersionsAndPruning) {
+  auto keys = make_keys(2);
+  StateDB db;
+  WorldState s0 = WorldState{}.credit(keys[0].account_id(), 100);
+  WorldState s1 = s0.credit(keys[1].account_id(), 50);
+  WorldState s2 = s1.credit(keys[0].account_id(), 25);
+  db.put(s0.root(), s0);
+  db.put(s1.root(), s1);
+  db.put(s2.root(), s2);
+  EXPECT_EQ(db.version_count(), 3u);
+  ASSERT_TRUE(db.get(s1.root()).has_value());
+  EXPECT_EQ(db.get(s1.root())->balance_of(keys[1].account_id()), 50u);
+
+  const auto [nodes_all, bytes_all] = db.measure();
+  EXPECT_GT(nodes_all, 0u);
+
+  // Prune to the newest version only (§V-A deltas discarded).
+  EXPECT_EQ(db.prune_except({s2.root()}), 2u);
+  EXPECT_EQ(db.version_count(), 1u);
+  EXPECT_FALSE(db.get(s0.root()).has_value());
+  const auto [nodes_one, bytes_one] = db.measure();
+  EXPECT_LE(nodes_one, nodes_all);
+  EXPECT_GT(bytes_one, 0u);
+  (void)bytes_all;
+}
+
+TEST(StateDB, SharedNodesCountedOnce) {
+  auto keys = make_keys(64);
+  WorldState base;
+  for (const auto& k : keys) base = base.credit(k.account_id(), 10);
+  WorldState tweaked = base.credit(keys[0].account_id(), 1);
+
+  StateDB db;
+  db.put(base.root(), base);
+  db.put(tweaked.root(), tweaked);
+  const auto [nodes_both, b2] = db.measure();
+  const auto [nodes_single, b1] = base.trie().measure();
+  // Both versions together cost barely more than one (structural sharing).
+  EXPECT_LT(nodes_both, nodes_single + nodes_single / 4);
+  EXPECT_GT(b2, b1);
+}
+
+}  // namespace
+}  // namespace dlt::chain

@@ -1,0 +1,94 @@
+// Shared fixtures for blockchain tests: cheap-PoW params, funded genesis,
+// and a reference block assembler that mirrors what ChainNode does.
+#pragma once
+
+#include <vector>
+
+#include "chain/blockchain.hpp"
+
+namespace dlt::chain::testutil {
+
+inline ChainParams cheap_pow_utxo() {
+  ChainParams p = bitcoin_like();
+  p.initial_difficulty = 4.0;  // a few real hash attempts per block
+  p.retarget_window = 0;       // fixed difficulty unless a test opts in
+  p.block_interval = 10.0;
+  return p;
+}
+
+inline ChainParams cheap_pow_account() {
+  ChainParams p = ethereum_like();
+  p.initial_difficulty = 4.0;
+  p.retarget_window = 0;
+  p.block_interval = 10.0;
+  return p;
+}
+
+inline std::vector<crypto::KeyPair> make_keys(std::size_t n,
+                                              std::uint64_t base = 0x100) {
+  std::vector<crypto::KeyPair> keys;
+  for (std::size_t i = 0; i < n; ++i)
+    keys.push_back(crypto::KeyPair::from_seed(base + i));
+  return keys;
+}
+
+inline GenesisSpec fund_all(const std::vector<crypto::KeyPair>& keys,
+                            Amount each) {
+  GenesisSpec g;
+  for (const auto& k : keys) g.allocations.emplace_back(k.account_id(), each);
+  return g;
+}
+
+/// Assembles and PoW-solves a block extending `parent_hash` with the given
+/// transactions (already including any coinbase for UTXO chains).
+inline Block seal_block(const Blockchain& chain, const BlockHash& parent_hash,
+                        std::variant<UtxoTxList, AccountTxList> txs,
+                        const crypto::AccountId& proposer,
+                        double timestamp = -1.0) {
+  const Block* parent = chain.find(parent_hash);
+  Block b;
+  b.header.height = parent->header.height + 1;
+  b.header.parent = parent_hash;
+  b.header.timestamp =
+      timestamp >= 0 ? timestamp
+                     : parent->header.timestamp + chain.params().block_interval;
+  b.header.difficulty = chain.next_difficulty(parent_hash);
+  b.header.proposer = proposer;
+  b.txs = std::move(txs);
+  b.header.merkle_root = b.compute_merkle_root();
+  for (std::uint64_t nonce = 0;; ++nonce) {
+    b.header.nonce = nonce;
+    if (meets_target(b.header.pow_digest(), b.header.difficulty)) break;
+  }
+  return b;
+}
+
+/// Convenience: seal an empty UTXO block (coinbase only) on the tip.
+inline Block seal_empty_utxo(const Blockchain& chain,
+                             const crypto::AccountId& miner,
+                             const BlockHash& parent) {
+  const Block* p = chain.find(parent);
+  UtxoTxList txs{UtxoTransaction::coinbase(miner, chain.params().block_reward,
+                                           p->header.height + 1)};
+  return seal_block(chain, parent, std::move(txs), miner);
+}
+
+/// Seals an account-model block: computes the state root on the tip.
+/// Only valid when `parent` is the current tip.
+inline Block seal_account_tip(const Blockchain& chain, AccountTxList txs,
+                              const crypto::AccountId& proposer) {
+  Block b;
+  const BlockHash parent = chain.tip_hash();
+  auto root = chain.compute_state_root(txs, proposer);
+  b = seal_block(chain, parent, txs, proposer);
+  b.header.state_root = *root;
+  // Re-solve: state_root participates in the PoW payload.
+  for (std::uint64_t nonce = 0;; ++nonce) {
+    b.header.nonce = nonce;
+    if (meets_target(b.header.pow_digest(), b.header.difficulty)) break;
+  }
+  b.header.merkle_root = b.compute_merkle_root();
+  return b;
+}
+
+}  // namespace dlt::chain::testutil

@@ -1,0 +1,215 @@
+// Transaction models: UTXO validation paths and account/gas semantics
+// (paper §II-A, §VI-A).
+#include <gtest/gtest.h>
+
+#include "chain/account_tx.hpp"
+#include "chain/transaction.hpp"
+#include "chain/utxo.hpp"
+#include "chain_test_util.hpp"
+
+namespace dlt::chain {
+namespace {
+
+using testutil::make_keys;
+
+class UtxoFixture : public ::testing::Test {
+ protected:
+  UtxoFixture() : keys(make_keys(3)), rng(1) {
+    // Seed the set with a mint paying key0 1000 and key1 500.
+    UtxoTransaction mint;
+    mint.outputs.push_back(TxOut{1000, keys[0].account_id()});
+    mint.outputs.push_back(TxOut{500, keys[1].account_id()});
+    mint_id = mint.id();
+    utxo.apply_transaction(mint);
+  }
+
+  UtxoTransaction spend(std::size_t key_index, const Outpoint& op,
+                        Amount to_amount, Amount change,
+                        std::size_t to_index = 2) {
+    UtxoTransaction tx;
+    tx.inputs.push_back(TxIn{op, 0, {}});
+    tx.outputs.push_back(TxOut{to_amount, keys[to_index].account_id()});
+    if (change > 0)
+      tx.outputs.push_back(TxOut{change, keys[key_index].account_id()});
+    tx.sign_all({keys[key_index]}, rng);
+    return tx;
+  }
+
+  std::vector<crypto::KeyPair> keys;
+  Rng rng;
+  UtxoSet utxo;
+  TxId mint_id;
+};
+
+TEST_F(UtxoFixture, ValidSpendReportsFee) {
+  auto tx = spend(0, Outpoint{mint_id, 0}, 900, 90);
+  auto fee = utxo.check_transaction(tx, 1);
+  ASSERT_TRUE(fee.ok()) << fee.error().to_string();
+  EXPECT_EQ(*fee, 10u);  // 1000 in, 990 out
+}
+
+TEST_F(UtxoFixture, ApplyAndRevertRestoreState) {
+  auto tx = spend(0, Outpoint{mint_id, 0}, 900, 100);
+  const Amount before = utxo.total_value();
+  const std::size_t size_before = utxo.size();
+
+  TxUndo undo = utxo.apply_transaction(tx);
+  EXPECT_FALSE(utxo.contains(Outpoint{mint_id, 0}));
+  EXPECT_TRUE(utxo.contains(Outpoint{tx.id(), 0}));
+  EXPECT_EQ(utxo.total_value(), before);  // zero-fee conservation
+
+  utxo.revert_transaction(undo);
+  EXPECT_TRUE(utxo.contains(Outpoint{mint_id, 0}));
+  EXPECT_FALSE(utxo.contains(Outpoint{tx.id(), 0}));
+  EXPECT_EQ(utxo.size(), size_before);
+  EXPECT_EQ(utxo.total_value(), before);
+}
+
+TEST_F(UtxoFixture, MissingInputRejected) {
+  Outpoint bogus{mint_id, 9};
+  auto tx = spend(0, bogus, 10, 0);
+  auto fee = utxo.check_transaction(tx, 1);
+  ASSERT_FALSE(fee.ok());
+  EXPECT_EQ(fee.error().code, "missing-utxo");
+}
+
+TEST_F(UtxoFixture, WrongOwnerRejected) {
+  // key1 tries to spend key0's output.
+  auto tx = spend(1, Outpoint{mint_id, 0}, 10, 0);
+  auto fee = utxo.check_transaction(tx, 1);
+  ASSERT_FALSE(fee.ok());
+  EXPECT_EQ(fee.error().code, "wrong-owner");
+}
+
+TEST_F(UtxoFixture, BadSignatureRejected) {
+  auto tx = spend(0, Outpoint{mint_id, 0}, 10, 0);
+  tx.inputs[0].signature.s ^= 1;
+  auto fee = utxo.check_transaction(tx, 1);
+  ASSERT_FALSE(fee.ok());
+  EXPECT_EQ(fee.error().code, "bad-signature");
+}
+
+TEST_F(UtxoFixture, SignatureCoversOutputs) {
+  // Tampering with outputs after signing invalidates the signature.
+  auto tx = spend(0, Outpoint{mint_id, 0}, 900, 100);
+  tx.outputs[0].value = 999;
+  tx.outputs[1].value = 1;
+  auto fee = utxo.check_transaction(tx, 1);
+  ASSERT_FALSE(fee.ok());
+  EXPECT_EQ(fee.error().code, "bad-signature");
+}
+
+TEST_F(UtxoFixture, InflationRejected) {
+  auto tx = spend(0, Outpoint{mint_id, 0}, 2000, 0);
+  auto fee = utxo.check_transaction(tx, 1);
+  ASSERT_FALSE(fee.ok());
+  EXPECT_EQ(fee.error().code, "inflation");
+}
+
+TEST_F(UtxoFixture, InternalDoubleSpendRejected) {
+  UtxoTransaction tx;
+  tx.inputs.push_back(TxIn{Outpoint{mint_id, 0}, 0, {}});
+  tx.inputs.push_back(TxIn{Outpoint{mint_id, 0}, 0, {}});
+  tx.outputs.push_back(TxOut{100, keys[2].account_id()});
+  tx.sign_all({keys[0], keys[0]}, rng);
+  auto fee = utxo.check_transaction(tx, 1);
+  ASSERT_FALSE(fee.ok());
+  EXPECT_EQ(fee.error().code, "double-spend");
+}
+
+TEST_F(UtxoFixture, LockHeightEnforced) {
+  auto tx = spend(0, Outpoint{mint_id, 0}, 900, 100);
+  tx.lock_height = 100;
+  tx.sign_all({keys[0]}, rng);  // re-sign after mutation
+  EXPECT_FALSE(utxo.check_transaction(tx, 50).ok());
+  EXPECT_TRUE(utxo.check_transaction(tx, 100).ok());
+}
+
+TEST_F(UtxoFixture, EmptyOutputsRejected) {
+  UtxoTransaction tx;
+  tx.inputs.push_back(TxIn{Outpoint{mint_id, 0}, 0, {}});
+  tx.sign_all({keys[0]}, rng);
+  EXPECT_EQ(utxo.check_transaction(tx, 1).error().code, "no-outputs");
+}
+
+TEST_F(UtxoFixture, FindOwnedScansBalance) {
+  auto coins = utxo.find_owned(keys[1].account_id());
+  ASSERT_EQ(coins.size(), 1u);
+  EXPECT_EQ(coins[0].second.value, 500u);
+}
+
+TEST(UtxoTransaction, CoinbaseShape) {
+  auto cb = UtxoTransaction::coinbase(
+      crypto::KeyPair::from_seed(1).account_id(), 50, 7);
+  EXPECT_TRUE(cb.is_coinbase());
+  EXPECT_EQ(cb.total_output(), 50u);
+  // Height differentiates otherwise-identical coinbases (BIP-34).
+  auto cb2 = UtxoTransaction::coinbase(
+      crypto::KeyPair::from_seed(1).account_id(), 50, 8);
+  EXPECT_NE(cb.id(), cb2.id());
+}
+
+TEST(UtxoTransaction, IdCommitsToContent) {
+  auto keys = make_keys(2);
+  Rng rng(2);
+  UtxoTransaction tx;
+  tx.inputs.push_back(TxIn{Outpoint{{}, 0}, 0, {}});
+  tx.outputs.push_back(TxOut{5, keys[1].account_id()});
+  tx.sign_all({keys[0]}, rng);
+  const TxId before = tx.id();
+  tx.outputs[0].value = 6;
+  EXPECT_NE(before, tx.id());
+}
+
+// --------------------------------------------------------------------------
+// Account model
+
+TEST(AccountTx, SignatureBindsSender) {
+  Rng rng(3);
+  auto key = crypto::KeyPair::from_seed(5);
+  AccountTransaction tx;
+  tx.to = crypto::KeyPair::from_seed(6).account_id();
+  tx.value = 100;
+  tx.sign(key, rng);
+  EXPECT_TRUE(tx.verify_signature());
+  EXPECT_EQ(tx.from, key.account_id());
+
+  tx.value = 200;  // tamper
+  EXPECT_FALSE(tx.verify_signature());
+}
+
+TEST(AccountTx, ForeignPubkeyRejected) {
+  Rng rng(4);
+  auto key = crypto::KeyPair::from_seed(5);
+  AccountTransaction tx;
+  tx.to = crypto::KeyPair::from_seed(6).account_id();
+  tx.sign(key, rng);
+  tx.from = crypto::KeyPair::from_seed(7).account_id();  // claim other sender
+  EXPECT_FALSE(tx.verify_signature());
+}
+
+TEST(AccountTx, IntrinsicGasSchedule) {
+  AccountTransaction tx;
+  tx.to = crypto::KeyPair::from_seed(1).account_id();
+  EXPECT_EQ(tx.intrinsic_gas(), 21'000u);  // plain transfer
+
+  tx.data_size = 100;
+  EXPECT_EQ(tx.intrinsic_gas(), 21'000u + 100 * 68);
+
+  AccountTransaction create;  // zero `to` => contract creation
+  create.data_size = 10;
+  EXPECT_TRUE(create.is_contract_creation());
+  EXPECT_EQ(create.intrinsic_gas(), 21'000u + 10 * 68 + 32'000u);
+}
+
+TEST(AccountTx, MaxFeeAndSize) {
+  AccountTransaction tx;
+  tx.gas_limit = 50'000;
+  tx.gas_price = 3;
+  EXPECT_EQ(tx.max_fee(), 150'000u);
+  tx.data_size = 64;
+  EXPECT_EQ(tx.serialized_size(), 32 + 32 + 32 + 4 + 8 + 16 + 64u);
+}
+
+}  // namespace
+}  // namespace dlt::chain

@@ -1,0 +1,84 @@
+// Nakamoto confirmation confidence (paper §IV-A): the analytic numbers
+// behind "six for Bitcoin".
+#include <gtest/gtest.h>
+
+#include "core/confidence.hpp"
+
+namespace dlt::core {
+namespace {
+
+TEST(Confidence, CatchUpBasics) {
+  EXPECT_DOUBLE_EQ(catch_up_probability(0.0, 5), 0.0);
+  EXPECT_DOUBLE_EQ(catch_up_probability(0.5, 5), 1.0);
+  EXPECT_DOUBLE_EQ(catch_up_probability(0.6, 3), 1.0);
+  // q=0.1: (1/9)^z
+  EXPECT_NEAR(catch_up_probability(0.1, 1), 1.0 / 9.0, 1e-12);
+  EXPECT_NEAR(catch_up_probability(0.1, 2), 1.0 / 81.0, 1e-12);
+}
+
+TEST(Confidence, ReversalMatchesNakamotoTable) {
+  // Values from the Bitcoin whitepaper, section 11 (q = 0.1):
+  //   z=0 -> 1.0, z=1 -> 0.2045873, z=2 -> 0.0509779, z=3 -> 0.0131722,
+  //   z=4 -> 0.0034552, z=5 -> 0.0009137, z=6 -> 0.0002428.
+  EXPECT_NEAR(reversal_probability(0.1, 0), 1.0, 1e-7);
+  EXPECT_NEAR(reversal_probability(0.1, 1), 0.2045873, 1e-6);
+  EXPECT_NEAR(reversal_probability(0.1, 2), 0.0509779, 1e-6);
+  EXPECT_NEAR(reversal_probability(0.1, 3), 0.0131722, 1e-6);
+  EXPECT_NEAR(reversal_probability(0.1, 4), 0.0034552, 1e-6);
+  EXPECT_NEAR(reversal_probability(0.1, 5), 0.0009137, 1e-6);
+  EXPECT_NEAR(reversal_probability(0.1, 6), 0.0002428, 1e-6);
+}
+
+TEST(Confidence, ReversalMatchesNakamotoTableQ30) {
+  // q = 0.3 rows: z=5 -> 0.1773523, z=10 -> 0.0416605.
+  EXPECT_NEAR(reversal_probability(0.3, 5), 0.1773523, 1e-6);
+  EXPECT_NEAR(reversal_probability(0.3, 10), 0.0416605, 1e-6);
+}
+
+TEST(Confidence, MonotonicInDepth) {
+  for (double q : {0.05, 0.1, 0.2, 0.3, 0.45}) {
+    double prev = 2.0;
+    for (std::uint32_t z = 0; z <= 30; ++z) {
+      const double p = reversal_probability(q, z);
+      EXPECT_LE(p, prev + 1e-12) << "q=" << q << " z=" << z;
+      prev = p;
+    }
+  }
+}
+
+TEST(Confidence, MonotonicInAttackerShare) {
+  for (std::uint32_t z : {1u, 3u, 6u, 12u}) {
+    double prev = -1.0;
+    for (double q = 0.02; q < 0.5; q += 0.02) {
+      const double p = reversal_probability(q, z);
+      EXPECT_GE(p, prev - 1e-12) << "q=" << q << " z=" << z;
+      prev = p;
+    }
+  }
+}
+
+TEST(Confidence, MajorityAttackerAlwaysWins) {
+  EXPECT_DOUBLE_EQ(reversal_probability(0.5, 100), 1.0);
+  EXPECT_DOUBLE_EQ(reversal_probability(0.7, 100), 1.0);
+}
+
+TEST(Confidence, DepthForRiskReproducesPaperNumbers) {
+  // Nakamoto's "P < 0.001" table: q=0.10 -> z=5, q=0.15 -> z=8,
+  // q=0.20 -> z=11, q=0.25 -> z=15, q=0.30 -> z=24, q=0.45 -> z=340.
+  EXPECT_EQ(depth_for_risk(0.10, 0.001), 5u);
+  EXPECT_EQ(depth_for_risk(0.15, 0.001), 8u);
+  EXPECT_EQ(depth_for_risk(0.20, 0.001), 11u);
+  EXPECT_EQ(depth_for_risk(0.25, 0.001), 15u);
+  EXPECT_EQ(depth_for_risk(0.30, 0.001), 24u);
+  EXPECT_EQ(depth_for_risk(0.45, 0.001, 1000), 340u);
+  // The paper's 6-block Bitcoin rule sits right at this regime
+  // (q slightly above 0.10 at the 0.1% risk level).
+  EXPECT_LE(depth_for_risk(0.11, 0.001), 6u);
+}
+
+TEST(Confidence, DepthForRiskCapped) {
+  EXPECT_EQ(depth_for_risk(0.49, 1e-9, 50), 50u);
+}
+
+}  // namespace
+}  // namespace dlt::core

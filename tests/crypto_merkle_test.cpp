@@ -1,0 +1,111 @@
+// Merkle tree: roots, inclusion proofs, tamper detection (paper §II-A).
+#include <gtest/gtest.h>
+
+#include "crypto/merkle.hpp"
+#include "crypto/sha256.hpp"
+
+namespace dlt::crypto {
+namespace {
+
+std::vector<Hash256> make_leaves(std::size_t n) {
+  std::vector<Hash256> leaves;
+  leaves.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string s = "leaf-" + std::to_string(i);
+    leaves.push_back(Sha256::digest(as_bytes(s)));
+  }
+  return leaves;
+}
+
+TEST(Merkle, EmptyTreeHasCanonicalRoot) {
+  MerkleTree tree({});
+  EXPECT_EQ(tree.root(), MerkleTree::empty_root());
+  EXPECT_EQ(tree.leaf_count(), 0u);
+}
+
+TEST(Merkle, SingleLeafRootIsLeaf) {
+  auto leaves = make_leaves(1);
+  MerkleTree tree(leaves);
+  EXPECT_EQ(tree.root(), leaves[0]);
+}
+
+TEST(Merkle, RootMatchesComputeRoot) {
+  for (std::size_t n : {1u, 2u, 3u, 4u, 5u, 8u, 13u, 64u}) {
+    auto leaves = make_leaves(n);
+    MerkleTree tree(leaves);
+    EXPECT_EQ(tree.root(), MerkleTree::compute_root(leaves)) << n;
+  }
+}
+
+TEST(Merkle, RootDependsOnOrder) {
+  auto leaves = make_leaves(4);
+  const Hash256 a = MerkleTree::compute_root(leaves);
+  std::swap(leaves[0], leaves[1]);
+  EXPECT_NE(a, MerkleTree::compute_root(leaves));
+}
+
+TEST(Merkle, RootDependsOnEveryLeaf) {
+  auto leaves = make_leaves(7);
+  const Hash256 base = MerkleTree::compute_root(leaves);
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    auto tampered = leaves;
+    tampered[i].v[0] ^= 1;
+    EXPECT_NE(base, MerkleTree::compute_root(tampered)) << i;
+  }
+}
+
+TEST(Merkle, ProofOutOfRange) {
+  MerkleTree tree(make_leaves(4));
+  EXPECT_FALSE(tree.prove(4).ok());
+}
+
+class MerkleProofSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MerkleProofSweep, AllLeavesProve) {
+  const std::size_t n = GetParam();
+  auto leaves = make_leaves(n);
+  MerkleTree tree(leaves);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto proof = tree.prove(i);
+    ASSERT_TRUE(proof.ok()) << i;
+    EXPECT_TRUE(MerkleTree::verify(tree.root(), leaves[i], i, *proof))
+        << "n=" << n << " i=" << i;
+  }
+}
+
+TEST_P(MerkleProofSweep, WrongLeafFailsVerification) {
+  const std::size_t n = GetParam();
+  auto leaves = make_leaves(n);
+  MerkleTree tree(leaves);
+  const Hash256 bogus = Sha256::digest(as_bytes("bogus"));
+  for (std::size_t i = 0; i < n; ++i) {
+    auto proof = tree.prove(i);
+    ASSERT_TRUE(proof.ok());
+    EXPECT_FALSE(MerkleTree::verify(tree.root(), bogus, i, *proof));
+  }
+}
+
+TEST_P(MerkleProofSweep, TamperedProofFails) {
+  const std::size_t n = GetParam();
+  if (n < 2) return;  // single leaf has an empty proof
+  auto leaves = make_leaves(n);
+  MerkleTree tree(leaves);
+  auto proof = tree.prove(0);
+  ASSERT_TRUE(proof.ok());
+  (*proof)[0].sibling.v[5] ^= 0xff;
+  EXPECT_FALSE(MerkleTree::verify(tree.root(), leaves[0], 0, *proof));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MerkleProofSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 16,
+                                           17, 33, 100));
+
+TEST(Merkle, ProofLengthLogarithmic) {
+  MerkleTree tree(make_leaves(1024));
+  auto proof = tree.prove(512);
+  ASSERT_TRUE(proof.ok());
+  EXPECT_EQ(proof->size(), 10u);  // log2(1024)
+}
+
+}  // namespace
+}  // namespace dlt::crypto

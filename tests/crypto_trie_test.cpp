@@ -1,0 +1,223 @@
+// State trie: CRUD, root authentication, insertion-order independence,
+// structural sharing (state deltas), proofs (paper §V-A).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+#include "crypto/sha256.hpp"
+#include "crypto/trie.hpp"
+#include "support/rng.hpp"
+
+namespace dlt::crypto {
+namespace {
+
+Hash256 key_of(std::uint64_t i) {
+  const std::string s = "key-" + std::to_string(i);
+  return Sha256::digest(as_bytes(s));
+}
+
+Bytes val_of(std::uint64_t i) {
+  return to_bytes("value-" + std::to_string(i));
+}
+
+TEST(Trie, EmptyTrie) {
+  Trie t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_FALSE(t.get(key_of(0)).has_value());
+  EXPECT_EQ(t.root_hash(), Trie().root_hash());
+}
+
+TEST(Trie, PutGetSingle) {
+  Trie t = Trie().put(key_of(1), val_of(1));
+  EXPECT_EQ(t.size(), 1u);
+  auto v = t.get(key_of(1));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, val_of(1));
+  EXPECT_FALSE(t.get(key_of(2)).has_value());
+}
+
+TEST(Trie, OverwriteKeepsSize) {
+  Trie t = Trie().put(key_of(1), val_of(1)).put(key_of(1), val_of(99));
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(*t.get(key_of(1)), val_of(99));
+}
+
+TEST(Trie, PersistenceOldVersionUnchanged) {
+  Trie v1 = Trie().put(key_of(1), val_of(1));
+  Trie v2 = v1.put(key_of(2), val_of(2));
+  Trie v3 = v2.put(key_of(1), val_of(111));
+
+  EXPECT_EQ(v1.size(), 1u);
+  EXPECT_FALSE(v1.contains(key_of(2)));
+  EXPECT_EQ(*v2.get(key_of(1)), val_of(1));
+  EXPECT_EQ(*v3.get(key_of(1)), val_of(111));
+  EXPECT_EQ(*v3.get(key_of(2)), val_of(2));
+}
+
+TEST(Trie, EraseRemovesAndRebalances) {
+  Trie t;
+  for (std::uint64_t i = 0; i < 20; ++i) t = t.put(key_of(i), val_of(i));
+  const Hash256 with_all = t.root_hash();
+
+  Trie t2 = t.erase(key_of(7));
+  EXPECT_EQ(t2.size(), 19u);
+  EXPECT_FALSE(t2.contains(key_of(7)));
+  EXPECT_TRUE(t2.contains(key_of(8)));
+  EXPECT_NE(t2.root_hash(), with_all);
+
+  // Erase of missing key is a no-op.
+  Trie t3 = t2.erase(key_of(7));
+  EXPECT_EQ(t3.size(), 19u);
+  EXPECT_EQ(t3.root_hash(), t2.root_hash());
+}
+
+TEST(Trie, EraseToEmptyMatchesFreshTrie) {
+  Trie t = Trie().put(key_of(1), val_of(1)).put(key_of(2), val_of(2));
+  t = t.erase(key_of(1)).erase(key_of(2));
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.root_hash(), Trie().root_hash());
+}
+
+TEST(Trie, RootIndependentOfInsertionOrder) {
+  std::vector<std::uint64_t> ids;
+  for (std::uint64_t i = 0; i < 64; ++i) ids.push_back(i);
+
+  Trie forward;
+  for (auto i : ids) forward = forward.put(key_of(i), val_of(i));
+
+  Rng rng(17);
+  for (int round = 0; round < 5; ++round) {
+    rng.shuffle(ids);
+    Trie shuffled;
+    for (auto i : ids) shuffled = shuffled.put(key_of(i), val_of(i));
+    EXPECT_EQ(shuffled.root_hash(), forward.root_hash()) << round;
+  }
+}
+
+TEST(Trie, RootChangesWithAnyValue) {
+  Trie t;
+  for (std::uint64_t i = 0; i < 10; ++i) t = t.put(key_of(i), val_of(i));
+  const Hash256 base = t.root_hash();
+  Trie modified = t.put(key_of(3), to_bytes("different"));
+  EXPECT_NE(modified.root_hash(), base);
+}
+
+TEST(Trie, InsertEraseRoundTripRestoresRoot) {
+  Trie t;
+  for (std::uint64_t i = 0; i < 32; ++i) t = t.put(key_of(i), val_of(i));
+  const Hash256 base = t.root_hash();
+  Trie t2 = t.put(key_of(1000), val_of(1000)).erase(key_of(1000));
+  EXPECT_EQ(t2.root_hash(), base);
+}
+
+TEST(Trie, ForEachVisitsAllInOrder) {
+  Trie t;
+  const std::size_t n = 50;
+  for (std::uint64_t i = 0; i < n; ++i) t = t.put(key_of(i), val_of(i));
+
+  std::vector<Nibbles> keys;
+  std::size_t count = 0;
+  t.for_each([&](const Nibbles& k, const Bytes&) {
+    keys.push_back(k);
+    ++count;
+  });
+  EXPECT_EQ(count, n);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  for (const auto& k : keys) EXPECT_EQ(k.size(), 64u);  // full-depth keys
+}
+
+TEST(Trie, StructuralSharingMeasuredAsDeltas) {
+  Trie v1;
+  for (std::uint64_t i = 0; i < 100; ++i) v1 = v1.put(key_of(i), val_of(i));
+  Trie v2 = v1.put(key_of(3), to_bytes("updated"));
+
+  auto [n1, b1] = v1.measure();
+  std::unordered_set<const Trie::Node*> seen;
+  auto [first_n, first_b] = v1.collect_nodes(seen);
+  auto [delta_n, delta_b] = v2.collect_nodes(seen);
+
+  EXPECT_EQ(first_n, n1);
+  // The second version adds only the rewritten path, far less than a copy.
+  EXPECT_GT(delta_n, 0u);
+  EXPECT_LT(delta_n, n1 / 4);
+  EXPECT_GT(first_b, 0u);
+  EXPECT_GT(delta_b, 0u);
+}
+
+TEST(Trie, ProofVerifies) {
+  Trie t;
+  for (std::uint64_t i = 0; i < 40; ++i) t = t.put(key_of(i), val_of(i));
+  const Hash256 root = t.root_hash();
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    auto proof = t.prove(key_of(i));
+    ASSERT_TRUE(proof.has_value()) << i;
+    EXPECT_TRUE(Trie::verify_proof(root, key_of(i), val_of(i), *proof)) << i;
+  }
+}
+
+TEST(Trie, ProofRejectsWrongValue) {
+  Trie t;
+  for (std::uint64_t i = 0; i < 10; ++i) t = t.put(key_of(i), val_of(i));
+  auto proof = t.prove(key_of(4));
+  ASSERT_TRUE(proof.has_value());
+  EXPECT_FALSE(
+      Trie::verify_proof(t.root_hash(), key_of(4), to_bytes("fake"), *proof));
+}
+
+TEST(Trie, ProofRejectsWrongRoot) {
+  Trie t;
+  for (std::uint64_t i = 0; i < 10; ++i) t = t.put(key_of(i), val_of(i));
+  auto proof = t.prove(key_of(4));
+  ASSERT_TRUE(proof.has_value());
+  Hash256 bad_root = t.root_hash();
+  bad_root.v[0] ^= 1;
+  EXPECT_FALSE(Trie::verify_proof(bad_root, key_of(4), val_of(4), *proof));
+}
+
+TEST(Trie, ProofForAbsentKeyIsNull) {
+  Trie t = Trie().put(key_of(1), val_of(1));
+  EXPECT_FALSE(t.prove(key_of(999)).has_value());
+}
+
+class TrieRandomOps : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TrieRandomOps, MatchesReferenceMap) {
+  // Property: the trie behaves exactly like a std::map under random
+  // puts/erases, and equal content implies equal roots.
+  Rng rng(GetParam());
+  Trie t;
+  std::map<std::uint64_t, Bytes> reference;
+
+  for (int op = 0; op < 400; ++op) {
+    const std::uint64_t id = rng.uniform(60);
+    if (rng.chance(0.3) && !reference.empty()) {
+      t = t.erase(key_of(id));
+      reference.erase(id);
+    } else {
+      Bytes v = val_of(rng.next() % 1000);
+      t = t.put(key_of(id), v);
+      reference[id] = v;
+    }
+  }
+
+  EXPECT_EQ(t.size(), reference.size());
+  for (const auto& [id, v] : reference) {
+    auto got = t.get(key_of(id));
+    ASSERT_TRUE(got.has_value()) << id;
+    EXPECT_EQ(*got, v);
+  }
+
+  // Rebuild from scratch in sorted order: same root.
+  Trie rebuilt;
+  for (const auto& [id, v] : reference) rebuilt = rebuilt.put(key_of(id), v);
+  EXPECT_EQ(rebuilt.root_hash(), t.root_hash());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrieRandomOps,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace dlt::crypto

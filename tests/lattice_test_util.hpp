@@ -1,0 +1,79 @@
+// Shared helpers for block-lattice tests: a funded ledger fixture and
+// block builders mirroring what LatticeNode does.
+#pragma once
+
+#include <vector>
+
+#include "lattice/ledger.hpp"
+
+namespace dlt::lattice::testutil {
+
+inline LatticeParams cheap_params() {
+  LatticeParams p;
+  p.work_bits = 4;  // trivial real hashcash
+  p.verify_work = true;
+  return p;
+}
+
+struct Builder {
+  Ledger& ledger;
+  Rng& rng;
+  int work_bits;
+
+  LatticeBlock finish(LatticeBlock b, const crypto::KeyPair& key) {
+    b.solve_work(work_bits);
+    b.sign(key, rng);
+    return b;
+  }
+
+  LatticeBlock send(const crypto::KeyPair& from,
+                    const crypto::AccountId& to, Amount amount) {
+    const AccountInfo* info = ledger.account(from.account_id());
+    LatticeBlock b;
+    b.type = BlockType::kSend;
+    b.account = from.account_id();
+    b.previous = info->head().hash();
+    b.balance = info->head().balance - amount;
+    b.link = to;
+    b.representative = info->head().representative;
+    return finish(std::move(b), from);
+  }
+
+  LatticeBlock open(const crypto::KeyPair& owner, const BlockHash& source,
+                    Amount amount, const crypto::AccountId& rep) {
+    LatticeBlock b;
+    b.type = BlockType::kOpen;
+    b.account = owner.account_id();
+    b.balance = amount;
+    b.link = source;
+    b.representative = rep;
+    return finish(std::move(b), owner);
+  }
+
+  LatticeBlock receive(const crypto::KeyPair& owner, const BlockHash& source,
+                       Amount amount) {
+    const AccountInfo* info = ledger.account(owner.account_id());
+    LatticeBlock b;
+    b.type = BlockType::kReceive;
+    b.account = owner.account_id();
+    b.previous = info->head().hash();
+    b.balance = info->head().balance + amount;
+    b.link = source;
+    b.representative = info->head().representative;
+    return finish(std::move(b), owner);
+  }
+
+  LatticeBlock change(const crypto::KeyPair& owner,
+                      const crypto::AccountId& new_rep) {
+    const AccountInfo* info = ledger.account(owner.account_id());
+    LatticeBlock b;
+    b.type = BlockType::kChange;
+    b.account = owner.account_id();
+    b.previous = info->head().hash();
+    b.balance = info->head().balance;
+    b.representative = new_rep;
+    return finish(std::move(b), owner);
+  }
+};
+
+}  // namespace dlt::lattice::testutil

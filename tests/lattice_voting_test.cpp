@@ -1,0 +1,77 @@
+// Weighted elections (paper §III-B): tally semantics, vote supersession.
+#include <gtest/gtest.h>
+
+#include "lattice/voting.hpp"
+
+namespace dlt::lattice {
+namespace {
+
+crypto::AccountId rep(int i) {
+  return crypto::KeyPair::from_seed(100 + static_cast<std::uint64_t>(i))
+      .account_id();
+}
+BlockHash cand(int i) {
+  return crypto::Sha256::digest(as_bytes("cand" + std::to_string(i)));
+}
+
+TEST(Election, EmptyHasNoLeader) {
+  Election e(Root{}, 0.0);
+  EXPECT_FALSE(e.leader().has_value());
+  EXPECT_EQ(e.candidate_count(), 0u);
+}
+
+TEST(Election, WeightedLeader) {
+  Election e(Root{}, 0.0);
+  e.add_vote(rep(0), 100, cand(0), 1);
+  e.add_vote(rep(1), 50, cand(1), 1);
+  e.add_vote(rep(2), 60, cand(1), 1);
+  auto leader = e.leader();
+  ASSERT_TRUE(leader.has_value());
+  // "The winning transaction is the one that gained the most votes with
+  // regards to the voter's weight": 110 vs 100.
+  EXPECT_EQ(leader->first, cand(1));
+  EXPECT_EQ(leader->second, 110u);
+  EXPECT_EQ(e.candidate_count(), 2u);
+  EXPECT_EQ(e.voter_count(), 3u);
+  EXPECT_EQ(e.total_voted_weight(), 210u);
+}
+
+TEST(Election, LaterVoteSupersedes) {
+  Election e(Root{}, 0.0);
+  e.add_vote(rep(0), 100, cand(0), 1);
+  EXPECT_EQ(e.weight_for(cand(0)), 100u);
+  // The representative switches sides with a higher sequence.
+  e.add_vote(rep(0), 100, cand(1), 2);
+  EXPECT_EQ(e.weight_for(cand(0)), 0u);
+  EXPECT_EQ(e.weight_for(cand(1)), 100u);
+  EXPECT_EQ(e.voter_count(), 1u);
+}
+
+TEST(Election, StaleVoteIgnored) {
+  Election e(Root{}, 0.0);
+  e.add_vote(rep(0), 100, cand(0), 5);
+  e.add_vote(rep(0), 100, cand(1), 3);  // older sequence
+  EXPECT_EQ(e.weight_for(cand(0)), 100u);
+  EXPECT_EQ(e.weight_for(cand(1)), 0u);
+}
+
+TEST(Election, TieBreaksDeterministically) {
+  Election e(Root{}, 0.0);
+  e.add_vote(rep(0), 100, cand(0), 1);
+  e.add_vote(rep(1), 100, cand(1), 1);
+  auto l1 = e.leader();
+  auto l2 = e.leader();
+  ASSERT_TRUE(l1.has_value());
+  EXPECT_EQ(l1->first, l2->first);  // stable across calls
+}
+
+TEST(Election, ZeroWeightVotesCountNothing) {
+  Election e(Root{}, 0.0);
+  e.add_vote(rep(0), 0, cand(0), 1);
+  auto leader = e.leader();
+  ASSERT_TRUE(leader.has_value());
+  EXPECT_EQ(leader->second, 0u);
+}
+
+}  // namespace
+}  // namespace dlt::lattice

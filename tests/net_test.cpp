@@ -1,0 +1,233 @@
+// Simulated P2P network: delivery, latency, bandwidth, gossip, partitions.
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+
+namespace dlt::net {
+namespace {
+
+struct Fixture {
+  sim::Simulation sim;
+  Network net{sim, Rng(1)};
+};
+
+TEST(Network, PointToPointDelivery) {
+  Fixture f;
+  NodeId a = f.net.add_node();
+  NodeId b = f.net.add_node();
+  f.net.connect(a, b, LinkParams{0.1, 0.0, 1e9});
+
+  std::string got;
+  double arrival = -1;
+  f.net.set_handler(b, [&](const Message& m) {
+    got = payload_as<std::string>(m);
+    arrival = f.sim.now();
+  });
+  f.net.send(a, b, make_message("t", std::string("ping"), 100));
+  f.sim.run();
+  EXPECT_EQ(got, "ping");
+  EXPECT_NEAR(arrival, 0.1, 1e-6);  // latency dominated (tiny tx time)
+}
+
+TEST(Network, NoLinkNoDelivery) {
+  Fixture f;
+  NodeId a = f.net.add_node();
+  NodeId b = f.net.add_node();
+  bool delivered = false;
+  f.net.set_handler(b, [&](const Message&) { delivered = true; });
+  f.net.send(a, b, make_message("t", 1, 10));
+  f.sim.run();
+  EXPECT_FALSE(delivered);
+}
+
+TEST(Network, BandwidthSerializesLargeMessages) {
+  Fixture f;
+  NodeId a = f.net.add_node();
+  NodeId b = f.net.add_node();
+  // 1 MB at 1 MB/s with zero latency: ~1 second transmit time.
+  f.net.connect(a, b, LinkParams{0.0, 0.0, 1'000'000.0});
+  double arrival = -1;
+  f.net.set_handler(b, [&](const Message&) { arrival = f.sim.now(); });
+  f.net.send(a, b, make_message("t", 0, 1'000'000));
+  f.sim.run();
+  EXPECT_NEAR(arrival, 1.0, 1e-6);
+}
+
+TEST(Network, BackToBackMessagesQueue) {
+  Fixture f;
+  NodeId a = f.net.add_node();
+  NodeId b = f.net.add_node();
+  f.net.connect(a, b, LinkParams{0.0, 0.0, 1'000'000.0});
+  std::vector<double> arrivals;
+  f.net.set_handler(b, [&](const Message&) {
+    arrivals.push_back(f.sim.now());
+  });
+  // Two 0.5 MB messages sent at t=0 share the pipe.
+  f.net.send(a, b, make_message("t", 1, 500'000));
+  f.net.send(a, b, make_message("t", 2, 500'000));
+  f.sim.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_NEAR(arrivals[0], 0.5, 1e-6);
+  EXPECT_NEAR(arrivals[1], 1.0, 1e-6);
+}
+
+TEST(Network, GossipReachesAllNodesOnce) {
+  Fixture f;
+  std::vector<NodeId> ids;
+  for (int i = 0; i < 10; ++i) ids.push_back(f.net.add_node());
+  build_ring(f.net, ids);
+
+  std::vector<int> received(10, 0);
+  for (int i = 0; i < 10; ++i)
+    f.net.set_handler(ids[static_cast<std::size_t>(i)],
+                      [&received, i](const Message&) { ++received[static_cast<std::size_t>(i)]; });
+
+  f.net.gossip(ids[0], make_message("g", 42, 100));
+  f.sim.run();
+
+  EXPECT_EQ(received[0], 0);  // origin does not deliver to itself
+  for (int i = 1; i < 10; ++i) EXPECT_EQ(received[static_cast<std::size_t>(i)], 1) << i;
+}
+
+TEST(Network, GossipDedupOnDenseGraph) {
+  Fixture f;
+  std::vector<NodeId> ids;
+  for (int i = 0; i < 8; ++i) ids.push_back(f.net.add_node());
+  build_complete(f.net, ids);
+
+  std::vector<int> received(8, 0);
+  for (int i = 0; i < 8; ++i)
+    f.net.set_handler(ids[static_cast<std::size_t>(i)],
+                      [&received, i](const Message&) { ++received[static_cast<std::size_t>(i)]; });
+
+  f.net.gossip(ids[0], make_message("g", 1, 10));
+  f.sim.run();
+  for (int i = 1; i < 8; ++i) EXPECT_EQ(received[static_cast<std::size_t>(i)], 1) << i;
+}
+
+TEST(Network, PartitionBlocksTraffic) {
+  Fixture f;
+  NodeId a = f.net.add_node();
+  NodeId b = f.net.add_node();
+  f.net.connect(a, b);
+  int delivered = 0;
+  f.net.set_handler(b, [&](const Message&) { ++delivered; });
+
+  f.net.set_partitions({{a}, {b}});
+  f.net.send(a, b, make_message("t", 1, 10));
+  f.sim.run();
+  EXPECT_EQ(delivered, 0);
+
+  f.net.heal();
+  f.net.send(a, b, make_message("t", 1, 10));
+  f.sim.run();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(Network, GossipCrossesHealedPartitionOnResend) {
+  Fixture f;
+  std::vector<NodeId> ids;
+  for (int i = 0; i < 4; ++i) ids.push_back(f.net.add_node());
+  build_complete(f.net, ids);
+  std::vector<int> got(4, 0);
+  for (int i = 0; i < 4; ++i)
+    f.net.set_handler(ids[static_cast<std::size_t>(i)],
+                      [&got, i](const Message&) { ++got[static_cast<std::size_t>(i)]; });
+
+  f.net.set_partitions({{ids[0], ids[1]}, {ids[2], ids[3]}});
+  f.net.gossip(ids[0], make_message("g", 1, 10));
+  f.sim.run();
+  EXPECT_EQ(got[1], 1);
+  EXPECT_EQ(got[2], 0);
+  EXPECT_EQ(got[3], 0);
+}
+
+TEST(Network, LossRateDropsEverything) {
+  Fixture f;
+  NodeId a = f.net.add_node();
+  NodeId b = f.net.add_node();
+  f.net.connect(a, b);
+  f.net.set_loss_rate(1.0);
+  int delivered = 0;
+  f.net.set_handler(b, [&](const Message&) { ++delivered; });
+  for (int i = 0; i < 20; ++i) f.net.send(a, b, make_message("t", i, 10));
+  f.sim.run();
+  EXPECT_EQ(delivered, 0);
+}
+
+TEST(Network, TrafficAccounting) {
+  Fixture f;
+  NodeId a = f.net.add_node();
+  NodeId b = f.net.add_node();
+  f.net.connect(a, b);
+  f.net.set_handler(b, [](const Message&) {});
+  f.net.send(a, b, make_message("blocks", 1, 500));
+  f.net.send(a, b, make_message("votes", 2, 50));
+  f.sim.run();
+  EXPECT_EQ(f.net.traffic().messages, 2u);
+  EXPECT_EQ(f.net.traffic().bytes, 550u);
+  EXPECT_EQ(f.net.traffic_by_type().at("blocks").bytes, 500u);
+  EXPECT_EQ(f.net.traffic_by_type().at("votes").messages, 1u);
+}
+
+TEST(Network, JitterVariesDelay) {
+  Fixture f;
+  NodeId a = f.net.add_node();
+  NodeId b = f.net.add_node();
+  f.net.connect(a, b, LinkParams{0.1, 0.02, 1e9});
+  std::vector<double> arrivals;
+  f.net.set_handler(b, [&](const Message&) { arrivals.push_back(f.sim.now()); });
+  double last_send = 0;
+  for (int i = 0; i < 50; ++i) {
+    f.sim.schedule_at(last_send, [&f, a, b] {
+      f.net.send(a, b, make_message("t", 0, 1));
+    });
+    last_send += 10.0;
+  }
+  f.sim.run();
+  ASSERT_EQ(arrivals.size(), 50u);
+  // Delays should not all be identical under jitter.
+  bool varied = false;
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    const double d0 = arrivals[0] - 0.0;
+    const double di = arrivals[i] - static_cast<double>(i) * 10.0;
+    if (std::abs(di - d0) > 1e-9) varied = true;
+  }
+  EXPECT_TRUE(varied);
+}
+
+TEST(Topology, RandomGraphConnected) {
+  Fixture f;
+  std::vector<NodeId> ids;
+  for (int i = 0; i < 20; ++i) ids.push_back(f.net.add_node());
+  Rng rng(3);
+  build_random(f.net, ids, 3, rng);
+  // Ring backbone guarantees reachability: gossip must reach everyone.
+  std::vector<int> got(20, 0);
+  for (int i = 0; i < 20; ++i)
+    f.net.set_handler(ids[static_cast<std::size_t>(i)],
+                      [&got, i](const Message&) { ++got[static_cast<std::size_t>(i)]; });
+  f.net.gossip(ids[0], make_message("g", 1, 10));
+  f.sim.run();
+  for (int i = 1; i < 20; ++i) EXPECT_EQ(got[static_cast<std::size_t>(i)], 1) << i;
+}
+
+TEST(Topology, SmallWorldReachable) {
+  Fixture f;
+  std::vector<NodeId> ids;
+  for (int i = 0; i < 30; ++i) ids.push_back(f.net.add_node());
+  Rng rng(5);
+  build_small_world(f.net, ids, 4, 0.2, rng);
+  std::vector<int> got(30, 0);
+  for (int i = 0; i < 30; ++i)
+    f.net.set_handler(ids[static_cast<std::size_t>(i)],
+                      [&got, i](const Message&) { ++got[static_cast<std::size_t>(i)]; });
+  f.net.gossip(ids[0], make_message("g", 1, 10));
+  f.sim.run();
+  int reached = 0;
+  for (int i = 1; i < 30; ++i) reached += got[static_cast<std::size_t>(i)];
+  EXPECT_EQ(reached, 29);
+}
+
+}  // namespace
+}  // namespace dlt::net

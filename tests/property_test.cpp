@@ -1,0 +1,214 @@
+// Property-based sweeps across seeds and parameters: the invariants that
+// must hold for ANY workload on every ledger implementation.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/chain_cluster.hpp"
+#include "core/lattice_cluster.hpp"
+
+namespace dlt::core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// UTXO chain: value conservation and convergence across random workloads.
+
+class UtxoChainProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UtxoChainProperty, ConservationAndConvergence) {
+  ChainClusterConfig cfg;
+  cfg.params = chain::bitcoin_like();
+  cfg.params.verify_pow = false;
+  cfg.params.retarget_window = 0;
+  cfg.params.block_interval = 25.0;
+  cfg.params.initial_difficulty = 1e6;
+  cfg.node_count = 4;
+  cfg.miner_count = 2;
+  cfg.total_hashrate = 1e6 / 25.0;
+  cfg.account_count = 12;
+  cfg.initial_balance = 1'000'000;
+  cfg.genesis_outputs_per_account = 8;
+  cfg.seed = GetParam();
+  ChainCluster cluster(cfg);
+  cluster.start();
+
+  Rng wl(GetParam() * 31 + 1);
+  WorkloadConfig w;
+  w.account_count = 12;
+  w.tx_rate = 1.0;
+  w.duration = 400.0;
+  w.max_amount = 5000;
+  cluster.schedule_workload(generate_payments(w, wl));
+  cluster.run_for(700.0);
+
+  // Conservation: UTXO total == genesis allocation + mined subsidies
+  // minus fees claimed... fees flow INTO coinbases, so total value is
+  // exactly genesis + height * reward + (fees paid - fees claimed == 0).
+  const auto& bc = cluster.node(0).chain();
+  const chain::Amount genesis_total = 12ull * 8ull * 1'000'000ull;
+  chain::Amount fees_in_flight = 0;
+  // Fees of transactions still in the mempool are not yet claimed; every
+  // included tx's fee was claimed by its block's coinbase. Unclaimed fee
+  // value simply remains in the senders' UTXOs until inclusion, so the
+  // set total is exact:
+  EXPECT_EQ(bc.utxo_set().total_value() + fees_in_flight,
+            genesis_total + static_cast<chain::Amount>(bc.height()) *
+                                bc.params().block_reward);
+
+  cluster.run_for(200.0);
+  EXPECT_TRUE(cluster.converged()) << "replicas diverged";
+
+  // All replicas expose the same UTXO set value.
+  for (std::size_t i = 1; i < cluster.node_count(); ++i)
+    EXPECT_EQ(cluster.node(i).chain().utxo_set().total_value(),
+              bc.utxo_set().total_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UtxoChainProperty,
+                         ::testing::Values(101, 202, 303, 404));
+
+// ---------------------------------------------------------------------------
+// Account chain: supply == genesis + rewards, nonces strictly sequential.
+
+class AccountChainProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(AccountChainProperty, SupplyAndNonceDiscipline) {
+  ChainClusterConfig cfg;
+  cfg.params = chain::ethereum_like();
+  cfg.params.verify_pow = false;
+  cfg.params.retarget_window = 0;
+  cfg.params.initial_difficulty = 1e5;
+  cfg.node_count = 4;
+  cfg.miner_count = 2;
+  cfg.total_hashrate = 1e5 / 15.0;
+  cfg.account_count = 10;
+  cfg.initial_balance = 50'000'000;
+  cfg.seed = GetParam();
+  ChainCluster cluster(cfg);
+  cluster.start();
+
+  Rng wl(GetParam() * 17 + 5);
+  WorkloadConfig w;
+  w.account_count = 10;
+  w.tx_rate = 2.0;
+  w.duration = 300.0;
+  cluster.schedule_workload(generate_payments(w, wl));
+  cluster.run_for(500.0);
+
+  const auto& bc = cluster.node(0).chain();
+  EXPECT_EQ(bc.world_state().total_supply(),
+            10ull * 50'000'000ull +
+                static_cast<chain::Amount>(bc.height()) *
+                    bc.params().block_reward);
+
+  // Nonce discipline: walking the chain, each sender's nonces appear in
+  // strictly increasing order with no gaps.
+  std::map<crypto::AccountId, std::uint64_t> next_nonce;
+  for (std::uint32_t h = 1; h <= bc.height(); ++h) {
+    for (const auto& tx : bc.at_height(h)->account_txs()) {
+      EXPECT_EQ(tx.nonce, next_nonce[tx.from]) << "h=" << h;
+      next_nonce[tx.from] = tx.nonce + 1;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AccountChainProperty,
+                         ::testing::Values(11, 22, 33));
+
+// ---------------------------------------------------------------------------
+// Lattice: conservation, settlement progress, and convergence.
+
+class LatticeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LatticeProperty, ConservationAndConvergence) {
+  LatticeClusterConfig cfg;
+  cfg.node_count = 4;
+  cfg.representative_count = 2;
+  cfg.account_count = 10;
+  cfg.params.work_bits = 2;
+  cfg.seed = GetParam();
+  LatticeCluster cluster(cfg);
+  cluster.fund_accounts();
+
+  Rng wl(GetParam() * 7 + 3);
+  WorkloadConfig w;
+  w.account_count = 10;
+  w.tx_rate = 1.5;
+  w.duration = 60.0;
+  cluster.schedule_workload(generate_payments(w, wl));
+  cluster.run_for(120.0);
+
+  for (std::size_t i = 0; i < cluster.node_count(); ++i) {
+    EXPECT_TRUE(cluster.node(i).ledger().conserves_value()) << i;
+  }
+  EXPECT_TRUE(cluster.converged());
+  // Everything settled once the network quiesces (all receivers online).
+  EXPECT_EQ(cluster.node(0).ledger().pending().size(), 0u);
+  // Every node agrees on every balance.
+  for (std::size_t a = 0; a < 10; ++a) {
+    const auto id = cluster.account(a).account_id();
+    const auto b0 = cluster.node(0).ledger().balance_of(id);
+    for (std::size_t n = 1; n < cluster.node_count(); ++n)
+      EXPECT_EQ(cluster.node(n).ledger().balance_of(id), b0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LatticeProperty,
+                         ::testing::Values(7, 77, 777, 7777));
+
+// ---------------------------------------------------------------------------
+// Deterministic replay for the chain clusters (the lattice variant lives
+// in core_cluster_test.cpp).
+
+TEST(ChainDeterminism, SameSeedSameTip) {
+  auto run_once = [] {
+    ChainClusterConfig cfg;
+    cfg.params = chain::bitcoin_like();
+    cfg.params.verify_pow = false;
+    cfg.params.retarget_window = 0;
+    cfg.params.block_interval = 20.0;
+    cfg.params.initial_difficulty = 1e6;
+    cfg.node_count = 4;
+    cfg.miner_count = 3;
+    cfg.total_hashrate = 1e6 / 20.0;
+    cfg.account_count = 6;
+    cfg.seed = 555;
+    ChainCluster cluster(cfg);
+    cluster.start();
+    Rng wl(99);
+    WorkloadConfig w;
+    w.account_count = 6;
+    w.tx_rate = 0.5;
+    w.duration = 300.0;
+    cluster.schedule_workload(generate_payments(w, wl));
+    cluster.run_for(500.0);
+    return cluster.node(0).chain().tip_hash();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+// Different seeds must explore different histories (sanity of the sweep).
+TEST(ChainDeterminism, DifferentSeedsDiffer) {
+  auto run_with = [](std::uint64_t seed) {
+    ChainClusterConfig cfg;
+    cfg.params = chain::bitcoin_like();
+    cfg.params.verify_pow = false;
+    cfg.params.retarget_window = 0;
+    cfg.params.block_interval = 20.0;
+    cfg.params.initial_difficulty = 1e6;
+    cfg.node_count = 3;
+    cfg.miner_count = 2;
+    cfg.total_hashrate = 1e6 / 20.0;
+    cfg.account_count = 4;
+    cfg.seed = seed;
+    ChainCluster cluster(cfg);
+    cluster.start();
+    cluster.run_for(300.0);
+    return cluster.node(0).chain().tip_hash();
+  };
+  EXPECT_NE(run_with(1), run_with(2));
+}
+
+}  // namespace
+}  // namespace dlt::core

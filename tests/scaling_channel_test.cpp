@@ -1,0 +1,157 @@
+// Payment channels (paper §VI-A): off-chain updates, dispute game, and
+// on-chain funding/settlement against a real UTXO chain.
+#include <gtest/gtest.h>
+
+#include "chain_test_util.hpp"
+#include "scaling/channel.hpp"
+
+namespace dlt::scaling {
+namespace {
+
+using chain::testutil::cheap_pow_utxo;
+using chain::testutil::fund_all;
+using chain::testutil::make_keys;
+using chain::testutil::seal_block;
+
+class ChannelTest : public ::testing::Test {
+ protected:
+  ChannelTest()
+      : keys(make_keys(2)),
+        rng(5),
+        channel(keys[0], keys[1], 1000, 500, rng) {}
+
+  std::vector<crypto::KeyPair> keys;
+  Rng rng;
+  PaymentChannel channel;
+};
+
+TEST_F(ChannelTest, OpenState) {
+  EXPECT_EQ(channel.balance_a(), 1000u);
+  EXPECT_EQ(channel.balance_b(), 500u);
+  EXPECT_EQ(channel.capacity(), 1500u);
+  EXPECT_EQ(channel.sequence(), 0u);
+  EXPECT_TRUE(channel.latest().verify(keys[0].public_key(),
+                                      keys[1].public_key()));
+}
+
+TEST_F(ChannelTest, PaymentsMoveBalanceBothWays) {
+  ASSERT_TRUE(channel.pay(300, /*from_a=*/true, rng).ok());
+  EXPECT_EQ(channel.balance_a(), 700u);
+  EXPECT_EQ(channel.balance_b(), 800u);
+  ASSERT_TRUE(channel.pay(100, /*from_a=*/false, rng).ok());
+  EXPECT_EQ(channel.balance_a(), 800u);
+  EXPECT_EQ(channel.balance_b(), 700u);
+  EXPECT_EQ(channel.sequence(), 2u);
+  EXPECT_EQ(channel.payments_made(), 2u);
+  EXPECT_EQ(channel.capacity(), 1500u);  // channel conserves value
+}
+
+TEST_F(ChannelTest, OverdraftRefused) {
+  auto st = channel.pay(1001, true, rng);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, "insufficient-channel-balance");
+  EXPECT_EQ(channel.sequence(), 0u);  // state unchanged
+}
+
+TEST_F(ChannelTest, ManyMicropaymentsNoChainCost) {
+  // "Micro transactions at high volume and speed, avoiding the transaction
+  // cap of the network" -- thousands of payments, zero on-chain txs.
+  for (int i = 0; i < 5000; ++i)
+    ASSERT_TRUE(channel.pay(1, i % 2 == 0, rng).ok());
+  EXPECT_EQ(channel.payments_made(), 5000u);
+  EXPECT_EQ(channel.capacity(), 1500u);
+}
+
+TEST_F(ChannelTest, EveryStateCoSigned) {
+  ASSERT_TRUE(channel.pay(10, true, rng).ok());
+  const SignedState& s = channel.latest();
+  EXPECT_TRUE(s.verify(keys[0].public_key(), keys[1].public_key()));
+  // Signatures do not transfer to a doctored state.
+  SignedState forged = s;
+  forged.state.balance_a += 100;
+  EXPECT_FALSE(forged.verify(keys[0].public_key(), keys[1].public_key()));
+}
+
+TEST_F(ChannelTest, DisputeNewerStateWins) {
+  ASSERT_TRUE(channel.pay(400, true, rng).ok());   // seq 1: a=600
+  ASSERT_TRUE(channel.pay(200, true, rng).ok());   // seq 2: a=400
+  // Party A cheats by publishing the stale seq-1 state.
+  auto stale = channel.state_at(1);
+  ASSERT_TRUE(stale.has_value());
+  auto counter = channel.latest();
+
+  SignedState settled = PaymentChannel::resolve_dispute(
+      *stale, counter, keys[0].public_key(), keys[1].public_key());
+  EXPECT_EQ(settled.state.sequence, 2u);
+  EXPECT_EQ(settled.state.balance_a, 400u);
+}
+
+TEST_F(ChannelTest, DisputeWithoutCounterproofStands) {
+  ASSERT_TRUE(channel.pay(400, true, rng).ok());
+  auto claim = channel.latest();
+  SignedState settled = PaymentChannel::resolve_dispute(
+      claim, std::nullopt, keys[0].public_key(), keys[1].public_key());
+  EXPECT_EQ(settled.state.sequence, claim.state.sequence);
+}
+
+TEST_F(ChannelTest, DisputeRejectsForgedCounterproof) {
+  ASSERT_TRUE(channel.pay(400, true, rng).ok());
+  auto claim = channel.latest();
+  SignedState forged = claim;
+  forged.state.sequence = 99;
+  forged.state.balance_b = 1500;
+  SignedState settled = PaymentChannel::resolve_dispute(
+      claim, forged, keys[0].public_key(), keys[1].public_key());
+  EXPECT_EQ(settled.state.sequence, claim.state.sequence);
+}
+
+TEST(ChannelOnChain, FundAndSettleOnRealChain) {
+  // End-to-end §VI-A lifecycle: lock funds on chain, stream payments off
+  // chain, close, and verify the final balances land on chain.
+  auto keys = make_keys(3);
+  Rng rng(6);
+  chain::Blockchain bc(cheap_pow_utxo(), fund_all(keys, 10'000));
+  const crypto::AccountId miner = keys[2].account_id();
+
+  PaymentChannel channel(keys[0], keys[1], 4000, 2000, rng);
+
+  auto coins_a = bc.utxo_set().find_owned(keys[0].account_id());
+  auto coins_b = bc.utxo_set().find_owned(keys[1].account_id());
+  chain::UtxoTransaction funding =
+      channel.make_funding_tx(coins_a, coins_b, rng);
+
+  chain::UtxoTxList txs{chain::UtxoTransaction::coinbase(
+                            miner, bc.params().block_reward, 1),
+                        funding};
+  ASSERT_TRUE(
+      bc.submit(seal_block(bc, bc.tip_hash(), std::move(txs), miner)).ok());
+
+  // Off-chain phase: many payments, no blocks needed.
+  for (int i = 0; i < 1000; ++i)
+    ASSERT_TRUE(channel.pay(1, i % 3 != 0, rng).ok());
+  const SignedState final_state = channel.cooperative_close();
+
+  // Settlement: one on-chain tx pays each side its final balance.
+  chain::UtxoTransaction settle = channel.make_settlement_tx(
+      chain::Outpoint{funding.id(), 0}, final_state, rng);
+  chain::UtxoTxList txs2{chain::UtxoTransaction::coinbase(
+                             miner, bc.params().block_reward, 2),
+                         settle};
+  ASSERT_TRUE(
+      bc.submit(seal_block(bc, bc.tip_hash(), std::move(txs2), miner)).ok());
+
+  // a: 10000 - 4000 deposit + final_a; b: 10000 - 2000 + final_b.
+  chain::Amount bal_a = 0, bal_b = 0;
+  for (const auto& [op, out] :
+       bc.utxo_set().find_owned(keys[0].account_id()))
+    bal_a += out.value;
+  for (const auto& [op, out] :
+       bc.utxo_set().find_owned(keys[1].account_id()))
+    bal_b += out.value;
+  EXPECT_EQ(bal_a, 6000u + final_state.state.balance_a);
+  EXPECT_EQ(bal_b, 8000u + final_state.state.balance_b);
+  // 1000 payments cost exactly 2 on-chain transactions.
+}
+
+}  // namespace
+}  // namespace dlt::scaling

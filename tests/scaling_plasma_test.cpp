@@ -1,0 +1,153 @@
+// Plasma child chains (paper §VI-A): commitments, exits with Merkle
+// proofs, fraud proofs and operator slashing.
+#include <gtest/gtest.h>
+
+#include "scaling/plasma.hpp"
+
+namespace dlt::scaling {
+namespace {
+
+class PlasmaTest : public ::testing::Test {
+ protected:
+  PlasmaTest()
+      : alice(crypto::KeyPair::from_seed(1)),
+        bob(crypto::KeyPair::from_seed(2)),
+        rng(3),
+        contract(10'000),
+        op(contract, /*block_tx_limit=*/100) {
+    op.sync_deposit(alice.account_id(), 5000);
+    op.sync_deposit(bob.account_id(), 1000);
+  }
+
+  PlasmaTx transfer(const crypto::KeyPair& from,
+                    const crypto::AccountId& to, Amount amount,
+                    std::uint64_t nonce) {
+    PlasmaTx tx;
+    tx.to = to;
+    tx.amount = amount;
+    tx.nonce = nonce;
+    tx.sign(from, rng);
+    return tx;
+  }
+
+  crypto::KeyPair alice, bob;
+  Rng rng;
+  PlasmaContract contract;
+  PlasmaOperator op;
+};
+
+TEST_F(PlasmaTest, DepositsTracked) {
+  EXPECT_EQ(contract.total_deposits(), 6000u);
+  EXPECT_EQ(op.balance_of(alice.account_id()), 5000u);
+  EXPECT_EQ(op.balance_of(bob.account_id()), 1000u);
+}
+
+TEST_F(PlasmaTest, TransferAndSeal) {
+  ASSERT_TRUE(op.submit(transfer(alice, bob.account_id(), 700, 0)).ok());
+  EXPECT_EQ(op.pending(), 1u);
+  auto block = op.seal_and_commit();
+  ASSERT_TRUE(block.has_value());
+  EXPECT_EQ(block->txs.size(), 1u);
+  EXPECT_EQ(op.balance_of(bob.account_id()), 1700u);
+  EXPECT_EQ(contract.commitments(), 1u);
+  // Only a 32-byte root hit the "root chain", not the transaction.
+  EXPECT_EQ(*contract.committed_root(0), block->merkle_root);
+}
+
+TEST_F(PlasmaTest, InvalidSubmissionsRejected) {
+  EXPECT_FALSE(op.submit(transfer(alice, bob.account_id(), 700, 5)).ok());
+  EXPECT_FALSE(op.submit(transfer(alice, bob.account_id(), 99'999, 0)).ok());
+  PlasmaTx bad = transfer(alice, bob.account_id(), 10, 0);
+  bad.amount = 20;
+  EXPECT_FALSE(op.submit(bad).ok());
+  EXPECT_EQ(op.pending(), 0u);
+}
+
+TEST_F(PlasmaTest, SealRespectsTxLimit) {
+  PlasmaOperator small(contract, 2);
+  small.sync_deposit(alice.account_id(), 100);
+  for (std::uint64_t i = 0; i < 5; ++i)
+    ASSERT_TRUE(small.submit(transfer(alice, bob.account_id(), 1, i)).ok());
+  auto block = small.seal_and_commit();
+  ASSERT_TRUE(block.has_value());
+  EXPECT_EQ(block->txs.size(), 2u);
+  EXPECT_EQ(small.pending(), 3u);
+}
+
+TEST_F(PlasmaTest, ExitWithValidProof) {
+  ASSERT_TRUE(op.submit(transfer(alice, bob.account_id(), 700, 0)).ok());
+  ASSERT_TRUE(op.submit(transfer(alice, bob.account_id(), 300, 1)).ok());
+  auto block = op.seal_and_commit();
+  ASSERT_TRUE(block.has_value());
+
+  auto proof = op.prove(block->number, 0);
+  ASSERT_TRUE(proof.ok());
+  Status st = contract.exit(bob.account_id(), 700, block->number,
+                            block->txs[0], 0, *proof);
+  EXPECT_TRUE(st.ok()) << st.to_string();
+}
+
+TEST_F(PlasmaTest, ExitWithWrongProofRejected) {
+  ASSERT_TRUE(op.submit(transfer(alice, bob.account_id(), 700, 0)).ok());
+  ASSERT_TRUE(op.submit(transfer(alice, bob.account_id(), 300, 1)).ok());
+  auto block = op.seal_and_commit();
+  auto proof = op.prove(block->number, 1);  // proof for the other tx
+  ASSERT_TRUE(proof.ok());
+  EXPECT_EQ(contract
+                .exit(bob.account_id(), 700, block->number, block->txs[0], 0,
+                      *proof)
+                .error()
+                .code,
+            "bad-proof");
+}
+
+TEST_F(PlasmaTest, ExitByNonBeneficiaryRejected) {
+  ASSERT_TRUE(op.submit(transfer(alice, bob.account_id(), 700, 0)).ok());
+  auto block = op.seal_and_commit();
+  auto proof = op.prove(block->number, 0);
+  EXPECT_EQ(contract
+                .exit(alice.account_id(), 700, block->number, block->txs[0],
+                      0, *proof)
+                .error()
+                .code,
+            "not-beneficiary");
+}
+
+TEST_F(PlasmaTest, FraudProofSlashesOperator) {
+  // "For faulty states, stakeholders need to display proof of fraud and
+  // the Byzantine node gets penalized" (§VI-A).
+  PlasmaTx forged = transfer(alice, bob.account_id(), 999, 0);
+  forged.signature.s ^= 1;  // invalid signature sneaked into a block
+  PlasmaBlock bad = op.seal_with_forgery(forged);
+
+  const std::size_t idx = bad.txs.size() - 1;
+  auto proof = op.prove(bad.number, idx);
+  ASSERT_TRUE(proof.ok());
+  Status st = contract.challenge(bad.number, forged, idx, *proof);
+  EXPECT_TRUE(st.ok()) << st.to_string();
+  EXPECT_TRUE(contract.operator_slashed());
+  EXPECT_EQ(contract.operator_bond(), 0u);
+}
+
+TEST_F(PlasmaTest, ChallengeAgainstValidTxFails) {
+  ASSERT_TRUE(op.submit(transfer(alice, bob.account_id(), 10, 0)).ok());
+  auto block = op.seal_and_commit();
+  auto proof = op.prove(block->number, 0);
+  EXPECT_EQ(
+      contract.challenge(block->number, block->txs[0], 0, *proof).error().code,
+      "no-fraud");
+  EXPECT_FALSE(contract.operator_slashed());
+}
+
+TEST_F(PlasmaTest, ThroughputAmplification) {
+  // 100 child transfers commit as a single 32-byte root: the §VI-A point.
+  for (std::uint64_t i = 0; i < 100; ++i)
+    ASSERT_TRUE(op.submit(transfer(alice, bob.account_id(), 1, i)).ok());
+  auto block = op.seal_and_commit();
+  ASSERT_TRUE(block.has_value());
+  EXPECT_EQ(block->txs.size(), 100u);
+  EXPECT_EQ(contract.commitments(), 1u);
+}
+
+}  // namespace
+}  // namespace dlt::scaling

@@ -1,0 +1,140 @@
+// Sharding (paper §VI-A): placement, intra/cross-shard transfers,
+// receipts, conservation, capacity scaling.
+#include <gtest/gtest.h>
+
+#include "crypto/keys.hpp"
+#include "scaling/sharding.hpp"
+
+namespace dlt::scaling {
+namespace {
+
+crypto::AccountId acct(std::uint64_t i) {
+  return crypto::KeyPair::from_seed(0x5000 + i).account_id();
+}
+
+/// Finds an account on the requested shard.
+crypto::AccountId acct_on_shard(const ShardedLedger& ledger,
+                                std::size_t shard, std::uint64_t salt = 0) {
+  for (std::uint64_t i = salt;; ++i) {
+    const crypto::AccountId a = acct(i);
+    if (ledger.shard_of(a) == shard) return a;
+  }
+}
+
+TEST(Sharding, PlacementDeterministic) {
+  ShardedLedger ledger(ShardParams{4, 100, 15.0});
+  const crypto::AccountId a = acct(1);
+  EXPECT_EQ(ledger.shard_of(a), ledger.shard_of(a));
+  EXPECT_LT(ledger.shard_of(a), 4u);
+}
+
+TEST(Sharding, IntraShardTransfer) {
+  ShardedLedger ledger(ShardParams{4, 100, 15.0});
+  const auto a = acct_on_shard(ledger, 0);
+  const auto b = acct_on_shard(ledger, 0, 1000);
+  ledger.credit(a, 500);
+
+  auto cross = ledger.transfer(a, b, 200);
+  ASSERT_TRUE(cross.ok());
+  EXPECT_FALSE(*cross);  // same shard
+  EXPECT_EQ(ledger.balance_of(b), 0u);  // not yet sealed
+  ledger.seal_round();
+  EXPECT_EQ(ledger.balance_of(a), 300u);
+  EXPECT_EQ(ledger.balance_of(b), 200u);
+}
+
+TEST(Sharding, CrossShardTakesTwoRounds) {
+  ShardedLedger ledger(ShardParams{4, 100, 15.0});
+  const auto a = acct_on_shard(ledger, 0);
+  const auto b = acct_on_shard(ledger, 1);
+  ledger.credit(a, 500);
+
+  auto cross = ledger.transfer(a, b, 200);
+  ASSERT_TRUE(cross.ok());
+  EXPECT_TRUE(*cross);
+
+  ledger.seal_round();  // debit + receipt emission on shard 0
+  EXPECT_EQ(ledger.balance_of(a), 300u);
+  EXPECT_EQ(ledger.balance_of(b), 0u);  // receipt not yet redeemed
+  EXPECT_EQ(ledger.total_supply(), 500u);  // value in flight still counted
+
+  ledger.seal_round();  // redemption on shard 1
+  EXPECT_EQ(ledger.balance_of(b), 200u);
+  EXPECT_EQ(ledger.aggregate_stats().receipts_emitted, 1u);
+  EXPECT_EQ(ledger.aggregate_stats().receipts_redeemed, 1u);
+}
+
+TEST(Sharding, InsufficientBalanceRefused) {
+  ShardedLedger ledger(ShardParams{2, 100, 15.0});
+  const auto a = acct_on_shard(ledger, 0);
+  const auto b = acct_on_shard(ledger, 1);
+  ledger.credit(a, 10);
+  EXPECT_FALSE(ledger.transfer(a, b, 11).ok());
+}
+
+TEST(Sharding, ConservationUnderRandomTraffic) {
+  Rng rng(9);
+  ShardedLedger ledger(ShardParams{8, 50, 15.0});
+  std::vector<crypto::AccountId> accounts;
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    accounts.push_back(acct(i));
+    ledger.credit(accounts.back(), 1000);
+  }
+  const std::uint64_t supply = ledger.total_supply();
+
+  for (int round = 0; round < 30; ++round) {
+    for (int t = 0; t < 60; ++t) {
+      const auto& from = accounts[rng.uniform(accounts.size())];
+      const auto& to = accounts[rng.uniform(accounts.size())];
+      if (from == to) continue;
+      (void)ledger.transfer(from, to, 1 + rng.uniform(5));
+    }
+    ledger.seal_round();
+    EXPECT_EQ(ledger.total_supply(), supply) << "round " << round;
+  }
+  // Drain queues.
+  for (int i = 0; i < 10; ++i) ledger.seal_round();
+  EXPECT_EQ(ledger.pending_ops(), 0u);
+  EXPECT_EQ(ledger.total_supply(), supply);
+  EXPECT_EQ(ledger.aggregate_stats().receipts_emitted,
+            ledger.aggregate_stats().receipts_redeemed);
+}
+
+TEST(Sharding, CapacityScalesWithShardCount) {
+  // "No longer forcing all nodes in the network to process all incoming
+  // transactions": total per-round capacity is K * block_tx_capacity.
+  for (std::size_t k : {1u, 2u, 4u, 8u}) {
+    ShardedLedger ledger(ShardParams{k, 10, 15.0});
+    // Saturate: every shard gets plenty of intra-shard work.
+    std::vector<crypto::AccountId> accounts;
+    for (std::uint64_t i = 0; i < 20 * k; ++i) {
+      accounts.push_back(acct(i));
+      ledger.credit(accounts.back(), 1'000'000);
+    }
+    Rng rng(k);
+    for (int t = 0; t < 2000; ++t) {
+      const auto& from = accounts[rng.uniform(accounts.size())];
+      const auto& to = accounts[rng.uniform(accounts.size())];
+      if (from == to) continue;
+      (void)ledger.transfer(from, to, 1);
+    }
+    ledger.seal_round();
+    const std::uint64_t processed = ledger.aggregate_stats().ops_processed;
+    EXPECT_LE(processed, 10u * k);
+    EXPECT_GE(processed, 10u * k - k);  // essentially saturated
+  }
+}
+
+TEST(Sharding, QueuePeakTracked) {
+  ShardedLedger ledger(ShardParams{1, 5, 15.0});
+  const auto a = acct_on_shard(ledger, 0);
+  const auto b = acct_on_shard(ledger, 0, 777);
+  ledger.credit(a, 1'000'000);
+  for (int i = 0; i < 20; ++i) (void)ledger.transfer(a, b, 1);
+  ledger.seal_round();
+  EXPECT_GE(ledger.stats(0).queue_peak, 20u);
+  EXPECT_EQ(ledger.pending_ops(), 15u);  // 5 processed
+}
+
+}  // namespace
+}  // namespace dlt::scaling

@@ -1,0 +1,119 @@
+// Discrete-event engine: ordering, cancellation, horizons, determinism.
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hpp"
+
+namespace dlt::sim {
+namespace {
+
+TEST(Simulation, FiresInTimeOrder) {
+  Simulation s;
+  std::vector<int> order;
+  s.schedule_at(3.0, [&] { order.push_back(3); });
+  s.schedule_at(1.0, [&] { order.push_back(1); });
+  s.schedule_at(2.0, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(s.now(), 3.0);
+}
+
+TEST(Simulation, EqualTimesFifo) {
+  Simulation s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    s.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulation, ScheduleInIsRelative) {
+  Simulation s;
+  double fired_at = -1.0;
+  s.schedule_at(10.0, [&] {
+    s.schedule_in(5.0, [&] { fired_at = s.now(); });
+  });
+  s.run();
+  EXPECT_DOUBLE_EQ(fired_at, 15.0);
+}
+
+TEST(Simulation, CancelPreventsFiring) {
+  Simulation s;
+  bool fired = false;
+  EventId id = s.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_FALSE(s.cancel(id));  // double cancel fails
+  s.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulation, CancelAfterFireFails) {
+  Simulation s;
+  EventId id = s.schedule_at(1.0, [] {});
+  s.run();
+  EXPECT_FALSE(s.cancel(id));
+}
+
+TEST(Simulation, RunUntilLeavesFutureEvents) {
+  Simulation s;
+  int fired = 0;
+  s.schedule_at(1.0, [&] { ++fired; });
+  s.schedule_at(2.0, [&] { ++fired; });
+  s.schedule_at(10.0, [&] { ++fired; });
+  const auto n = s.run_until(5.0);
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(s.now(), 5.0);  // clock advances to the horizon
+  EXPECT_EQ(s.pending(), 1u);
+  s.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulation, EventsCanScheduleEvents) {
+  Simulation s;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) s.schedule_in(1.0, chain);
+  };
+  s.schedule_in(1.0, chain);
+  s.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_DOUBLE_EQ(s.now(), 100.0);
+}
+
+TEST(Simulation, RequestStopBreaksRun) {
+  Simulation s;
+  int fired = 0;
+  for (int i = 1; i <= 10; ++i)
+    s.schedule_at(i, [&] {
+      if (++fired == 3) s.request_stop();
+    });
+  s.run();
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(s.pending(), 7u);
+}
+
+TEST(Simulation, StepReturnsFalseWhenEmpty) {
+  Simulation s;
+  EXPECT_FALSE(s.step());
+  s.schedule_at(1.0, [] {});
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Simulation, EventsFiredCounter) {
+  Simulation s;
+  for (int i = 0; i < 5; ++i) s.schedule_at(i, [] {});
+  s.run();
+  EXPECT_EQ(s.events_fired(), 5u);
+}
+
+TEST(Simulation, CancelledEventsNotCountedPending) {
+  Simulation s;
+  EventId a = s.schedule_at(1.0, [] {});
+  s.schedule_at(2.0, [] {});
+  s.cancel(a);
+  EXPECT_EQ(s.pending(), 1u);
+}
+
+}  // namespace
+}  // namespace dlt::sim

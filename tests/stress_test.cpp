@@ -1,0 +1,191 @@
+// Stress and robustness: deep reorgs, decoder fuzzing, long-running
+// lattice churn. Complements the targeted unit suites.
+#include <gtest/gtest.h>
+
+#include "chain_test_util.hpp"
+#include "lattice_test_util.hpp"
+#include "support/serialize.hpp"
+
+namespace dlt {
+namespace {
+
+using chain::testutil::cheap_pow_utxo;
+using chain::testutil::fund_all;
+using chain::testutil::make_keys;
+using chain::testutil::seal_empty_utxo;
+
+TEST(DeepReorg, FiftyBlockSwitchKeepsStateExact) {
+  auto keys = make_keys(2);
+  chain::Blockchain chain(cheap_pow_utxo(), fund_all(keys, 1000));
+  chain::Blockchain rival(cheap_pow_utxo(), fund_all(keys, 1000));
+
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(chain
+                    .submit(seal_empty_utxo(chain, keys[0].account_id(),
+                                            chain.tip_hash()))
+                    .ok());
+  }
+  for (int i = 0; i < 52; ++i) {
+    ASSERT_TRUE(rival
+                    .submit(seal_empty_utxo(rival, keys[1].account_id(),
+                                            rival.tip_hash()))
+                    .ok());
+  }
+  const chain::Amount before_total = chain.utxo_set().total_value();
+  (void)before_total;
+
+  // Feed the whole rival chain; a 50-deep reorg must execute cleanly.
+  for (std::uint32_t h = 1; h <= rival.height(); ++h)
+    ASSERT_TRUE(chain.submit(*rival.at_height(h)).ok()) << h;
+
+  EXPECT_EQ(chain.tip_hash(), rival.tip_hash());
+  EXPECT_EQ(chain.height(), 52u);
+  EXPECT_EQ(chain.fork_stats().max_reorg_depth, 50u);
+  // State identical to a node that never saw the losing branch.
+  EXPECT_EQ(chain.utxo_set().total_value(),
+            rival.utxo_set().total_value());
+  EXPECT_EQ(chain.utxo_set().size(), rival.utxo_set().size());
+  // keys[0]'s 50 orphaned coinbases are gone; keys[1] owns 52.
+  EXPECT_EQ(chain.utxo_set().find_owned(keys[1].account_id()).size(), 53u);
+}
+
+TEST(DeepReorg, FlipFlopBranchesStayConsistent) {
+  // Two branches alternately taking the lead: every switch must leave the
+  // UTXO set exactly consistent with the active chain.
+  auto keys = make_keys(2);
+  chain::Blockchain chain(cheap_pow_utxo(), fund_all(keys, 1000));
+  chain::Blockchain a(cheap_pow_utxo(), fund_all(keys, 1000));
+  chain::Blockchain b(cheap_pow_utxo(), fund_all(keys, 1000));
+
+  for (int round = 0; round < 6; ++round) {
+    chain::Blockchain& leader = (round % 2 == 0) ? a : b;
+    const auto& miner = keys[round % 2];
+    // Extend the leader until it is strictly ahead of both.
+    const std::uint32_t target =
+        std::max(a.height(), b.height()) + 1;
+    while (leader.height() < target) {
+      ASSERT_TRUE(leader
+                      .submit(seal_empty_utxo(leader, miner.account_id(),
+                                              leader.tip_hash()))
+                      .ok());
+    }
+    for (std::uint32_t h = 1; h <= leader.height(); ++h)
+      (void)chain.submit(*leader.at_height(h));
+    EXPECT_EQ(chain.tip_hash(), leader.tip_hash()) << round;
+    EXPECT_EQ(
+        chain.utxo_set().total_value(),
+        1000 * 2 + static_cast<chain::Amount>(chain.height()) *
+                       chain.params().block_reward)
+        << round;
+  }
+  EXPECT_GE(chain.fork_stats().reorgs, 5u);
+}
+
+TEST(DecoderFuzz, RandomBytesNeverCrashTheReader) {
+  Rng rng(99);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Bytes junk(rng.uniform(64), 0);
+    for (auto& b : junk) b = static_cast<Byte>(rng.next());
+    Reader r(ByteView{junk.data(), junk.size()});
+    // Exercise every decoder; all failures must come back as Results.
+    (void)r.u8();
+    (void)r.u16();
+    (void)r.u32();
+    (void)r.varint();
+    (void)r.blob();
+    (void)r.str();
+    (void)r.fixed<32>();
+    (void)r.u64();
+  }
+  SUCCEED();
+}
+
+TEST(DecoderFuzz, VarintRoundTripsAllBoundaries) {
+  for (int shift = 0; shift < 64; ++shift) {
+    for (std::int64_t delta : {-1, 0, 1}) {
+      const std::uint64_t v = (1ULL << shift) + static_cast<std::uint64_t>(delta);
+      Writer w;
+      w.varint(v);
+      Reader r(ByteView{w.bytes().data(), w.size()});
+      auto back = r.varint();
+      ASSERT_TRUE(back.ok());
+      EXPECT_EQ(*back, v);
+    }
+  }
+}
+
+TEST(LatticeChurn, ThousandBlockSessionStaysConsistent) {
+  using namespace lattice;
+  using testutil::Builder;
+  using testutil::cheap_params;
+
+  auto genesis = crypto::KeyPair::from_seed(1);
+  Rng rng(3);
+  Ledger ledger(cheap_params(), genesis.account_id(), genesis.account_id(),
+                1'000'000'000);
+  Builder b{ledger, rng, cheap_params().work_bits};
+
+  std::vector<crypto::KeyPair> keys;
+  for (int i = 0; i < 20; ++i)
+    keys.push_back(crypto::KeyPair::from_seed(0x600 + i));
+  // Open everyone.
+  for (const auto& k : keys) {
+    LatticeBlock send = b.send(genesis, k.account_id(), 1'000'000);
+    ASSERT_TRUE(ledger.process(send).ok());
+    ASSERT_TRUE(
+        ledger.process(b.open(k, send.hash(), 1'000'000, k.account_id()))
+            .ok());
+  }
+
+  // Random churn: sends, receives, representative changes, occasional
+  // rollbacks of the latest uncemented block.
+  std::uint64_t ops = 0;
+  while (ops < 1000) {
+    const auto& from = keys[rng.uniform(keys.size())];
+    const auto& to = keys[rng.uniform(keys.size())];
+    if (from.account_id() == to.account_id()) continue;
+    const double dice = rng.uniform01();
+    if (dice < 0.55) {
+      if (!ledger.account(from.account_id()) ||
+          ledger.balance_of(from.account_id()) < 10)
+        continue;
+      LatticeBlock send = b.send(from, to.account_id(), 1 + rng.uniform(9));
+      ASSERT_TRUE(ledger.process(send).ok());
+      ++ops;
+    } else if (dice < 0.9) {
+      auto pendings = ledger.pending_for(to.account_id());
+      if (pendings.empty()) continue;
+      // The account may have been erased by a rollback of its open
+      // block; claiming then requires a fresh open, not a receive.
+      LatticeBlock claim =
+          ledger.account(to.account_id())
+              ? b.receive(to, pendings[0].first, pendings[0].second.amount)
+              : b.open(to, pendings[0].first, pendings[0].second.amount,
+                       to.account_id());
+      ASSERT_TRUE(ledger.process(claim).ok());
+      ++ops;
+    } else if (dice < 0.97) {
+      if (!ledger.account(from.account_id())) continue;
+      LatticeBlock change = b.change(from, to.account_id());
+      ASSERT_TRUE(ledger.process(change).ok());
+      ++ops;
+    } else {
+      const auto head = ledger.head_of(from.account_id());
+      if (!head || ledger.is_cemented(*head)) continue;
+      (void)ledger.rollback(*head);
+      ++ops;
+    }
+    ASSERT_TRUE(ledger.conserves_value()) << "after op " << ops;
+  }
+  EXPECT_GT(ledger.block_count(), 500u);
+  EXPECT_TRUE(ledger.conserves_value());
+  // Weight table sums to the settled supply.
+  lattice::Amount weight_sum = 0;
+  for (const auto& k : keys)
+    weight_sum += ledger.weight_of(k.account_id());
+  weight_sum += ledger.weight_of(genesis.account_id());
+  EXPECT_EQ(weight_sum, ledger.total_weight());
+}
+
+}  // namespace
+}  // namespace dlt
