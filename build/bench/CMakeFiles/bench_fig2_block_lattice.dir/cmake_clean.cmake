@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_block_lattice.dir/bench_fig2_block_lattice.cpp.o"
+  "CMakeFiles/bench_fig2_block_lattice.dir/bench_fig2_block_lattice.cpp.o.d"
+  "bench_fig2_block_lattice"
+  "bench_fig2_block_lattice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_block_lattice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_send_receive.dir/bench_fig3_send_receive.cpp.o"
+  "CMakeFiles/bench_fig3_send_receive.dir/bench_fig3_send_receive.cpp.o.d"
+  "bench_fig3_send_receive"
+  "bench_fig3_send_receive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_send_receive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_forks.dir/bench_fig4_forks.cpp.o"
+  "CMakeFiles/bench_fig4_forks.dir/bench_fig4_forks.cpp.o.d"
+  "bench_fig4_forks"
+  "bench_fig4_forks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_forks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

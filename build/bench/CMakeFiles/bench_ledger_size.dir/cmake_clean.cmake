@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ledger_size.dir/bench_ledger_size.cpp.o"
+  "CMakeFiles/bench_ledger_size.dir/bench_ledger_size.cpp.o.d"
+  "bench_ledger_size"
+  "bench_ledger_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ledger_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

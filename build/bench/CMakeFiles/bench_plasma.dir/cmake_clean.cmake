@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_plasma.dir/bench_plasma.cpp.o"
+  "CMakeFiles/bench_plasma.dir/bench_plasma.cpp.o.d"
+  "bench_plasma"
+  "bench_plasma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_plasma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tangle.dir/bench_tangle.cpp.o"
+  "CMakeFiles/bench_tangle.dir/bench_tangle.cpp.o.d"
+  "bench_tangle"
+  "bench_tangle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tangle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

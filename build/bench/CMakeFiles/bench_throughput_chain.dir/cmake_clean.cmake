@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_throughput_chain.dir/bench_throughput_chain.cpp.o"
+  "CMakeFiles/bench_throughput_chain.dir/bench_throughput_chain.cpp.o.d"
+  "bench_throughput_chain"
+  "bench_throughput_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_throughput_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

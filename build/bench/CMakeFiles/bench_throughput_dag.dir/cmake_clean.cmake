@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_throughput_dag.dir/bench_throughput_dag.cpp.o"
+  "CMakeFiles/bench_throughput_dag.dir/bench_throughput_dag.cpp.o.d"
+  "bench_throughput_dag"
+  "bench_throughput_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_throughput_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

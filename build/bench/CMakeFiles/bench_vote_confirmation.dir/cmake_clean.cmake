@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vote_confirmation.dir/bench_vote_confirmation.cpp.o"
+  "CMakeFiles/bench_vote_confirmation.dir/bench_vote_confirmation.cpp.o.d"
+  "bench_vote_confirmation"
+  "bench_vote_confirmation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vote_confirmation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/channel_payments.dir/channel_payments.cpp.o"
+  "CMakeFiles/channel_payments.dir/channel_payments.cpp.o.d"
+  "channel_payments"
+  "channel_payments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/channel_payments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

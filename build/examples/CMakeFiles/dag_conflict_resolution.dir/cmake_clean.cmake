@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dag_conflict_resolution.dir/dag_conflict_resolution.cpp.o"
+  "CMakeFiles/dag_conflict_resolution.dir/dag_conflict_resolution.cpp.o.d"
+  "dag_conflict_resolution"
+  "dag_conflict_resolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dag_conflict_resolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fork_anatomy.dir/fork_anatomy.cpp.o"
+  "CMakeFiles/fork_anatomy.dir/fork_anatomy.cpp.o.d"
+  "fork_anatomy"
+  "fork_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fork_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

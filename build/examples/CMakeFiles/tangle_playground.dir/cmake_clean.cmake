@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tangle_playground.dir/tangle_playground.cpp.o"
+  "CMakeFiles/tangle_playground.dir/tangle_playground.cpp.o.d"
+  "tangle_playground"
+  "tangle_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tangle_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

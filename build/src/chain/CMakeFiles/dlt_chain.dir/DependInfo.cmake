@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chain/account_tx.cpp" "src/chain/CMakeFiles/dlt_chain.dir/account_tx.cpp.o" "gcc" "src/chain/CMakeFiles/dlt_chain.dir/account_tx.cpp.o.d"
+  "/root/repo/src/chain/block.cpp" "src/chain/CMakeFiles/dlt_chain.dir/block.cpp.o" "gcc" "src/chain/CMakeFiles/dlt_chain.dir/block.cpp.o.d"
+  "/root/repo/src/chain/blockchain.cpp" "src/chain/CMakeFiles/dlt_chain.dir/blockchain.cpp.o" "gcc" "src/chain/CMakeFiles/dlt_chain.dir/blockchain.cpp.o.d"
+  "/root/repo/src/chain/difficulty.cpp" "src/chain/CMakeFiles/dlt_chain.dir/difficulty.cpp.o" "gcc" "src/chain/CMakeFiles/dlt_chain.dir/difficulty.cpp.o.d"
+  "/root/repo/src/chain/fast_sync.cpp" "src/chain/CMakeFiles/dlt_chain.dir/fast_sync.cpp.o" "gcc" "src/chain/CMakeFiles/dlt_chain.dir/fast_sync.cpp.o.d"
+  "/root/repo/src/chain/light_client.cpp" "src/chain/CMakeFiles/dlt_chain.dir/light_client.cpp.o" "gcc" "src/chain/CMakeFiles/dlt_chain.dir/light_client.cpp.o.d"
+  "/root/repo/src/chain/mempool.cpp" "src/chain/CMakeFiles/dlt_chain.dir/mempool.cpp.o" "gcc" "src/chain/CMakeFiles/dlt_chain.dir/mempool.cpp.o.d"
+  "/root/repo/src/chain/node.cpp" "src/chain/CMakeFiles/dlt_chain.dir/node.cpp.o" "gcc" "src/chain/CMakeFiles/dlt_chain.dir/node.cpp.o.d"
+  "/root/repo/src/chain/params.cpp" "src/chain/CMakeFiles/dlt_chain.dir/params.cpp.o" "gcc" "src/chain/CMakeFiles/dlt_chain.dir/params.cpp.o.d"
+  "/root/repo/src/chain/pos.cpp" "src/chain/CMakeFiles/dlt_chain.dir/pos.cpp.o" "gcc" "src/chain/CMakeFiles/dlt_chain.dir/pos.cpp.o.d"
+  "/root/repo/src/chain/state.cpp" "src/chain/CMakeFiles/dlt_chain.dir/state.cpp.o" "gcc" "src/chain/CMakeFiles/dlt_chain.dir/state.cpp.o.d"
+  "/root/repo/src/chain/transaction.cpp" "src/chain/CMakeFiles/dlt_chain.dir/transaction.cpp.o" "gcc" "src/chain/CMakeFiles/dlt_chain.dir/transaction.cpp.o.d"
+  "/root/repo/src/chain/utxo.cpp" "src/chain/CMakeFiles/dlt_chain.dir/utxo.cpp.o" "gcc" "src/chain/CMakeFiles/dlt_chain.dir/utxo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/dlt_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/dlt_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dlt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dlt_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

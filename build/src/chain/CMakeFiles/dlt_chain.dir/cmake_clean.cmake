@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlt_chain.dir/account_tx.cpp.o"
+  "CMakeFiles/dlt_chain.dir/account_tx.cpp.o.d"
+  "CMakeFiles/dlt_chain.dir/block.cpp.o"
+  "CMakeFiles/dlt_chain.dir/block.cpp.o.d"
+  "CMakeFiles/dlt_chain.dir/blockchain.cpp.o"
+  "CMakeFiles/dlt_chain.dir/blockchain.cpp.o.d"
+  "CMakeFiles/dlt_chain.dir/difficulty.cpp.o"
+  "CMakeFiles/dlt_chain.dir/difficulty.cpp.o.d"
+  "CMakeFiles/dlt_chain.dir/fast_sync.cpp.o"
+  "CMakeFiles/dlt_chain.dir/fast_sync.cpp.o.d"
+  "CMakeFiles/dlt_chain.dir/light_client.cpp.o"
+  "CMakeFiles/dlt_chain.dir/light_client.cpp.o.d"
+  "CMakeFiles/dlt_chain.dir/mempool.cpp.o"
+  "CMakeFiles/dlt_chain.dir/mempool.cpp.o.d"
+  "CMakeFiles/dlt_chain.dir/node.cpp.o"
+  "CMakeFiles/dlt_chain.dir/node.cpp.o.d"
+  "CMakeFiles/dlt_chain.dir/params.cpp.o"
+  "CMakeFiles/dlt_chain.dir/params.cpp.o.d"
+  "CMakeFiles/dlt_chain.dir/pos.cpp.o"
+  "CMakeFiles/dlt_chain.dir/pos.cpp.o.d"
+  "CMakeFiles/dlt_chain.dir/state.cpp.o"
+  "CMakeFiles/dlt_chain.dir/state.cpp.o.d"
+  "CMakeFiles/dlt_chain.dir/transaction.cpp.o"
+  "CMakeFiles/dlt_chain.dir/transaction.cpp.o.d"
+  "CMakeFiles/dlt_chain.dir/utxo.cpp.o"
+  "CMakeFiles/dlt_chain.dir/utxo.cpp.o.d"
+  "libdlt_chain.a"
+  "libdlt_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlt_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

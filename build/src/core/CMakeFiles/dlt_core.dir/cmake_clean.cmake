@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlt_core.dir/chain_cluster.cpp.o"
+  "CMakeFiles/dlt_core.dir/chain_cluster.cpp.o.d"
+  "CMakeFiles/dlt_core.dir/confidence.cpp.o"
+  "CMakeFiles/dlt_core.dir/confidence.cpp.o.d"
+  "CMakeFiles/dlt_core.dir/lattice_cluster.cpp.o"
+  "CMakeFiles/dlt_core.dir/lattice_cluster.cpp.o.d"
+  "CMakeFiles/dlt_core.dir/workload.cpp.o"
+  "CMakeFiles/dlt_core.dir/workload.cpp.o.d"
+  "libdlt_core.a"
+  "libdlt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

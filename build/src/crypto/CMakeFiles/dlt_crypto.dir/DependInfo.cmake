@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/hash.cpp" "src/crypto/CMakeFiles/dlt_crypto.dir/hash.cpp.o" "gcc" "src/crypto/CMakeFiles/dlt_crypto.dir/hash.cpp.o.d"
+  "/root/repo/src/crypto/hashcash.cpp" "src/crypto/CMakeFiles/dlt_crypto.dir/hashcash.cpp.o" "gcc" "src/crypto/CMakeFiles/dlt_crypto.dir/hashcash.cpp.o.d"
+  "/root/repo/src/crypto/keys.cpp" "src/crypto/CMakeFiles/dlt_crypto.dir/keys.cpp.o" "gcc" "src/crypto/CMakeFiles/dlt_crypto.dir/keys.cpp.o.d"
+  "/root/repo/src/crypto/merkle.cpp" "src/crypto/CMakeFiles/dlt_crypto.dir/merkle.cpp.o" "gcc" "src/crypto/CMakeFiles/dlt_crypto.dir/merkle.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/dlt_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/dlt_crypto.dir/sha256.cpp.o.d"
+  "/root/repo/src/crypto/trie.cpp" "src/crypto/CMakeFiles/dlt_crypto.dir/trie.cpp.o" "gcc" "src/crypto/CMakeFiles/dlt_crypto.dir/trie.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/dlt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

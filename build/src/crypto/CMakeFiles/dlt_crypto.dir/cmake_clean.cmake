@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlt_crypto.dir/hash.cpp.o"
+  "CMakeFiles/dlt_crypto.dir/hash.cpp.o.d"
+  "CMakeFiles/dlt_crypto.dir/hashcash.cpp.o"
+  "CMakeFiles/dlt_crypto.dir/hashcash.cpp.o.d"
+  "CMakeFiles/dlt_crypto.dir/keys.cpp.o"
+  "CMakeFiles/dlt_crypto.dir/keys.cpp.o.d"
+  "CMakeFiles/dlt_crypto.dir/merkle.cpp.o"
+  "CMakeFiles/dlt_crypto.dir/merkle.cpp.o.d"
+  "CMakeFiles/dlt_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/dlt_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/dlt_crypto.dir/trie.cpp.o"
+  "CMakeFiles/dlt_crypto.dir/trie.cpp.o.d"
+  "libdlt_crypto.a"
+  "libdlt_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlt_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

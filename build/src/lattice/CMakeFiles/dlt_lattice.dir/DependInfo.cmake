@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lattice/block.cpp" "src/lattice/CMakeFiles/dlt_lattice.dir/block.cpp.o" "gcc" "src/lattice/CMakeFiles/dlt_lattice.dir/block.cpp.o.d"
+  "/root/repo/src/lattice/ledger.cpp" "src/lattice/CMakeFiles/dlt_lattice.dir/ledger.cpp.o" "gcc" "src/lattice/CMakeFiles/dlt_lattice.dir/ledger.cpp.o.d"
+  "/root/repo/src/lattice/node.cpp" "src/lattice/CMakeFiles/dlt_lattice.dir/node.cpp.o" "gcc" "src/lattice/CMakeFiles/dlt_lattice.dir/node.cpp.o.d"
+  "/root/repo/src/lattice/voting.cpp" "src/lattice/CMakeFiles/dlt_lattice.dir/voting.cpp.o" "gcc" "src/lattice/CMakeFiles/dlt_lattice.dir/voting.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/dlt_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/dlt_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dlt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dlt_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

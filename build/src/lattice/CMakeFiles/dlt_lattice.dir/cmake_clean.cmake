@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlt_lattice.dir/block.cpp.o"
+  "CMakeFiles/dlt_lattice.dir/block.cpp.o.d"
+  "CMakeFiles/dlt_lattice.dir/ledger.cpp.o"
+  "CMakeFiles/dlt_lattice.dir/ledger.cpp.o.d"
+  "CMakeFiles/dlt_lattice.dir/node.cpp.o"
+  "CMakeFiles/dlt_lattice.dir/node.cpp.o.d"
+  "CMakeFiles/dlt_lattice.dir/voting.cpp.o"
+  "CMakeFiles/dlt_lattice.dir/voting.cpp.o.d"
+  "libdlt_lattice.a"
+  "libdlt_lattice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlt_lattice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlt_net.dir/network.cpp.o"
+  "CMakeFiles/dlt_net.dir/network.cpp.o.d"
+  "libdlt_net.a"
+  "libdlt_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlt_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

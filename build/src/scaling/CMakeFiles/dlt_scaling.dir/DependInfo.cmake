@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scaling/channel.cpp" "src/scaling/CMakeFiles/dlt_scaling.dir/channel.cpp.o" "gcc" "src/scaling/CMakeFiles/dlt_scaling.dir/channel.cpp.o.d"
+  "/root/repo/src/scaling/plasma.cpp" "src/scaling/CMakeFiles/dlt_scaling.dir/plasma.cpp.o" "gcc" "src/scaling/CMakeFiles/dlt_scaling.dir/plasma.cpp.o.d"
+  "/root/repo/src/scaling/sharding.cpp" "src/scaling/CMakeFiles/dlt_scaling.dir/sharding.cpp.o" "gcc" "src/scaling/CMakeFiles/dlt_scaling.dir/sharding.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/dlt_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/dlt_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/dlt_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dlt_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dlt_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

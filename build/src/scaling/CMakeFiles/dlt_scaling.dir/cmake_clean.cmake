@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlt_scaling.dir/channel.cpp.o"
+  "CMakeFiles/dlt_scaling.dir/channel.cpp.o.d"
+  "CMakeFiles/dlt_scaling.dir/plasma.cpp.o"
+  "CMakeFiles/dlt_scaling.dir/plasma.cpp.o.d"
+  "CMakeFiles/dlt_scaling.dir/sharding.cpp.o"
+  "CMakeFiles/dlt_scaling.dir/sharding.cpp.o.d"
+  "libdlt_scaling.a"
+  "libdlt_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlt_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlt_support.dir/hex.cpp.o"
+  "CMakeFiles/dlt_support.dir/hex.cpp.o.d"
+  "CMakeFiles/dlt_support.dir/log.cpp.o"
+  "CMakeFiles/dlt_support.dir/log.cpp.o.d"
+  "CMakeFiles/dlt_support.dir/rng.cpp.o"
+  "CMakeFiles/dlt_support.dir/rng.cpp.o.d"
+  "CMakeFiles/dlt_support.dir/serialize.cpp.o"
+  "CMakeFiles/dlt_support.dir/serialize.cpp.o.d"
+  "CMakeFiles/dlt_support.dir/stats.cpp.o"
+  "CMakeFiles/dlt_support.dir/stats.cpp.o.d"
+  "libdlt_support.a"
+  "libdlt_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlt_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

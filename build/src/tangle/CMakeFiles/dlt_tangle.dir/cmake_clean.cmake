@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlt_tangle.dir/tangle.cpp.o"
+  "CMakeFiles/dlt_tangle.dir/tangle.cpp.o.d"
+  "libdlt_tangle.a"
+  "libdlt_tangle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlt_tangle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chain_blockchain_test.dir/chain_blockchain_test.cpp.o"
+  "CMakeFiles/chain_blockchain_test.dir/chain_blockchain_test.cpp.o.d"
+  "chain_blockchain_test"
+  "chain_blockchain_test.pdb"
+  "chain_blockchain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chain_blockchain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

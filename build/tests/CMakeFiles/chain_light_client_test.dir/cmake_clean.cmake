@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chain_light_client_test.dir/chain_light_client_test.cpp.o"
+  "CMakeFiles/chain_light_client_test.dir/chain_light_client_test.cpp.o.d"
+  "chain_light_client_test"
+  "chain_light_client_test.pdb"
+  "chain_light_client_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chain_light_client_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chain_pos_test.dir/chain_pos_test.cpp.o"
+  "CMakeFiles/chain_pos_test.dir/chain_pos_test.cpp.o.d"
+  "chain_pos_test"
+  "chain_pos_test.pdb"
+  "chain_pos_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chain_pos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chain_pruning_sync_test.dir/chain_pruning_sync_test.cpp.o"
+  "CMakeFiles/chain_pruning_sync_test.dir/chain_pruning_sync_test.cpp.o.d"
+  "chain_pruning_sync_test"
+  "chain_pruning_sync_test.pdb"
+  "chain_pruning_sync_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chain_pruning_sync_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

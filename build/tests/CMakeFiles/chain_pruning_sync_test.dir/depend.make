@@ -1,0 +1,2 @@
+# Empty dependencies file for chain_pruning_sync_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chain_state_test.dir/chain_state_test.cpp.o"
+  "CMakeFiles/chain_state_test.dir/chain_state_test.cpp.o.d"
+  "chain_state_test"
+  "chain_state_test.pdb"
+  "chain_state_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chain_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chain_tx_test.dir/chain_tx_test.cpp.o"
+  "CMakeFiles/chain_tx_test.dir/chain_tx_test.cpp.o.d"
+  "chain_tx_test"
+  "chain_tx_test.pdb"
+  "chain_tx_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chain_tx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

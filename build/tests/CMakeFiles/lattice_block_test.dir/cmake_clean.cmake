@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lattice_block_test.dir/lattice_block_test.cpp.o"
+  "CMakeFiles/lattice_block_test.dir/lattice_block_test.cpp.o.d"
+  "lattice_block_test"
+  "lattice_block_test.pdb"
+  "lattice_block_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lattice_block_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lattice_ledger_test.dir/lattice_ledger_test.cpp.o"
+  "CMakeFiles/lattice_ledger_test.dir/lattice_ledger_test.cpp.o.d"
+  "lattice_ledger_test"
+  "lattice_ledger_test.pdb"
+  "lattice_ledger_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lattice_ledger_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

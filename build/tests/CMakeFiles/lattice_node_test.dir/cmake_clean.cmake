@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lattice_node_test.dir/lattice_node_test.cpp.o"
+  "CMakeFiles/lattice_node_test.dir/lattice_node_test.cpp.o.d"
+  "lattice_node_test"
+  "lattice_node_test.pdb"
+  "lattice_node_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lattice_node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

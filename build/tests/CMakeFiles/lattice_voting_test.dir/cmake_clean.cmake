@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lattice_voting_test.dir/lattice_voting_test.cpp.o"
+  "CMakeFiles/lattice_voting_test.dir/lattice_voting_test.cpp.o.d"
+  "lattice_voting_test"
+  "lattice_voting_test.pdb"
+  "lattice_voting_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lattice_voting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

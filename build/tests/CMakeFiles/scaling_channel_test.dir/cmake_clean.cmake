@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_channel_test.dir/scaling_channel_test.cpp.o"
+  "CMakeFiles/scaling_channel_test.dir/scaling_channel_test.cpp.o.d"
+  "scaling_channel_test"
+  "scaling_channel_test.pdb"
+  "scaling_channel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_channel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

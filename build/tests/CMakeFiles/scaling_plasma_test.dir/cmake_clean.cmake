@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_plasma_test.dir/scaling_plasma_test.cpp.o"
+  "CMakeFiles/scaling_plasma_test.dir/scaling_plasma_test.cpp.o.d"
+  "scaling_plasma_test"
+  "scaling_plasma_test.pdb"
+  "scaling_plasma_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_plasma_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

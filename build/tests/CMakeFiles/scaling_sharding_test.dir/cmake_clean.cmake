@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_sharding_test.dir/scaling_sharding_test.cpp.o"
+  "CMakeFiles/scaling_sharding_test.dir/scaling_sharding_test.cpp.o.d"
+  "scaling_sharding_test"
+  "scaling_sharding_test.pdb"
+  "scaling_sharding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_sharding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/support_test.cpp" "tests/CMakeFiles/support_test.dir/support_test.cpp.o" "gcc" "tests/CMakeFiles/support_test.dir/support_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dlt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/scaling/CMakeFiles/dlt_scaling.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/dlt_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/lattice/CMakeFiles/dlt_lattice.dir/DependInfo.cmake"
+  "/root/repo/build/src/tangle/CMakeFiles/dlt_tangle.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dlt_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dlt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/dlt_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dlt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

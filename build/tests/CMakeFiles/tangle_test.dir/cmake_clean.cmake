@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tangle_test.dir/tangle_test.cpp.o"
+  "CMakeFiles/tangle_test.dir/tangle_test.cpp.o.d"
+  "tangle_test"
+  "tangle_test.pdb"
+  "tangle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tangle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_sha256_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_merkle_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_trie_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_keys_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/chain_tx_test[1]_include.cmake")
+include("/root/repo/build/tests/chain_blockchain_test[1]_include.cmake")
+include("/root/repo/build/tests/chain_state_test[1]_include.cmake")
+include("/root/repo/build/tests/chain_mempool_test[1]_include.cmake")
+include("/root/repo/build/tests/chain_pos_test[1]_include.cmake")
+include("/root/repo/build/tests/chain_pruning_sync_test[1]_include.cmake")
+include("/root/repo/build/tests/lattice_block_test[1]_include.cmake")
+include("/root/repo/build/tests/lattice_ledger_test[1]_include.cmake")
+include("/root/repo/build/tests/lattice_voting_test[1]_include.cmake")
+include("/root/repo/build/tests/lattice_node_test[1]_include.cmake")
+include("/root/repo/build/tests/scaling_channel_test[1]_include.cmake")
+include("/root/repo/build/tests/scaling_plasma_test[1]_include.cmake")
+include("/root/repo/build/tests/scaling_sharding_test[1]_include.cmake")
+include("/root/repo/build/tests/core_confidence_test[1]_include.cmake")
+include("/root/repo/build/tests/core_cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/chain_light_client_test[1]_include.cmake")
+include("/root/repo/build/tests/attack_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_injection_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/tangle_test[1]_include.cmake")
+include("/root/repo/build/tests/stress_test[1]_include.cmake")
