@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "core/chain_cluster.hpp"
+#include "core/json_report.hpp"
 #include "core/table.hpp"
 
 using namespace dlt;
@@ -98,24 +99,39 @@ int main() {
   Table t({"system", "block interval", "cap", "measured TPS", "norm. TPS*",
            "pending at end", "inclusion median s", "confirm median s"});
 
+  JsonObject systems_json;
+  auto record = [&](const char* name, const TpRun& r) {
+    JsonObject sys;
+    sys.put("tps_included", r.tps_included);
+    sys.put("tps_confirmed", r.tps_confirmed);
+    sys.put("pending_at_end", r.pending);
+    sys.put("inclusion_median_s", r.incl_median);
+    sys.put("confirmation_median_s", r.conf_median);
+    sys.put("blocks", r.blocks);
+    systems_json.put_raw(name, sys.to_string());
+  };
+
   {
     TpRun r = run(btc, 14.0, 3600.0, 60);
     const double norm = r.tps_included * (146.0 / 400.0);
     t.row({"bitcoin-like", "600 s", "1 MB", fmt(r.tps_included, 2),
            fmt(norm, 2), std::to_string(r.pending), fmt(r.incl_median, 0),
            fmt(r.conf_median, 0)});
+    record("bitcoin_like", r);
   }
   {
     TpRun r = run(eth, 40.0, 600.0, 60);  // avg tx ~38k gas (calldata)
     t.row({"ethereum-like", "15 s", "8M gas", fmt(r.tps_included, 2), "-",
            std::to_string(r.pending), fmt(r.incl_median, 0),
            fmt(r.conf_median, 0)});
+    record("ethereum_like", r);
   }
   {
     TpRun r = run(pos, 90.0, 600.0, 60);
     t.row({"pos-like", "4 s", "8M gas", fmt(r.tps_included, 2), "-",
            std::to_string(r.pending), fmt(r.incl_median, 0),
            fmt(r.conf_median, 0)});
+    record("pos_like", r);
   }
   t.row({"visa (reference)", "-", "-", "56000", "-", "-", "-", "-"});
   t.print();
@@ -125,6 +141,7 @@ int main() {
   std::cout << "\nAdding miners does not add throughput (difficulty "
                "retargets to hold the interval, paper §VI-A):\n";
   Table t2({"miners", "blocks in 2000 s", "measured TPS"});
+  JsonArray miners_json;
   for (std::size_t miners : {1u, 2u, 4u, 8u}) {
     chain::ChainParams p = chain::bitcoin_like();
     p.verify_pow = false;
@@ -156,8 +173,21 @@ int main() {
     t2.row({std::to_string(miners),
             std::to_string(cluster.node(0).chain().height()),
             fmt(static_cast<double>(m.included) / 2000.0, 2)});
+    JsonObject row;
+    row.put("miners", static_cast<std::uint64_t>(miners));
+    row.put("blocks", static_cast<std::uint64_t>(
+                          cluster.node(0).chain().height()));
+    row.put("tps", static_cast<double>(m.included) / 2000.0);
+    miners_json.push_raw(row.to_string());
   }
   t2.print();
+
+  JsonObject report;
+  report.put("bench", "throughput_chain");
+  report.put_raw("systems", systems_json.to_string());
+  report.put_raw("miner_scaling", miners_json.to_string());
+  write_bench_report("throughput_chain", report);
+  std::cout << "\nWrote BENCH_throughput_chain.json\n";
 
   std::cout
       << "\nShape check (paper §VI-A): the cap is block_size/interval "

@@ -13,6 +13,7 @@
 #include <cmath>
 #include <iostream>
 
+#include "core/json_report.hpp"
 #include "core/lattice_cluster.hpp"
 #include "core/table.hpp"
 
@@ -73,12 +74,24 @@ int main() {
   std::cout << "=== E9 / §VI-B: DAG throughput is environment-bound, not "
                "protocol-bound ===\n\n";
 
+  auto dag_json = [](const DagRun& r, double bandwidth) {
+    JsonObject row;
+    row.put("offered_tps", r.offered);
+    row.put("achieved_tps", r.achieved_tps);
+    row.put("confirm_median_s", r.confirm_median);
+    row.put("unsettled", r.unsettled);
+    row.put("link_bandwidth", bandwidth);
+    return row.to_string();
+  };
+  JsonArray generous_json, constrained_json;
+
   std::cout << "Generous environment (100 Mbit links, trivial work):\n";
   Table t1({"offered TPS", "achieved TPS", "confirm median s", "unsettled"});
   for (double offered : {5.0, 20.0, 60.0, 120.0}) {
     DagRun r = run(offered, 1.25e7, 2);
     t1.row({fmt(r.offered, 0), fmt(r.achieved_tps, 1),
             fmt(r.confirm_median, 3), std::to_string(r.unsettled)});
+    generous_json.push_raw(dag_json(r, 1.25e7));
   }
   t1.print();
   std::cout << "No knee: achieved tracks offered -- contrast with the hard "
@@ -93,8 +106,16 @@ int main() {
     t2.row({format_bytes(static_cast<std::uint64_t>(bw)) + "/s", "120",
             fmt(r.achieved_tps, 1), fmt(r.confirm_median, 3),
             std::to_string(r.unsettled)});
+    constrained_json.push_raw(dag_json(r, bw));
   }
   t2.print();
+
+  JsonObject report;
+  report.put("bench", "throughput_dag");
+  report.put_raw("generous", generous_json.to_string());
+  report.put_raw("constrained", constrained_json.to_string());
+  write_bench_report("throughput_dag", report);
+  std::cout << "\nWrote BENCH_throughput_dag.json\n";
 
   std::cout << "\nAnti-spam work as the per-user issuance throttle "
                "(paper §III-B; solving 2^bits hashes per block):\n";

@@ -42,27 +42,34 @@ std::size_t AccountTransaction::serialized_size() const {
 }
 
 Hash256 AccountTransaction::id() const {
-  const Bytes raw = serialize();
-  return crypto::tagged_hash("dlt/account-tx",
-                             ByteView{raw.data(), raw.size()});
+  return id_memo_.get([this] {
+    const Bytes raw = serialize();
+    return crypto::tagged_hash("dlt/account-tx",
+                               ByteView{raw.data(), raw.size()});
+  });
 }
 
 Hash256 AccountTransaction::sighash() const {
-  Writer w;
-  write_core(w, *this, /*with_sig=*/false);
-  return crypto::tagged_hash("dlt/account-sighash",
-                             ByteView{w.bytes().data(), w.size()});
+  return sighash_memo_.get([this] {
+    Writer w;
+    write_core(w, *this, /*with_sig=*/false);
+    return crypto::tagged_hash("dlt/account-sighash",
+                               ByteView{w.bytes().data(), w.size()});
+  });
 }
 
 void AccountTransaction::sign(const crypto::KeyPair& key, Rng& rng) {
   from = key.account_id();
   pubkey = key.public_key();
+  invalidate_digests();  // `from` is inside both digests
   signature = key.sign(sighash().view(), rng);
+  id_memo_.invalidate();  // the id covers the signature just written
 }
 
-bool AccountTransaction::verify_signature() const {
+bool AccountTransaction::verify_signature(
+    crypto::SignatureCache* sigcache) const {
   if (crypto::account_of(pubkey) != from) return false;
-  return crypto::verify(pubkey, sighash().view(), signature);
+  return crypto::verify_cached(sigcache, pubkey, sighash(), signature);
 }
 
 }  // namespace dlt::chain

@@ -8,7 +8,9 @@
 #include <cstdint>
 
 #include "chain/params.hpp"
+#include "crypto/digest_cache.hpp"
 #include "crypto/keys.hpp"
+#include "crypto/sigcache.hpp"
 #include "support/bytes.hpp"
 
 namespace dlt::chain {
@@ -49,12 +51,26 @@ class AccountTransaction {
 
   Bytes serialize() const;
   std::size_t serialized_size() const;
+
+  /// Memoized (crypto::DigestCache). Mutating fields directly after a call
+  /// requires an explicit invalidate_digests(); sign() invalidates itself.
   Hash256 id() const;
   Hash256 sighash() const;
 
+  /// Drops the memoized id and sighash.
+  void invalidate_digests() {
+    id_memo_.invalidate();
+    sighash_memo_.invalidate();
+  }
+
   void sign(const crypto::KeyPair& key, Rng& rng);
-  /// Signature valid and signer's account matches `from`.
-  bool verify_signature() const;
+  /// Signature valid and signer's account matches `from`. A shared
+  /// crypto::SignatureCache skips the exponentiations on repeat checks.
+  bool verify_signature(crypto::SignatureCache* sigcache = nullptr) const;
+
+ private:
+  crypto::DigestCache id_memo_;
+  crypto::DigestCache sighash_memo_;
 };
 
 }  // namespace dlt::chain

@@ -26,14 +26,23 @@ Bytes BlockHeader::serialize() const {
 }
 
 BlockHash BlockHeader::hash() const {
-  const Bytes raw = serialize();
-  return crypto::tagged_hash("dlt/block-header",
-                             ByteView{raw.data(), raw.size()});
+  return hash_memo_.get([this] {
+    const Bytes raw = serialize();
+    return crypto::tagged_hash("dlt/block-header",
+                               ByteView{raw.data(), raw.size()});
+  });
 }
 
 Hash256 BlockHeader::pow_digest() const {
-  const Bytes payload = pow_payload();
-  return crypto::pow_hash(ByteView{payload.data(), payload.size()}, nonce);
+  if (!crypto::DigestCache::enabled()) {
+    const Bytes payload = pow_payload();
+    return crypto::pow_hash(ByteView{payload.data(), payload.size()}, nonce);
+  }
+  if (!pow_memo_) {
+    const Bytes payload = pow_payload();
+    pow_memo_.emplace(ByteView{payload.data(), payload.size()});
+  }
+  return pow_memo_->digest(nonce);
 }
 
 bool meets_target(const Hash256& digest, double difficulty) {

@@ -6,12 +6,14 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <variant>
 #include <vector>
 
 #include "chain/account_tx.hpp"
 #include "chain/params.hpp"
 #include "chain/transaction.hpp"
+#include "crypto/digest_cache.hpp"
 #include "crypto/hashcash.hpp"
 #include "crypto/merkle.hpp"
 #include "support/bytes.hpp"
@@ -39,13 +41,27 @@ struct BlockHeader {
   static constexpr std::size_t kSerializedSize =
       4 + 32 + 32 + 32 + 8 + 8 + 8 + 32 + 8;
 
-  /// Block id: tagged hash of the full header.
+  /// Block id: tagged hash of the full header. Memoized; mutating any
+  /// field (including the nonce) after a call requires an explicit
+  /// invalidate_digests().
   BlockHash hash() const;
 
-  /// The digest the PoW target test applies to.
+  /// The digest the PoW target test applies to. The SHA-256 midstate over
+  /// pow_payload() is memoized, so sweeping the nonce -- which is outside
+  /// the payload -- costs only the 8-byte tail per candidate.
   Hash256 pow_digest() const;
 
+  /// Drops the memoized header hash and PoW midstate.
+  void invalidate_digests() {
+    hash_memo_.invalidate();
+    pow_memo_.reset();
+  }
+
   bool is_genesis() const { return parent.is_zero(); }
+
+ private:
+  crypto::DigestCache hash_memo_;
+  mutable std::optional<crypto::PowMidstate> pow_memo_;
 };
 
 /// True if `digest`, read as a 64-bit prefix, meets `difficulty` expected

@@ -197,9 +197,52 @@ Status Blockchain::check_contextual(const Block& block,
   return Status::success();
 }
 
+void Blockchain::prefetch_signatures(const Block& block) const {
+  if (!verify_pool_ || !sigcache_) return;
+
+  // Collect the independent (pubkey, sighash, signature) checks in block
+  // order. Sighashes are memoized here, on the simulation thread, so the
+  // workers below never race on a DigestCache.
+  struct Check {
+    std::uint64_t pubkey;
+    Hash256 sighash;
+    crypto::Signature sig;
+  };
+  std::vector<Check> checks;
+  if (block.is_utxo()) {
+    const auto& txs = block.utxo_txs();
+    for (std::size_t i = 1; i < txs.size(); ++i) {
+      const Hash256 digest = txs[i].sighash();
+      for (const TxIn& in : txs[i].inputs)
+        if (!sigcache_->peek(in.pubkey, digest, in.signature))
+          checks.push_back(Check{in.pubkey, digest, in.signature});
+    }
+  } else {
+    for (const auto& tx : block.account_txs())
+      if (!sigcache_->peek(tx.pubkey, tx.sighash(), tx.signature))
+        checks.push_back(Check{tx.pubkey, tx.sighash(), tx.signature});
+  }
+  if (checks.empty()) return;
+
+  // Verify misses in parallel; each worker writes only its own slot.
+  std::vector<std::uint8_t> ok(checks.size(), 0);
+  verify_pool_->parallel_for(checks.size(), [&](std::size_t i) {
+    const Check& c = checks[i];
+    ok[i] = crypto::verify(c.pubkey, c.sighash.view(), c.sig) ? 1 : 0;
+  });
+
+  // Join in index order: stage successes in the cache; failures fall
+  // through to the serial path, which reports them exactly as before.
+  for (std::size_t i = 0; i < checks.size(); ++i)
+    if (ok[i])
+      sigcache_->insert(checks[i].pubkey, checks[i].sighash, checks[i].sig);
+}
+
 Status Blockchain::connect_block(Record& rec) {
   const Block& block = rec.block;
   const std::uint32_t h = block.header.height;
+
+  prefetch_signatures(block);
 
   if (block.is_utxo()) {
     const auto& txs = block.utxo_txs();
@@ -208,7 +251,7 @@ Status Blockchain::connect_block(Record& rec) {
     std::size_t applied = 0;
     Status failure = Status::success();
     for (std::size_t i = 1; i < txs.size(); ++i) {
-      auto fee = utxo_.check_transaction(txs[i], h);
+      auto fee = utxo_.check_transaction(txs[i], h, sigcache_.get());
       if (!fee) {
         failure = fee.error();
         break;
@@ -237,7 +280,8 @@ Status Blockchain::connect_block(Record& rec) {
   } else {
     WorldState state = state_;
     for (const auto& tx : block.account_txs()) {
-      auto next = state.apply_transaction(tx, block.header.proposer, gas_);
+      auto next = state.apply_transaction(tx, block.header.proposer, gas_,
+                                          sigcache_.get());
       if (!next) {
         rec.state_valid = false;
         return next.error();
@@ -425,7 +469,7 @@ Result<Hash256> Blockchain::compute_state_root(
   assert(params_.tx_model == TxModel::kAccount);
   WorldState state = state_;
   for (const auto& tx : txs) {
-    auto next = state.apply_transaction(tx, proposer, gas_);
+    auto next = state.apply_transaction(tx, proposer, gas_, sigcache_.get());
     if (!next) return next.error();
     state = std::move(*next);
   }

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -19,7 +20,9 @@
 #include "chain/params.hpp"
 #include "chain/state.hpp"
 #include "chain/utxo.hpp"
+#include "crypto/sigcache.hpp"
 #include "support/result.hpp"
+#include "support/thread_pool.hpp"
 
 namespace dlt::chain {
 
@@ -139,6 +142,19 @@ class Blockchain {
   /// ASCII diagram of the block tree near the tip (examples/Fig. 4).
   std::string render_tree(std::uint32_t from_height = 0) const;
 
+  // ---- Crypto hot path ---------------------------------------------------
+  /// Shared signature-verification cache; typically one per cluster so the
+  /// first node to verify a tx serves all others. May be null.
+  void set_sigcache(std::shared_ptr<crypto::SignatureCache> cache) {
+    sigcache_ = std::move(cache);
+  }
+  crypto::SignatureCache* sigcache() const { return sigcache_.get(); }
+  /// Thread pool for batch signature verification during block connect.
+  /// Requires a sigcache (results are staged there); null = serial.
+  void set_verify_pool(std::shared_ptr<support::ThreadPool> pool) {
+    verify_pool_ = std::move(pool);
+  }
+
  private:
   struct Record {
     Block block;
@@ -158,6 +174,12 @@ class Blockchain {
   /// state is left untouched and the record is marked invalid.
   Status connect_block(Record& rec);
   void disconnect_tip();
+
+  /// Batch-verifies the block's signatures across the verify pool, staging
+  /// successes in the sigcache so the serial validation below is all hits.
+  /// Purely a prefetch: failures are left for the serial path to diagnose
+  /// in block order, so determinism and error reporting are untouched.
+  void prefetch_signatures(const Block& block) const;
 
   /// Attempts to make `candidate` the active tip (it must be heavier).
   /// Returns the reorg depth, or an error if its branch proved invalid.
@@ -183,6 +205,9 @@ class Blockchain {
 
   std::vector<std::function<void(const Block&)>> connect_hooks_;
   std::vector<std::function<void(const Block&)>> disconnect_hooks_;
+
+  std::shared_ptr<crypto::SignatureCache> sigcache_;
+  std::shared_ptr<support::ThreadPool> verify_pool_;
 };
 
 /// Builds the deterministic genesis block for a spec (shared by all nodes).

@@ -5,14 +5,15 @@
 namespace dlt::chain {
 
 Status UtxoMempool::add(const UtxoTransaction& tx, const UtxoSet& utxo,
-                        std::uint32_t height) {
+                        std::uint32_t height,
+                        crypto::SignatureCache* sigcache) {
   const TxId id = tx.id();
   if (pool_.count(id)) return make_error("already-pooled");
   for (const TxIn& in : tx.inputs)
     if (claimed_.count(in.prevout))
       return make_error("mempool-conflict", "input claimed by pooled tx");
 
-  auto fee = utxo.check_transaction(tx, height);
+  auto fee = utxo.check_transaction(tx, height, sigcache);
   if (!fee) return fee.error();
 
   Entry entry{tx, *fee, tx.serialized_size()};
@@ -67,16 +68,18 @@ void UtxoMempool::remove_included(const std::vector<UtxoTransaction>& txs) {
 }
 
 void UtxoMempool::reinject(const std::vector<UtxoTransaction>& txs,
-                           const UtxoSet& utxo, std::uint32_t height) {
+                           const UtxoSet& utxo, std::uint32_t height,
+                           crypto::SignatureCache* sigcache) {
   for (const UtxoTransaction& tx : txs) {
-    if (tx.is_coinbase()) continue;  // coinbases die with their block
-    (void)add(tx, utxo, height);     // best effort
+    if (tx.is_coinbase()) continue;       // coinbases die with their block
+    (void)add(tx, utxo, height, sigcache);  // best effort
   }
 }
 
 Status AccountMempool::add(const AccountTransaction& tx,
-                           const WorldState& state) {
-  if (!tx.verify_signature()) return make_error("bad-signature");
+                           const WorldState& state,
+                           crypto::SignatureCache* sigcache) {
+  if (!tx.verify_signature(sigcache)) return make_error("bad-signature");
   auto account = state.get(tx.from);
   const std::uint64_t base_nonce = account ? account->nonce : 0;
   if (tx.nonce < base_nonce)
@@ -140,7 +143,8 @@ void AccountMempool::remove_included(
 }
 
 void AccountMempool::reinject(const std::vector<AccountTransaction>& txs,
-                              const WorldState& state) {
+                              const WorldState& state,
+                              crypto::SignatureCache* sigcache) {
   // Disconnected-block txs come back in nonce order per sender.
   std::vector<AccountTransaction> sorted = txs;
   std::sort(sorted.begin(), sorted.end(),
@@ -148,7 +152,7 @@ void AccountMempool::reinject(const std::vector<AccountTransaction>& txs,
               if (a.from != b.from) return a.from < b.from;
               return a.nonce < b.nonce;
             });
-  for (const AccountTransaction& tx : sorted) (void)add(tx, state);
+  for (const AccountTransaction& tx : sorted) (void)add(tx, state, sigcache);
 }
 
 void AccountMempool::revalidate(const WorldState& state) {

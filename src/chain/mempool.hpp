@@ -28,7 +28,7 @@ class UtxoMempool {
   /// Validates and admits a transaction. Rejects double spends against
   /// both the chainstate and already-pooled transactions.
   Status add(const UtxoTransaction& tx, const UtxoSet& utxo,
-             std::uint32_t height);
+             std::uint32_t height, crypto::SignatureCache* sigcache = nullptr);
 
   /// Greedy selection by fee rate under a byte budget (block building).
   std::vector<UtxoTransaction> select(std::uint64_t max_bytes) const;
@@ -41,7 +41,8 @@ class UtxoMempool {
   /// paper §IV-A: "orphaned transactions need to be included in a new
   /// block". Invalid ones (e.g. re-mined elsewhere) are silently dropped.
   void reinject(const std::vector<UtxoTransaction>& txs, const UtxoSet& utxo,
-                std::uint32_t height);
+                std::uint32_t height,
+                crypto::SignatureCache* sigcache = nullptr);
 
   bool contains(const TxId& id) const { return pool_.count(id) != 0; }
   std::size_t size() const { return pool_.size(); }
@@ -66,7 +67,8 @@ class AccountMempool {
  public:
   /// Admits a transaction whose nonce is the sender's next pending nonce
   /// (contiguous queues per sender; gaps are rejected as in geth's default).
-  Status add(const AccountTransaction& tx, const WorldState& state);
+  Status add(const AccountTransaction& tx, const WorldState& state,
+             crypto::SignatureCache* sigcache = nullptr);
 
   /// Selects highest-gas-price executable transactions under the block gas
   /// limit, never violating per-sender nonce order.
@@ -75,7 +77,8 @@ class AccountMempool {
 
   void remove_included(const std::vector<AccountTransaction>& txs);
   void reinject(const std::vector<AccountTransaction>& txs,
-                const WorldState& state);
+                const WorldState& state,
+                crypto::SignatureCache* sigcache = nullptr);
   /// Drops entries made invalid by the current state (stale nonces).
   void revalidate(const WorldState& state);
 

@@ -35,6 +35,9 @@ ChainNode::ChainNode(net::Network& network, const ChainParams& params,
         params_, validators_, chain_.at_height(0)->hash());
   }
 
+  chain_.set_sigcache(config_.sigcache);
+  chain_.set_verify_pool(config_.verify_pool);
+
   chain_.on_connect([this](const Block& b) { on_block_connected(b); });
   chain_.on_disconnect([this](const Block& b) { on_block_disconnected(b); });
 
@@ -50,7 +53,8 @@ void ChainNode::start() {
 }
 
 Status ChainNode::submit_transaction(const UtxoTransaction& tx) {
-  Status st = utxo_pool_.add(tx, chain_.utxo_set(), chain_.height());
+  Status st = utxo_pool_.add(tx, chain_.utxo_set(), chain_.height(),
+                             config_.sigcache.get());
   if (!st.ok()) return st;
   submit_time_[tx.id()] = net_.simulation().now();
   net_.gossip(id_, net::make_message(kMsgUtxoTx, tx, tx.serialized_size()));
@@ -58,7 +62,8 @@ Status ChainNode::submit_transaction(const UtxoTransaction& tx) {
 }
 
 Status ChainNode::submit_transaction(const AccountTransaction& tx) {
-  Status st = account_pool_.add(tx, chain_.world_state());
+  Status st = account_pool_.add(tx, chain_.world_state(),
+                                config_.sigcache.get());
   if (!st.ok()) return st;
   submit_time_[tx.id()] = net_.simulation().now();
   net_.gossip(id_,
@@ -78,10 +83,11 @@ void ChainNode::handle_message(const net::Message& msg) {
     serve_block(msg.from, net::payload_as<BlockHash>(msg));
   } else if (msg.type == kMsgUtxoTx) {
     (void)utxo_pool_.add(net::payload_as<UtxoTransaction>(msg),
-                         chain_.utxo_set(), chain_.height());
+                         chain_.utxo_set(), chain_.height(),
+                         config_.sigcache.get());
   } else if (msg.type == kMsgAccountTx) {
     (void)account_pool_.add(net::payload_as<AccountTransaction>(msg),
-                            chain_.world_state());
+                            chain_.world_state(), config_.sigcache.get());
   } else if (msg.type == kMsgVote) {
     handle_vote(net::payload_as<CheckpointVote>(msg));
   }
@@ -186,7 +192,8 @@ Block ChainNode::assemble_block(double timestamp, std::uint64_t slot) {
     UtxoTxList txs = utxo_pool_.select(budget);
     Amount fees = 0;
     for (const auto& tx : txs) {
-      auto fee = chain_.utxo_set().check_transaction(tx, block.header.height);
+      auto fee = chain_.utxo_set().check_transaction(tx, block.header.height,
+                                                     config_.sigcache.get());
       if (fee) fees += *fee;
     }
     txs.insert(txs.begin(),
@@ -343,10 +350,11 @@ void ChainNode::on_block_disconnected(const Block& block) {
   // Orphaned transactions return to the mempool to be re-included
   // (paper §IV-A).
   if (block.is_utxo())
-    utxo_pool_.reinject(block.utxo_txs(), chain_.utxo_set(),
-                        chain_.height());
+    utxo_pool_.reinject(block.utxo_txs(), chain_.utxo_set(), chain_.height(),
+                        config_.sigcache.get());
   else
-    account_pool_.reinject(block.account_txs(), chain_.world_state());
+    account_pool_.reinject(block.account_txs(), chain_.world_state(),
+                           config_.sigcache.get());
 
   // Their inclusion no longer stands.
   auto unrecord = [&](const Hash256& id) { include_time_.erase(id); };

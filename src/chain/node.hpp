@@ -32,6 +32,12 @@ struct NodeConfig {
   bool solve_pow = false;
   /// Coinbase / fee recipient and PoS signing identity.
   std::uint64_t wallet_seed = 1;
+  /// Signature-verification cache, usually shared across the whole cluster
+  /// (crypto/sigcache.hpp). Null = verify every signature from scratch.
+  std::shared_ptr<crypto::SignatureCache> sigcache;
+  /// Thread pool for batch verification during block connect (needs
+  /// `sigcache` to stage results). Null = serial verification.
+  std::shared_ptr<support::ThreadPool> verify_pool;
 };
 
 /// Latency metrics a node records about its own submitted transactions.

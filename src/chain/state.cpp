@@ -48,8 +48,8 @@ WorldState WorldState::with_account(const crypto::AccountId& id,
 
 Result<WorldState> WorldState::apply_transaction(
     const AccountTransaction& tx, const crypto::AccountId& fee_recipient,
-    const GasSchedule& gs) const {
-  if (!tx.verify_signature()) return make_error("bad-signature");
+    const GasSchedule& gs, crypto::SignatureCache* sigcache) const {
+  if (!tx.verify_signature(sigcache)) return make_error("bad-signature");
 
   auto sender = get(tx.from);
   if (!sender) return make_error("unknown-sender", "no such account");

@@ -43,10 +43,12 @@ class WorldState {
 
   /// Validates and executes a transaction: signature, nonce, balance
   /// covering value + max fee. Returns the post state; fees are credited
-  /// to `fee_recipient` and unused gas refunded to the sender.
-  Result<WorldState> apply_transaction(const AccountTransaction& tx,
-                                       const crypto::AccountId& fee_recipient,
-                                       const GasSchedule& gs = {}) const;
+  /// to `fee_recipient` and unused gas refunded to the sender. A shared
+  /// crypto::SignatureCache skips repeat signature verifications.
+  Result<WorldState> apply_transaction(
+      const AccountTransaction& tx, const crypto::AccountId& fee_recipient,
+      const GasSchedule& gs = {},
+      crypto::SignatureCache* sigcache = nullptr) const;
 
   /// Credits `amount` (block reward).
   WorldState credit(const crypto::AccountId& id, Amount amount) const;

@@ -41,25 +41,30 @@ std::size_t UtxoTransaction::serialized_size() const {
 }
 
 TxId UtxoTransaction::id() const {
-  const Bytes raw = serialize();
-  return crypto::sha256d(ByteView{raw.data(), raw.size()});
+  return id_memo_.get([this] {
+    const Bytes raw = serialize();
+    return crypto::sha256d(ByteView{raw.data(), raw.size()});
+  });
 }
 
 Hash256 UtxoTransaction::sighash() const {
-  Writer w;
-  write_core(w, *this, /*with_sigs=*/false);
-  return crypto::tagged_hash("dlt/utxo-sighash",
-                             ByteView{w.bytes().data(), w.size()});
+  return sighash_memo_.get([this] {
+    Writer w;
+    write_core(w, *this, /*with_sigs=*/false);
+    return crypto::tagged_hash("dlt/utxo-sighash",
+                               ByteView{w.bytes().data(), w.size()});
+  });
 }
 
 void UtxoTransaction::sign_all(const std::vector<crypto::KeyPair>& keys,
                                Rng& rng) {
-  const Hash256 digest = sighash();
+  const Hash256 digest = sighash();  // memoized; signatures are outside it
   for (std::size_t i = 0; i < inputs.size(); ++i) {
     const crypto::KeyPair& kp = keys[i < keys.size() ? i : keys.size() - 1];
     inputs[i].pubkey = kp.public_key();
     inputs[i].signature = kp.sign(digest.view(), rng);
   }
+  id_memo_.invalidate();  // the id covers the signatures just written
 }
 
 UtxoTransaction UtxoTransaction::coinbase(const crypto::AccountId& to,

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "chain/params.hpp"
+#include "crypto/digest_cache.hpp"
 #include "crypto/keys.hpp"
 #include "support/bytes.hpp"
 #include "support/serialize.hpp"
@@ -48,10 +49,21 @@ class UtxoTransaction {
   /// Canonical serialization; its double-SHA is the txid.
   Bytes serialize() const;
   std::size_t serialized_size() const;
+
+  /// Memoized (crypto::DigestCache): hashed once, then served from cache
+  /// until invalidate_digests(). Mutating fields directly after calling
+  /// id()/sighash() requires an explicit invalidate_digests().
   TxId id() const;
 
-  /// Digest each input signs: the tx with all signatures zeroed.
+  /// Digest each input signs: the tx with all signatures zeroed. Memoized.
   Hash256 sighash() const;
+
+  /// Drops the memoized id and sighash. sign_all() handles its own
+  /// invalidation (signatures change the id but not the sighash).
+  void invalidate_digests() {
+    id_memo_.invalidate();
+    sighash_memo_.invalidate();
+  }
 
   /// Signs every input with the corresponding keypair (one per input).
   void sign_all(const std::vector<crypto::KeyPair>& keys, Rng& rng);
@@ -62,6 +74,10 @@ class UtxoTransaction {
                                   std::uint32_t height);
 
   Amount total_output() const;
+
+ private:
+  crypto::DigestCache id_memo_;
+  crypto::DigestCache sighash_memo_;
 };
 
 }  // namespace dlt::chain

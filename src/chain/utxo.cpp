@@ -1,6 +1,7 @@
 #include "chain/utxo.hpp"
 
 #include <cassert>
+#include <unordered_set>
 
 namespace dlt::chain {
 
@@ -10,8 +11,9 @@ std::optional<TxOut> UtxoSet::get(const Outpoint& op) const {
   return it->second;
 }
 
-Result<Amount> UtxoSet::check_transaction(const UtxoTransaction& tx,
-                                          std::uint32_t height) const {
+Result<Amount> UtxoSet::check_transaction(
+    const UtxoTransaction& tx, std::uint32_t height,
+    crypto::SignatureCache* sigcache) const {
   if (tx.lock_height > height)
     return make_error("premature", "lock_height above current height");
   if (tx.is_coinbase())
@@ -21,18 +23,28 @@ Result<Amount> UtxoSet::check_transaction(const UtxoTransaction& tx,
 
   const Hash256 digest = tx.sighash();
   Amount in_sum = 0;
-  std::unordered_map<Outpoint, bool> seen;
-  for (const TxIn& in : tx.inputs) {
-    if (seen.count(in.prevout))
+  // Duplicate-input detection: the common case is a handful of inputs, so
+  // scan the preceding ones linearly (no allocation). Fall back to a hash
+  // set only for wide fan-in, keeping adversarial many-input txs O(n).
+  constexpr std::size_t kLinearScanMax = 16;
+  std::unordered_set<Outpoint> seen;
+  if (tx.inputs.size() > kLinearScanMax) seen.reserve(tx.inputs.size());
+  for (std::size_t i = 0; i < tx.inputs.size(); ++i) {
+    const TxIn& in = tx.inputs[i];
+    if (tx.inputs.size() <= kLinearScanMax) {
+      for (std::size_t j = 0; j < i; ++j)
+        if (tx.inputs[j].prevout == in.prevout)
+          return make_error("double-spend", "duplicate input within tx");
+    } else if (!seen.insert(in.prevout).second) {
       return make_error("double-spend", "duplicate input within tx");
-    seen[in.prevout] = true;
+    }
 
     const auto prev = get(in.prevout);
     if (!prev)
       return make_error("missing-utxo", "input not in UTXO set");
     if (crypto::account_of(in.pubkey) != prev->owner)
       return make_error("wrong-owner", "pubkey does not own prevout");
-    if (!crypto::verify(in.pubkey, digest.view(), in.signature))
+    if (!crypto::verify_cached(sigcache, in.pubkey, digest, in.signature))
       return make_error("bad-signature");
     in_sum += prev->value;
   }

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "chain/transaction.hpp"
+#include "crypto/sigcache.hpp"
 #include "support/result.hpp"
 
 namespace dlt::chain {
@@ -38,9 +39,11 @@ class UtxoSet {
 
   /// Validates a transaction against this set and current height:
   /// inputs exist, signatures valid, owners match, no value inflation,
-  /// lock height respected. Returns the fee (inputs - outputs).
-  Result<Amount> check_transaction(const UtxoTransaction& tx,
-                                   std::uint32_t height) const;
+  /// lock height respected. Returns the fee (inputs - outputs). A shared
+  /// crypto::SignatureCache skips repeat input-signature verifications.
+  Result<Amount> check_transaction(
+      const UtxoTransaction& tx, std::uint32_t height,
+      crypto::SignatureCache* sigcache = nullptr) const;
 
   /// Applies an already-checked transaction; returns its undo record.
   TxUndo apply_transaction(const UtxoTransaction& tx);
@@ -54,6 +57,20 @@ class UtxoSet {
   /// All outpoints owned by `owner`, via the wallet index (O(own coins)).
   std::vector<std::pair<Outpoint, TxOut>> find_owned(
       const crypto::AccountId& owner) const;
+
+  /// Visits `owner`'s coins in the same wallet-index order as find_owned,
+  /// without materializing a vector. `fn(outpoint, txout)` returns false
+  /// to stop early (e.g. once a coin selector has gathered enough value).
+  template <typename Fn>
+  void for_each_owned(const crypto::AccountId& owner, Fn&& fn) const {
+    auto idx = by_owner_.find(owner);
+    if (idx == by_owner_.end()) return;
+    for (const Outpoint& op : idx->second) {
+      auto it = map_.find(op);
+      if (it == map_.end()) continue;  // index is kept in lockstep; defensive
+      if (!fn(it->first, it->second)) return;
+    }
+  }
 
   /// Serialized-size model of the set (chainstate database size).
   std::size_t stored_bytes() const;

@@ -5,19 +5,20 @@
 namespace dlt::core {
 
 ChainCluster::ChainCluster(ChainClusterConfig config)
-    : config_(std::move(config)), rng_(config_.seed) {
+    : config_(std::move(config)),
+      rng_(config_.seed),
+      crypto_(make_cluster_crypto(config_.crypto)) {
   net_ = std::make_unique<net::Network>(sim_, rng_.fork());
 
   // Workload accounts funded in the genesis allocation (paper §II-A: the
   // initial state is hard-coded in the first block).
-  accounts_.reserve(config_.account_count);
+  accounts_ = make_workload_accounts(config_.account_count);
   chain::GenesisSpec genesis;
   for (std::size_t i = 0; i < config_.account_count; ++i) {
-    accounts_.push_back(crypto::KeyPair::from_seed(0x9000 + i));
     const std::size_t coins =
         std::max<std::size_t>(1, config_.genesis_outputs_per_account);
     for (std::size_t j = 0; j < coins; ++j)
-      genesis.allocations.emplace_back(accounts_.back().account_id(),
+      genesis.allocations.emplace_back(accounts_[i].account_id(),
                                        config_.initial_balance);
   }
   next_nonce_.assign(config_.account_count, 0);
@@ -41,25 +42,21 @@ ChainCluster::ChainCluster(ChainClusterConfig config)
                     static_cast<double>(config_.miner_count);
       nc.solve_pow = config_.params.verify_pow;
     }
+    nc.sigcache = crypto_.sigcache;
+    // Batch verification stages results in a sigcache; give each node a
+    // private one if the cluster-wide cache is disabled.
+    if (crypto_.verify_pool && !nc.sigcache)
+      nc.sigcache = std::make_shared<crypto::SignatureCache>(
+          config_.crypto.sigcache_capacity);
+    nc.verify_pool = crypto_.verify_pool;
     nodes_.push_back(std::make_unique<chain::ChainNode>(
         *net_, config_.params, genesis, nc, rng_.fork(), stakes));
   }
 
   std::vector<net::NodeId> ids;
   for (const auto& n : nodes_) ids.push_back(n->id());
-  switch (config_.topology) {
-    case Topology::kComplete:
-      net::build_complete(*net_, ids, config_.link);
-      break;
-    case Topology::kRandom:
-      net::build_random(*net_, ids, config_.random_degree, rng_,
-                        config_.link);
-      break;
-    case Topology::kSmallWorld:
-      net::build_small_world(*net_, ids, /*k=*/4, /*beta=*/0.1, rng_,
-                             config_.link);
-      break;
-  }
+  build_topology(*net_, ids, config_.topology, config_.link,
+                 config_.random_degree, rng_);
 }
 
 void ChainCluster::start() {
@@ -85,16 +82,19 @@ Status ChainCluster::submit_utxo_payment(std::size_t from, std::size_t to,
   const chain::Amount fee = 1000;
 
   // Coin selection against the reference node's chainstate, skipping
-  // outpoints already committed to in-flight transactions.
-  auto coins = node.chain().utxo_set().find_owned(key.account_id());
+  // outpoints already committed to in-flight transactions. for_each_owned
+  // walks the same wallet-index order as find_owned but stops as soon as
+  // enough value is gathered, instead of materializing the whole wallet.
   std::vector<std::pair<chain::Outpoint, chain::TxOut>> selected;
   chain::Amount gathered = 0;
-  for (const auto& [op, out] : coins) {
-    if (reserved_.count(op)) continue;
-    selected.emplace_back(op, out);
-    gathered += out.value;
-    if (gathered >= amount + fee) break;
-  }
+  node.chain().utxo_set().for_each_owned(
+      key.account_id(),
+      [&](const chain::Outpoint& op, const chain::TxOut& out) {
+        if (reserved_.count(op)) return true;
+        selected.emplace_back(op, out);
+        gathered += out.value;
+        return gathered < amount + fee;
+      });
   if (gathered < amount + fee)
     return make_error("insufficient-funds", "wallet cannot cover amount+fee");
 

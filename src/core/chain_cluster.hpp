@@ -7,14 +7,13 @@
 #include <vector>
 
 #include "chain/node.hpp"
+#include "core/cluster_common.hpp"
 #include "core/metrics.hpp"
 #include "core/workload.hpp"
 #include "net/network.hpp"
 #include "sim/simulation.hpp"
 
 namespace dlt::core {
-
-enum class Topology { kComplete, kRandom, kSmallWorld };
 
 struct ChainClusterConfig {
   chain::ChainParams params;
@@ -37,6 +36,9 @@ struct ChainClusterConfig {
   /// in [0, 2*mean]). Real Ethereum transactions average well above the
   /// 21k intrinsic gas; this reproduces that gas weighting (paper §VI-A).
   std::uint32_t account_tx_data_mean = 0;
+
+  /// Crypto hot-path knobs (shared sigcache, batch verification).
+  CryptoConfig crypto{};
 
   std::uint64_t seed = 42;
 };
@@ -73,6 +75,13 @@ class ChainCluster {
   /// True when every node agrees on the tip (convergence checks).
   bool converged() const;
 
+  /// The cluster-wide signature cache (null when crypto.shared_sigcache is
+  /// off); benches read its hit-rate stats.
+  crypto::SignatureCache* sigcache() { return crypto_.sigcache.get(); }
+  const crypto::SignatureCache* sigcache() const {
+    return crypto_.sigcache.get();
+  }
+
  private:
   Status submit_utxo_payment(std::size_t from, std::size_t to,
                              chain::Amount amount);
@@ -81,6 +90,7 @@ class ChainCluster {
 
   ChainClusterConfig config_;
   Rng rng_;
+  ClusterCrypto crypto_;
   sim::Simulation sim_;
   std::unique_ptr<net::Network> net_;
   std::vector<std::unique_ptr<chain::ChainNode>> nodes_;

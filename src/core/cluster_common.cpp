@@ -1,0 +1,40 @@
+#include "core/cluster_common.hpp"
+
+namespace dlt::core {
+
+ClusterCrypto make_cluster_crypto(const CryptoConfig& config) {
+  ClusterCrypto out;
+  if (config.shared_sigcache)
+    out.sigcache =
+        std::make_shared<crypto::SignatureCache>(config.sigcache_capacity);
+  if (config.verify_threads > 1)
+    out.verify_pool =
+        std::make_shared<support::ThreadPool>(config.verify_threads);
+  return out;
+}
+
+std::vector<crypto::KeyPair> make_workload_accounts(std::size_t count) {
+  std::vector<crypto::KeyPair> accounts;
+  accounts.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    accounts.push_back(crypto::KeyPair::from_seed(0x9000 + i));
+  return accounts;
+}
+
+void build_topology(net::Network& net, const std::vector<net::NodeId>& ids,
+                    Topology topology, const net::LinkParams& link,
+                    std::size_t random_degree, Rng& rng) {
+  switch (topology) {
+    case Topology::kComplete:
+      net::build_complete(net, ids, link);
+      break;
+    case Topology::kRandom:
+      net::build_random(net, ids, random_degree, rng, link);
+      break;
+    case Topology::kSmallWorld:
+      net::build_small_world(net, ids, /*k=*/4, /*beta=*/0.1, rng, link);
+      break;
+  }
+}
+
+}  // namespace dlt::core

@@ -1,0 +1,51 @@
+// Wiring shared by ChainCluster and LatticeCluster: network topology
+// construction, the deterministic workload-account key schedule, and the
+// crypto hot-path handles (shared sigcache + batch-verification pool) that
+// both cluster kinds thread through their nodes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "crypto/keys.hpp"
+#include "crypto/sigcache.hpp"
+#include "net/network.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+
+namespace dlt::core {
+
+enum class Topology { kComplete, kRandom, kSmallWorld };
+
+/// Crypto hot-path knobs common to both cluster kinds.
+struct CryptoConfig {
+  /// One signature-verification cache shared by every node: the first node
+  /// to verify a (pubkey, sighash, signature) triple serves the other N-1.
+  /// Disable for attack experiments that want per-node verification cost.
+  bool shared_sigcache = true;
+  std::size_t sigcache_capacity = 1u << 18;
+  /// Total threads for batch signature verification during block connect
+  /// (0 or 1 = serial). Results join in index order, so RunMetrics and
+  /// converged tips are bit-identical to a serial run on the same seed.
+  std::size_t verify_threads = 0;
+};
+
+/// Instantiated handles a cluster hands to each of its nodes.
+struct ClusterCrypto {
+  std::shared_ptr<crypto::SignatureCache> sigcache;
+  std::shared_ptr<support::ThreadPool> verify_pool;
+};
+
+ClusterCrypto make_cluster_crypto(const CryptoConfig& config);
+
+/// Workload account keys on the shared deterministic seed schedule, so
+/// fixtures and benches line up across cluster kinds.
+std::vector<crypto::KeyPair> make_workload_accounts(std::size_t count);
+
+/// Wires `ids` into the requested topology over `net`.
+void build_topology(net::Network& net, const std::vector<net::NodeId>& ids,
+                    Topology topology, const net::LinkParams& link,
+                    std::size_t random_degree, Rng& rng);
+
+}  // namespace dlt::core

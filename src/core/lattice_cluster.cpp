@@ -7,6 +7,7 @@ namespace dlt::core {
 LatticeCluster::LatticeCluster(LatticeClusterConfig config)
     : config_(std::move(config)),
       rng_(config_.seed),
+      crypto_(make_cluster_crypto(config_.crypto)),
       genesis_key_(crypto::KeyPair::from_seed(0x6e5)) {
   if (config_.supply == 0) {
     config_.supply = config_.initial_balance *
@@ -15,14 +16,13 @@ LatticeCluster::LatticeCluster(LatticeClusterConfig config)
   }
   net_ = std::make_unique<net::Network>(sim_, rng_.fork());
 
-  accounts_.reserve(config_.account_count);
-  for (std::size_t i = 0; i < config_.account_count; ++i)
-    accounts_.push_back(crypto::KeyPair::from_seed(0x9000 + i));
+  accounts_ = make_workload_accounts(config_.account_count);
 
   for (std::size_t i = 0; i < config_.node_count; ++i) {
     lattice::LatticeNodeConfig nc;
     if (i < config_.roles.size()) nc.role = config_.roles[i];
     nc.solve_work = config_.params.verify_work;
+    nc.sigcache = crypto_.sigcache;
     nodes_.push_back(std::make_unique<lattice::LatticeNode>(
         *net_, config_.params, genesis_key_, config_.supply, nc,
         rng_.fork()));
@@ -41,7 +41,8 @@ LatticeCluster::LatticeCluster(LatticeClusterConfig config)
 
   std::vector<net::NodeId> ids;
   for (const auto& n : nodes_) ids.push_back(n->id());
-  net::build_complete(*net_, ids, config_.link);
+  build_topology(*net_, ids, config_.topology, config_.link,
+                 config_.random_degree, rng_);
 
   for (auto& n : nodes_) n->start();
 }

@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/cluster_common.hpp"
 #include "core/metrics.hpp"
 #include "core/workload.hpp"
 #include "lattice/node.hpp"
@@ -19,7 +20,9 @@ struct LatticeClusterConfig {
   /// Nodes [0, representative_count) hold delegated weight and vote.
   std::size_t representative_count = 4;
 
+  Topology topology = Topology::kComplete;
   net::LinkParams link{};
+  std::size_t random_degree = 4;
 
   std::size_t account_count = 50;
   lattice::Amount initial_balance = 10'000'000;
@@ -30,6 +33,9 @@ struct LatticeClusterConfig {
 
   /// Per-node role assignment (defaults to all historical, §V-B).
   std::vector<lattice::NodeRole> roles;
+
+  /// Crypto hot-path knobs (shared sigcache for block + vote checks).
+  CryptoConfig crypto{};
 
   std::uint64_t seed = 42;
 };
@@ -66,9 +72,17 @@ class LatticeCluster {
   /// All nodes hold identical account heads (convergence check).
   bool converged() const;
 
+  /// The cluster-wide signature cache (null when crypto.shared_sigcache is
+  /// off); benches read its hit-rate stats.
+  crypto::SignatureCache* sigcache() { return crypto_.sigcache.get(); }
+  const crypto::SignatureCache* sigcache() const {
+    return crypto_.sigcache.get();
+  }
+
  private:
   LatticeClusterConfig config_;
   Rng rng_;
+  ClusterCrypto crypto_;
   sim::Simulation sim_;
   std::unique_ptr<net::Network> net_;
   std::vector<std::unique_ptr<lattice::LatticeNode>> nodes_;

@@ -1,22 +1,42 @@
 #include "crypto/hash.hpp"
 
+#include <string>
+#include <unordered_map>
+
 namespace dlt::crypto {
+namespace {
+
+// The 64-byte `tag-digest || tag-digest` preamble is exactly one SHA-256
+// block, so a context captured after it has empty buffers and costs two
+// compressions to build. Tags form a small fixed vocabulary ("dlt/..."),
+// so each thread memoizes one midstate per tag and every tagged hash pays
+// only the compressions over `data`. thread_local keeps the map safe under
+// the batch-verification thread pool without locking.
+Sha256 tag_midstate(std::string_view tag) {
+  thread_local std::unordered_map<std::string, Sha256Midstate> memo;
+  const std::string key(tag);
+  auto it = memo.find(key);
+  if (it == memo.end()) {
+    const Hash256 tag_digest = Sha256::digest(as_bytes(tag));
+    Sha256 ctx;
+    ctx.update(tag_digest.view());
+    ctx.update(tag_digest.view());
+    it = memo.emplace(key, ctx.midstate()).first;
+  }
+  return Sha256::from_midstate(it->second);
+}
+
+}  // namespace
 
 Hash256 tagged_hash(std::string_view tag, ByteView data) {
-  const Hash256 tag_digest = Sha256::digest(as_bytes(tag));
-  Sha256 ctx;
-  ctx.update(tag_digest.view());
-  ctx.update(tag_digest.view());
+  Sha256 ctx = tag_midstate(tag);
   ctx.update(data);
   return ctx.finalize();
 }
 
 Hash256 combine(std::string_view tag, const Hash256& left,
                 const Hash256& right) {
-  const Hash256 tag_digest = Sha256::digest(as_bytes(tag));
-  Sha256 ctx;
-  ctx.update(tag_digest.view());
-  ctx.update(tag_digest.view());
+  Sha256 ctx = tag_midstate(tag);
   ctx.update(left.view());
   ctx.update(right.view());
   return ctx.finalize();

@@ -14,6 +14,21 @@ Hash256 pow_hash(ByteView payload, std::uint64_t nonce) {
   return Sha256::digest(first.view());
 }
 
+PowMidstate::PowMidstate(ByteView payload) {
+  Sha256 ctx;
+  ctx.update(payload);
+  prefix_ = ctx.midstate();
+}
+
+Hash256 PowMidstate::digest(std::uint64_t nonce) const {
+  Sha256 ctx = Sha256::from_midstate(prefix_);
+  Byte tail[8];  // little-endian, matching Writer::u64
+  for (int i = 0; i < 8; ++i) tail[i] = static_cast<Byte>(nonce >> (8 * i));
+  ctx.update(ByteView{tail, sizeof(tail)});
+  const Hash256 first = ctx.finalize();
+  return Sha256::digest(first.view());
+}
+
 bool meets_difficulty(const Hash256& digest, int bits) {
   return leading_zero_bits(digest) >= bits;
 }
@@ -21,11 +36,12 @@ bool meets_difficulty(const Hash256& digest, int bits) {
 std::optional<PowSolution> solve(ByteView payload, int difficulty_bits,
                                  std::uint64_t start_nonce,
                                  std::uint64_t max_tries) {
+  const PowMidstate mid(payload);  // payload absorbed once, not per nonce
   std::uint64_t nonce = start_nonce;
   std::uint64_t tries = 0;
   for (;;) {
     ++tries;
-    const Hash256 digest = pow_hash(payload, nonce);
+    const Hash256 digest = mid.digest(nonce);
     if (meets_difficulty(digest, difficulty_bits))
       return PowSolution{nonce, digest, tries};
     if (max_tries != 0 && tries >= max_tries) return std::nullopt;

@@ -11,6 +11,7 @@
 #include <optional>
 
 #include "crypto/hash.hpp"
+#include "crypto/sha256.hpp"
 #include "support/bytes.hpp"
 
 namespace dlt::crypto {
@@ -23,6 +24,19 @@ struct PowSolution {
 
 /// Hash of payload under a given nonce; the function being inverted.
 Hash256 pow_hash(ByteView payload, std::uint64_t nonce);
+
+/// SHA-256 midstate over a fixed payload: the payload is absorbed once at
+/// construction, and each candidate hashes only the 8-byte nonce tail plus
+/// padding (Bitcoin miners' midstate trick). digest(nonce) is bit-identical
+/// to pow_hash(payload, nonce).
+class PowMidstate {
+ public:
+  explicit PowMidstate(ByteView payload);
+  Hash256 digest(std::uint64_t nonce) const;
+
+ private:
+  Sha256Midstate prefix_;
+};
 
 /// True if `digest` meets a difficulty of `bits` leading zero bits.
 bool meets_difficulty(const Hash256& digest, int bits);

@@ -1,5 +1,8 @@
 #include "crypto/keys.hpp"
 
+#include <unordered_map>
+
+#include "crypto/digest_cache.hpp"
 #include "support/serialize.hpp"
 
 namespace dlt::crypto {
@@ -87,10 +90,27 @@ bool verify(std::uint64_t public_key, ByteView message, const Signature& sig) {
   return lhs == rhs;
 }
 
-AccountId account_of(std::uint64_t public_key) {
+namespace {
+
+AccountId derive_account(std::uint64_t public_key) {
   Writer w;
   w.u64(public_key);
   return tagged_hash("dlt/account-id", ByteView{w.bytes().data(), w.size()});
+}
+
+}  // namespace
+
+AccountId account_of(std::uint64_t public_key) {
+  // UTXO ownership checks re-derive the payer's account id per input per
+  // validating node; the derivation is pure, so memoize it. Shares the
+  // DigestCache kill switch so bench A/B runs stay honest.
+  if (!DigestCache::enabled()) return derive_account(public_key);
+  thread_local std::unordered_map<std::uint64_t, AccountId> memo;
+  if (memo.size() > (1u << 16)) memo.clear();  // bound footprint
+  auto it = memo.find(public_key);
+  if (it == memo.end())
+    it = memo.emplace(public_key, derive_account(public_key)).first;
+  return it->second;
 }
 
 }  // namespace dlt::crypto

@@ -134,6 +134,25 @@ Hash256 Sha256::finalize() {
   return out;
 }
 
+Sha256Midstate Sha256::midstate() const {
+  assert(!finalized_);
+  Sha256Midstate m;
+  std::memcpy(m.h, h_, sizeof(h_));
+  std::memcpy(m.buf, buf_, sizeof(buf_));
+  m.buf_len = buf_len_;
+  m.total_len = total_len_;
+  return m;
+}
+
+Sha256 Sha256::from_midstate(const Sha256Midstate& m) {
+  Sha256 ctx;
+  std::memcpy(ctx.h_, m.h, sizeof(ctx.h_));
+  std::memcpy(ctx.buf_, m.buf, sizeof(ctx.buf_));
+  ctx.buf_len_ = m.buf_len;
+  ctx.total_len_ = m.total_len;
+  return ctx;
+}
+
 Hash256 Sha256::digest(ByteView data) {
   Sha256 ctx;
   ctx.update(data);

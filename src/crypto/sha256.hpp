@@ -13,6 +13,18 @@
 
 namespace dlt::crypto {
 
+/// Captured intermediate hashing state: the chaining values plus any
+/// buffered partial block. Saving the midstate after hashing a common
+/// prefix (a PoW payload, a tag preamble) lets many suffixes be hashed
+/// without re-processing the prefix -- the same trick Bitcoin miners use
+/// for the 80-byte header.
+struct Sha256Midstate {
+  std::uint32_t h[8];
+  Byte buf[64];
+  std::size_t buf_len = 0;
+  std::uint64_t total_len = 0;
+};
+
 class Sha256 {
  public:
   Sha256();
@@ -23,6 +35,13 @@ class Sha256 {
 
   /// One-shot convenience.
   static Hash256 digest(ByteView data);
+
+  /// Midstate save/restore. `midstate()` snapshots the streaming state
+  /// after the updates so far (must not be finalized); `from_midstate()`
+  /// resumes from a snapshot, ready for further update()/finalize().
+  /// Contexts are also plainly copyable, which is equivalent.
+  Sha256Midstate midstate() const;
+  static Sha256 from_midstate(const Sha256Midstate& m);
 
  private:
   void process_block(const Byte* block);

@@ -28,10 +28,12 @@ void write_core(Writer& w, const LatticeBlock& b) {
 }  // namespace
 
 BlockHash LatticeBlock::hash() const {
-  Writer w;
-  write_core(w, *this);
-  return crypto::tagged_hash("dlt/lattice-block",
-                             ByteView{w.bytes().data(), w.size()});
+  return hash_memo_.get([this] {
+    Writer w;
+    write_core(w, *this);
+    return crypto::tagged_hash("dlt/lattice-block",
+                               ByteView{w.bytes().data(), w.size()});
+  });
 }
 
 Bytes LatticeBlock::work_payload() const {
@@ -60,9 +62,9 @@ void LatticeBlock::sign(const crypto::KeyPair& key, Rng& rng) {
   signature = key.sign(hash().view(), rng);
 }
 
-bool LatticeBlock::verify_signature() const {
+bool LatticeBlock::verify_signature(crypto::SignatureCache* sigcache) const {
   if (crypto::account_of(pubkey) != account) return false;
-  return crypto::verify(pubkey, hash().view(), signature);
+  return crypto::verify_cached(sigcache, pubkey, hash(), signature);
 }
 
 void LatticeBlock::solve_work(int difficulty_bits) {

@@ -15,8 +15,10 @@
 #include <cstdint>
 #include <string>
 
+#include "crypto/digest_cache.hpp"
 #include "crypto/hashcash.hpp"
 #include "crypto/keys.hpp"
+#include "crypto/sigcache.hpp"
 #include "support/bytes.hpp"
 
 namespace dlt::lattice {
@@ -47,7 +49,12 @@ struct LatticeBlock {
   crypto::Signature signature{};
 
   /// Canonical content hash (excludes work + signature, as in Nano).
+  /// Memoized: mutating a content field after a call requires an explicit
+  /// invalidate_digests(); sign()/solve_work() only touch excluded fields.
   BlockHash hash() const;
+
+  /// Drops the memoized content hash.
+  void invalidate_digests() { hash_memo_.invalidate(); }
   /// The payload the anti-spam work must cover: account chain position.
   Bytes work_payload() const;
 
@@ -58,13 +65,17 @@ struct LatticeBlock {
   static constexpr std::size_t kSerializedSize = 216;
 
   void sign(const crypto::KeyPair& key, Rng& rng);
-  bool verify_signature() const;
+  /// A shared crypto::SignatureCache skips repeat verifications.
+  bool verify_signature(crypto::SignatureCache* sigcache = nullptr) const;
 
   /// Solves the anti-spam puzzle in-place (real hashcash).
   void solve_work(int difficulty_bits);
   bool verify_work(int difficulty_bits) const;
 
   std::string to_short_string() const;
+
+ private:
+  crypto::DigestCache hash_memo_;
 };
 
 /// The fork-slot identifier: two distinct blocks with the same root are a

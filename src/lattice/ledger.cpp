@@ -71,7 +71,8 @@ std::optional<LatticeBlock> Ledger::block_at_root(const Root& root) const {
 }
 
 Status Ledger::validate(const LatticeBlock& block) const {
-  if (!block.verify_signature()) return make_error("bad-signature");
+  if (!block.verify_signature(sigcache_.get()))
+    return make_error("bad-signature");
   if (params_.verify_work && !block.verify_work(params_.work_bits))
     return make_error("insufficient-work",
                       "anti-spam hashcash below threshold");

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -66,6 +67,13 @@ class Ledger {
   ///                    makes the network ignore its successors)
   ///  "gap-source"   -- receive references an unknown send
   Status process(const LatticeBlock& block);
+
+  /// Shared signature-verification cache used by process(); typically one
+  /// per cluster (crypto/sigcache.hpp). May be null.
+  void set_sigcache(std::shared_ptr<crypto::SignatureCache> cache) {
+    sigcache_ = std::move(cache);
+  }
+  crypto::SignatureCache* sigcache() const { return sigcache_.get(); }
 
   // ---- Queries -----------------------------------------------------------
   const AccountInfo* account(const crypto::AccountId& id) const;
@@ -155,6 +163,7 @@ class Ledger {
   std::unordered_map<crypto::AccountId, Amount> weights_;
   std::uint64_t block_count_ = 0;
   std::uint64_t pruned_blocks_ = 0;
+  std::shared_ptr<crypto::SignatureCache> sigcache_;
 };
 
 }  // namespace dlt::lattice

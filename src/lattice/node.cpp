@@ -31,6 +31,7 @@ LatticeNode::LatticeNode(net::Network& network, const LatticeParams& params,
       ledger_(params, genesis_key.account_id(), genesis_key.account_id(),
               supply),
       rng_(std::move(rng)) {
+  ledger_.set_sigcache(config_.sigcache);
   net_.set_handler(id_, [this](const net::Message& m) { handle_message(m); });
 }
 
@@ -227,7 +228,7 @@ void LatticeNode::vote_on(const LatticeBlock& block) {
 
 void LatticeNode::handle_vote(const Vote& vote) {
   if (config_.role == NodeRole::kLight) return;
-  if (!vote.verify()) return;
+  if (!vote.verify(config_.sigcache.get())) return;
   const Amount weight = ledger_.weight_of(vote.representative);
   if (weight == 0) return;
 

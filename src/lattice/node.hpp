@@ -40,6 +40,9 @@ struct LatticeNodeConfig {
   /// random neighbour this often, pulling/pushing whatever differs
   /// (Nano's frontier request / bulk pull; heals partitions). 0 = off.
   double frontier_interval = 10.0;
+  /// Signature-verification cache for block and vote checks, usually
+  /// shared across the whole cluster (crypto/sigcache.hpp). May be null.
+  std::shared_ptr<crypto::SignatureCache> sigcache;
 };
 
 /// Statistics on vote-based confirmation (paper §IV-B).

@@ -22,9 +22,9 @@ void Vote::sign(const crypto::KeyPair& key, Rng& rng) {
   signature = key.sign(sighash().view(), rng);
 }
 
-bool Vote::verify() const {
+bool Vote::verify(crypto::SignatureCache* sigcache) const {
   if (crypto::account_of(pubkey) != representative) return false;
-  return crypto::verify(pubkey, sighash().view(), signature);
+  return crypto::verify_cached(sigcache, pubkey, sighash(), signature);
 }
 
 void Election::add_vote(const crypto::AccountId& representative,

@@ -28,7 +28,9 @@ struct Vote {
 
   Hash256 sighash() const;
   void sign(const crypto::KeyPair& key, Rng& rng);
-  bool verify() const;
+  /// A shared crypto::SignatureCache skips repeat verifications (votes are
+  /// gossiped to every node, so all but the first check hit).
+  bool verify(crypto::SignatureCache* sigcache = nullptr) const;
 
   static constexpr std::size_t kSerializedSize = 32 + 64 + 32 + 8 + 24;
 };

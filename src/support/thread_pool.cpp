@@ -1,0 +1,78 @@
+#include "support/thread_pool.hpp"
+
+namespace dlt::support {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t workers = threads > 1 ? threads - 1 : 0;
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fn_ = &fn;
+    n_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    remaining_.store(n, std::memory_order_relaxed);
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  run_indices(&fn, n);  // the caller is a worker too
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] {
+    return remaining_.load(std::memory_order_acquire) == 0;
+  });
+  // Clear the batch so a late-waking worker from this generation sees an
+  // exhausted index range and never dereferences a dead fn.
+  fn_ = nullptr;
+  n_ = 0;
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t n = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      fn = fn_;
+      n = n_;
+    }
+    if (fn != nullptr) run_indices(fn, n);
+  }
+}
+
+void ThreadPool::run_indices(const std::function<void(std::size_t)>* fn,
+                             std::size_t n) {
+  for (;;) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) return;
+    (*fn)(i);
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(mutex_);  // pair with done_cv_ wait
+      done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace dlt::support

@@ -1,0 +1,56 @@
+// Deterministic fork-join worker pool for batch signature verification.
+//
+// Not a general task scheduler: the single entry point is parallel_for(),
+// which blocks the caller until every index has run. Workers and the caller
+// pull indices from a shared atomic counter; callers that need deterministic
+// output write results into a pre-sized array slot per index and consume
+// them in index order after the join. Nothing about scheduling order leaks
+// into simulation state, so the bit-for-bit determinism contract
+// (src/sim/simulation.hpp) holds regardless of thread timing.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dlt::support {
+
+class ThreadPool {
+ public:
+  /// `threads` is the total concurrency: the caller participates, so
+  /// threads-1 workers are spawned. threads <= 1 runs everything inline.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size() + 1; }
+
+  /// Runs fn(0) .. fn(n-1), each exactly once, returning after all have
+  /// completed. fn must be safe to call concurrently for distinct indices
+  /// and must not call parallel_for reentrantly.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+  void run_indices(const std::function<void(std::size_t)>* fn, std::size_t n);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* fn_ = nullptr;  // guarded by mutex_
+  std::size_t n_ = 0;                                     // guarded by mutex_
+  std::uint64_t generation_ = 0;                          // guarded by mutex_
+  bool stop_ = false;                                     // guarded by mutex_
+  std::atomic<std::size_t> next_{0};
+  std::atomic<std::size_t> remaining_{0};
+};
+
+}  // namespace dlt::support

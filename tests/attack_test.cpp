@@ -281,6 +281,7 @@ TEST(PosAttack, EquivocatingProposerLosesStake) {
 
   chain::Block evil = *tip;
   evil.header.timestamp += 0.001;  // different content, same slot+proposer
+  evil.header.invalidate_digests();  // direct field write bypasses the memo
   honest.chain();  // (documenting intent; delivery below)
   // Deliver the equivocating block directly through the message path.
   cluster.network().send(

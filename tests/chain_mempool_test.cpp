@@ -194,6 +194,7 @@ TEST_F(AccountMempoolTest, ReinjectSortsByNonce) {
 TEST_F(AccountMempoolTest, BadSignatureRejected) {
   auto tx = tx_with(0, 0, 1);
   tx.value = 999;
+  tx.invalidate_digests();  // direct field writes bypass the digest memo
   EXPECT_FALSE(pool.add(tx, state).ok());
 }
 

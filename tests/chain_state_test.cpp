@@ -111,6 +111,7 @@ TEST_F(WorldStateTest, UnknownSenderRejected) {
 TEST_F(WorldStateTest, BadSignatureRejected) {
   auto tx = transfer(0, 1, 100, 0);
   tx.value = 200;
+  tx.invalidate_digests();  // direct field writes bypass the digest memo
   auto next = state.apply_transaction(tx, miner);
   ASSERT_FALSE(next.ok());
   EXPECT_EQ(next.error().code, "bad-signature");

@@ -94,6 +94,7 @@ TEST_F(UtxoFixture, SignatureCoversOutputs) {
   auto tx = spend(0, Outpoint{mint_id, 0}, 900, 100);
   tx.outputs[0].value = 999;
   tx.outputs[1].value = 1;
+  tx.invalidate_digests();  // direct field writes bypass the digest memo
   auto fee = utxo.check_transaction(tx, 1);
   ASSERT_FALSE(fee.ok());
   EXPECT_EQ(fee.error().code, "bad-signature");
@@ -158,6 +159,7 @@ TEST(UtxoTransaction, IdCommitsToContent) {
   tx.sign_all({keys[0]}, rng);
   const TxId before = tx.id();
   tx.outputs[0].value = 6;
+  tx.invalidate_digests();
   EXPECT_NE(before, tx.id());
 }
 
@@ -175,6 +177,7 @@ TEST(AccountTx, SignatureBindsSender) {
   EXPECT_EQ(tx.from, key.account_id());
 
   tx.value = 200;  // tamper
+  tx.invalidate_digests();
   EXPECT_FALSE(tx.verify_signature());
 }
 

@@ -24,6 +24,7 @@ TEST(LatticeBlock, HashCommitsToContentNotWork) {
   b.work = 12345;  // work excluded, as in Nano
   EXPECT_EQ(b.hash(), h);
   b.balance = 501;
+  b.invalidate_digests();  // direct field writes bypass the digest memo
   EXPECT_NE(b.hash(), h);
 }
 
@@ -34,6 +35,7 @@ TEST(LatticeBlock, SignVerify) {
   b.sign(key, rng);
   EXPECT_TRUE(b.verify_signature());
   b.balance ^= 1;
+  b.invalidate_digests();
   EXPECT_FALSE(b.verify_signature());
 }
 
