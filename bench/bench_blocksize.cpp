@@ -6,8 +6,10 @@
 // centralization due to the fact that consumer hardware would become
 // unable to process blocks."
 #include <iostream>
+#include <string>
 
 #include "core/chain_cluster.hpp"
+#include "core/json_report.hpp"
 #include "core/table.hpp"
 
 using namespace dlt;
@@ -20,6 +22,7 @@ struct SizeRun {
   std::uint64_t orphaned = 0;
   std::uint64_t blocks = 0;
   double propagation_s = 0;  // modelled block transfer time per hop
+  std::string metrics_json;
 };
 
 SizeRun run(std::uint64_t block_bytes) {
@@ -68,6 +71,7 @@ SizeRun run(std::uint64_t block_bytes) {
   out.orphaned = m.orphaned_blocks;
   out.blocks = m.blocks_produced;
   out.propagation_s = static_cast<double>(block_bytes) / 2.0e5;
+  out.metrics_json = cluster.metrics_json().to_string();
   return out;
 }
 
@@ -76,14 +80,25 @@ SizeRun run(std::uint64_t block_bytes) {
 int main() {
   std::cout << "=== E10 / §VI-A: block-size increase (Segwit2x-style) ===\n\n";
 
+  JsonArray sweep_json, fork_json;
+  std::string metrics_section;
+
   Table t({"block size", "measured TPS", "blocks", "orphaned",
            "xfer time/hop s", "xfer/interval"});
   for (std::uint64_t size :
        {250'000ULL, 500'000ULL, 1'000'000ULL, 2'000'000ULL}) {
     SizeRun r = run(size);
+    if (metrics_section.empty()) metrics_section = r.metrics_json;
     t.row({format_bytes(size), fmt(r.tps, 1), std::to_string(r.blocks),
            std::to_string(r.orphaned), fmt(r.propagation_s, 2),
            fmt(r.propagation_s / 120.0, 4)});
+    JsonObject row;
+    row.put("block_bytes", size);
+    row.put("tps", r.tps);
+    row.put("blocks", r.blocks);
+    row.put("orphaned", r.orphaned);
+    row.put("propagation_s", r.propagation_s);
+    sweep_json.push_raw(row.to_string());
   }
   t.print();
 
@@ -121,6 +136,13 @@ int main() {
                         m.blocks_produced, 1)),
                 4),
             std::to_string(m.reorgs)});
+    JsonObject row;
+    row.put("block_bytes", size);
+    row.put("transfer_over_interval", ratio);
+    row.put("orphaned", m.orphaned_blocks);
+    row.put("blocks", m.blocks_produced);
+    row.put("reorgs", m.reorgs);
+    fork_json.push_raw(row.to_string());
   }
   tf.print();
 
@@ -144,5 +166,13 @@ int main() {
     t2.row({format_bytes(size), fmt(txs, 0), format_si(txs / 120.0)});
   }
   t2.print();
+
+  JsonObject report;
+  report.put("bench", "blocksize");
+  report.put_raw("size_sweep", sweep_json.to_string());
+  report.put_raw("fork_pressure", fork_json.to_string());
+  report.put_raw("metrics", metrics_section);
+  write_bench_report("blocksize", report);
+  std::cout << "\nWrote BENCH_blocksize.json\n";
   return 0;
 }

@@ -6,8 +6,11 @@
 // payments; effective TPS amplification grows with channel lifetime.
 #include <chrono>
 #include <iostream>
+#include <string>
 
+#include "core/json_report.hpp"
 #include "core/table.hpp"
+#include "obs/metrics.hpp"
 #include "scaling/channel.hpp"
 #include "support/stats.hpp"
 
@@ -22,6 +25,12 @@ int main() {
   auto a = crypto::KeyPair::from_seed(1);
   auto b = crypto::KeyPair::from_seed(2);
 
+  // No cluster here: a local registry tallies the channel activity so the
+  // report still carries a `metrics` section like every other bench.
+  obs::MetricsRegistry registry;
+  obs::Counter& payments_total = registry.counter("channels.payments");
+  JsonArray amp_json;
+
   std::cout << "Amplification: on-chain cost is constant (2 txs: open + "
                "close) regardless of payments routed:\n";
   Table t({"channel payments", "on-chain txs", "amplification",
@@ -33,8 +42,14 @@ int main() {
       if (!st.ok()) break;
     }
     const double amp = static_cast<double>(channel.payments_made()) / 2.0;
+    payments_total.inc(channel.payments_made());
     t.row({std::to_string(channel.payments_made()), "2", fmt(amp, 0),
            format_si(7.0 * amp)});
+    JsonObject row;
+    row.put("payments", static_cast<std::uint64_t>(channel.payments_made()));
+    row.put("on_chain_txs", std::uint64_t{2});
+    row.put("amplification", amp);
+    amp_json.push_raw(row.to_string());
   }
   t.print();
   std::cout << "* each base-chain slot used for channel open/close carries "
@@ -49,6 +64,8 @@ int main() {
     const auto t1 = std::chrono::steady_clock::now();
     const double us =
         std::chrono::duration<double, std::micro>(t1 - t0).count() / n;
+    registry.histogram("profile.channel_pay_us").observe(us);
+    payments_total.inc(static_cast<std::uint64_t>(n));
     Table t2({"metric", "value"});
     t2.row({"payments", std::to_string(n)});
     t2.row({"mean latency", fmt(us, 2) + " us (vs minutes on-chain)"});
@@ -86,5 +103,12 @@ int main() {
                "locked for the channel's lifetime, final balances recorded "
                "on chain at close (see tests/scaling_channel_test.cpp for "
                "the full on-chain lifecycle).\n";
+
+  JsonObject report;
+  report.put("bench", "channels");
+  report.put_raw("amplification", amp_json.to_string());
+  report.put_raw("metrics", registry.to_json().to_string());
+  write_bench_report("channels", report);
+  std::cout << "\nWrote BENCH_channels.json\n";
   return 0;
 }

@@ -8,10 +8,13 @@
 //      and counting how often a depth-z block is reverted.
 #include <cmath>
 #include <iostream>
+#include <string>
 
 #include "chain/blockchain.hpp"
 #include "core/confidence.hpp"
+#include "core/json_report.hpp"
 #include "core/table.hpp"
+#include "obs/metrics.hpp"
 #include "support/rng.hpp"
 
 using namespace dlt;
@@ -69,22 +72,42 @@ int main() {
 
   std::cout << "Reversal probability (analytic = Nakamoto formula; "
                "simulated = Monte-Carlo race, 20k trials):\n";
+  // No cluster here: a local registry tallies the Monte-Carlo work so the
+  // report still carries a `metrics` section like every other bench.
+  obs::MetricsRegistry registry;
+  obs::Counter& trials = registry.counter("confidence.trials");
+  obs::Histogram& gap = registry.histogram("confidence.analytic_sim_gap");
   Rng rng(2024);
+  JsonArray curves_json;
   for (double q : {0.10, 0.25, 0.40}) {
     std::cout << "\nattacker hash share q = " << q << ":\n";
     Table t({"depth z", "analytic P(reversal)", "simulated P(reversal)"});
     for (std::uint32_t z : {0u, 1u, 2u, 4u, 6u, 8u, 11u, 15u}) {
       const double analytic = reversal_probability(q, z);
       const double sim = simulate_reversal(q, z, 20000, rng);
+      trials.inc(20000);
+      gap.observe(std::abs(analytic - sim));
       t.row({std::to_string(z), fmt(analytic, 6), fmt(sim, 6)});
+      JsonObject row;
+      row.put("attacker_share", q);
+      row.put("depth", static_cast<std::uint64_t>(z));
+      row.put("analytic", analytic);
+      row.put("simulated", sim);
+      curves_json.push_raw(row.to_string());
     }
     t.print();
   }
 
   std::cout << "\nDepth needed for risk < 0.1% (Nakamoto's table):\n";
   Table t({"attacker share q", "required depth z"});
+  JsonArray depth_json;
   for (double q : {0.08, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40}) {
-    t.row({fmt(q, 2), std::to_string(depth_for_risk(q, 0.001))});
+    const std::uint32_t z = depth_for_risk(q, 0.001);
+    t.row({fmt(q, 2), std::to_string(z)});
+    JsonObject row;
+    row.put("attacker_share", q);
+    row.put("required_depth", static_cast<std::uint64_t>(z));
+    depth_json.push_raw(row.to_string());
   }
   t.print();
 
@@ -97,5 +120,13 @@ int main() {
   std::cout << "\nNano contrast (paper §IV-B): confirmation is a "
                "majority vote by weighted representatives, not a "
                "probabilistic depth -- see bench_vote_confirmation.\n";
+
+  JsonObject report;
+  report.put("bench", "confirmation_confidence");
+  report.put_raw("reversal_curves", curves_json.to_string());
+  report.put_raw("depth_for_risk", depth_json.to_string());
+  report.put_raw("metrics", registry.to_json().to_string());
+  write_bench_report("confirmation_confidence", report);
+  std::cout << "\nWrote BENCH_confirmation_confidence.json\n";
   return 0;
 }

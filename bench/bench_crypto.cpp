@@ -2,11 +2,17 @@
 // on: SHA-256, Merkle trees, the state trie, hashcash and signatures.
 #include <benchmark/benchmark.h>
 
+#include <iostream>
+#include <string>
+#include <vector>
+
 #include "crypto/hashcash.hpp"
 #include "crypto/keys.hpp"
 #include "crypto/merkle.hpp"
 #include "crypto/sha256.hpp"
 #include "crypto/trie.hpp"
+#include "obs/metrics.hpp"
+#include "support/json.hpp"
 #include "support/rng.hpp"
 
 namespace dlt::crypto {
@@ -110,3 +116,39 @@ BENCHMARK(BM_SignVerify);
 
 }  // namespace
 }  // namespace dlt::crypto
+
+namespace {
+
+/// Console output as usual, plus every run lands in a MetricsRegistry so
+/// BENCH_crypto.json carries the same `metrics` section as the other
+/// benches (wall-clock micro timings under the profile. prefix).
+class RegistryReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      registry.histogram("profile." + run.benchmark_name() + "_ns")
+          .observe(run.GetAdjustedRealTime());
+    }
+  }
+
+  dlt::obs::MetricsRegistry registry;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  RegistryReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  dlt::support::JsonObject report;
+  report.put("bench", "crypto");
+  report.put_raw("metrics", reporter.registry.to_json().to_string());
+  dlt::support::write_bench_report("crypto", report);
+  std::cout << "Wrote BENCH_crypto.json\n";
+  return 0;
+}

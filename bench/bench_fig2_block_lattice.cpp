@@ -6,9 +6,12 @@
 // property (an account's chain length is unaffected by other accounts).
 #include <chrono>
 #include <iostream>
+#include <string>
 
+#include "core/json_report.hpp"
 #include "core/table.hpp"
 #include "lattice/ledger.hpp"
+#include "obs/metrics.hpp"
 #include "support/stats.hpp"
 
 using namespace dlt;
@@ -113,15 +116,34 @@ int main() {
   std::cout << "Each account owns a chain; every node holds exactly one "
                "transaction (paper (II-B).\n\n";
 
+  // No cluster here: a local registry tallies lattice growth so the
+  // report still carries a `metrics` section like every other bench.
+  obs::MetricsRegistry registry;
+  obs::Counter& blocks_built = registry.counter("lattice.blocks_built");
+  obs::Histogram& per_block =
+      registry.histogram("profile.lattice_block_us");
+  core::JsonArray growth_json;
+
   core::Table t({"accounts", "transfers/acct", "total blocks", "build ms",
                  "us/block", "ledger bytes"});
   for (auto [accounts, transfers] :
        std::vector<std::pair<std::size_t, std::size_t>>{
            {10, 20}, {100, 20}, {500, 10}, {1000, 5}}) {
     LatticeRun r = grow_lattice(accounts, transfers);
+    blocks_built.inc(r.blocks);
+    per_block.observe(r.us_per_block);
     t.row({std::to_string(r.accounts), std::to_string(transfers),
            std::to_string(r.blocks), core::fmt(r.build_ms),
            core::fmt(r.us_per_block), format_bytes(r.bytes)});
+    core::JsonObject row;
+    row.put("accounts", static_cast<std::uint64_t>(r.accounts));
+    row.put("transfers_per_account",
+            static_cast<std::uint64_t>(transfers));
+    row.put("blocks", r.blocks);
+    row.put("build_ms", r.build_ms);
+    row.put("us_per_block", r.us_per_block);
+    row.put("ledger_bytes", r.bytes);
+    growth_json.push_raw(row.to_string());
   }
   t.print();
 
@@ -136,5 +158,12 @@ int main() {
             << " account-chains (incl. genesis), " << tiny.blocks
             << " single-transaction nodes, " << format_bytes(tiny.bytes)
             << " stored.\n";
+
+  core::JsonObject report;
+  report.put("bench", "fig2_block_lattice");
+  report.put_raw("growth", growth_json.to_string());
+  report.put_raw("metrics", registry.to_json().to_string());
+  core::write_bench_report("fig2_block_lattice", report);
+  std::cout << "\nWrote BENCH_fig2_block_lattice.json\n";
   return 0;
 }

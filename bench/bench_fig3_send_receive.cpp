@@ -5,7 +5,9 @@
 // must be online to settle. This bench measures settlement latency and
 // the unsettled backlog as a function of receiver availability.
 #include <iostream>
+#include <string>
 
+#include "core/json_report.hpp"
 #include "core/lattice_cluster.hpp"
 #include "core/table.hpp"
 
@@ -20,6 +22,7 @@ struct SettleResult {
   std::uint64_t unsettled = 0;
   double settle_median = 0;
   double settle_p95 = 0;
+  std::string metrics_json;
 };
 
 SettleResult run(double online_fraction, double receive_delay) {
@@ -70,6 +73,7 @@ SettleResult run(double online_fraction, double receive_delay) {
   const auto& conf = cluster.node(0).confirmations().time_to_confirm;
   out.settle_median = conf.count() ? conf.median() : 0.0;
   out.settle_p95 = conf.count() ? conf.p95() : 0.0;
+  out.metrics_json = cluster.metrics_json().to_string();
   (void)settled;
   (void)settle;
   return out;
@@ -85,15 +89,26 @@ int main() {
                "(unsettled) and the receiver must be online (paper "
                "(II-B).\n\n";
 
+  core::JsonArray availability_json;
+  std::string metrics_section;
   core::Table t({"receivers online", "sends", "settled", "unsettled",
                  "confirm median s", "confirm p95 s"});
   for (double online : {1.0, 0.67, 0.33}) {
     SettleResult r = run(online, 0.2);
+    if (metrics_section.empty()) metrics_section = r.metrics_json;
     char label[32];
     std::snprintf(label, sizeof(label), "%.0f%%", online * 100);
     t.row({label, std::to_string(r.sends), std::to_string(r.settled),
            std::to_string(r.unsettled), core::fmt(r.settle_median, 3),
            core::fmt(r.settle_p95, 3)});
+    core::JsonObject row;
+    row.put("online_fraction", online);
+    row.put("sends", r.sends);
+    row.put("settled", r.settled);
+    row.put("unsettled", r.unsettled);
+    row.put("confirm_median_s", r.settle_median);
+    row.put("confirm_p95_s", r.settle_p95);
+    availability_json.push_raw(row.to_string());
   }
   t.print();
 
@@ -101,5 +116,12 @@ int main() {
                "transfers settle; as receivers go offline their incoming "
                "transfers accumulate as unsettled pending sends, while "
                "other accounts are unaffected.\n";
+
+  core::JsonObject report;
+  report.put("bench", "fig3_send_receive");
+  report.put_raw("availability_sweep", availability_json.to_string());
+  report.put_raw("metrics", metrics_section);
+  core::write_bench_report("fig3_send_receive", report);
+  std::cout << "\nWrote BENCH_fig3_send_receive.json\n";
   return 0;
 }

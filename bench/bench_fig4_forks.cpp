@@ -10,8 +10,10 @@
 // fork rate rises sharply as propagation delay approaches the interval,
 // which is exactly why Bitcoin uses 10-minute blocks (paper §VI-A).
 #include <iostream>
+#include <string>
 
 #include "core/chain_cluster.hpp"
+#include "core/json_report.hpp"
 #include "core/table.hpp"
 
 using namespace dlt;
@@ -25,6 +27,7 @@ struct ForkRun {
   std::uint64_t reorgs = 0;
   std::uint32_t max_depth = 0;
   double orphan_rate = 0;
+  std::string metrics_json;
 };
 
 ForkRun run(double block_interval, double delay, std::uint64_t seed) {
@@ -56,7 +59,20 @@ ForkRun run(double block_interval, double delay, std::uint64_t seed) {
                         ? static_cast<double>(m.orphaned_blocks) /
                               static_cast<double>(m.blocks_produced)
                         : 0.0;
+  out.metrics_json = cluster.metrics_json().to_string();
   return out;
+}
+
+std::string fork_row_json(double interval, double delay, const ForkRun& r) {
+  JsonObject row;
+  row.put("block_interval_s", interval);
+  row.put("delay_s", delay);
+  row.put("blocks", r.blocks);
+  row.put("orphaned", r.orphaned);
+  row.put("orphan_rate", r.orphan_rate);
+  row.put("reorgs", r.reorgs);
+  row.put("max_reorg_depth", static_cast<std::uint64_t>(r.max_depth));
+  return row.to_string();
 }
 
 }  // namespace
@@ -67,12 +83,16 @@ int main() {
   std::cout << "Fixed delay (2 s one-way), varying block interval:\n";
   core::Table t1({"interval s", "delay/interval", "blocks mined",
                   "orphaned", "orphan rate", "reorgs", "max reorg depth"});
+  JsonArray interval_json, delay_json;
+  std::string metrics_section;
   for (double interval : {600.0, 60.0, 15.0, 5.0, 2.0}) {
     ForkRun r = run(interval, 2.0, 42);
+    if (metrics_section.empty()) metrics_section = r.metrics_json;
     t1.row({core::fmt(interval, 0), core::fmt(2.0 / interval, 3),
             std::to_string(r.blocks), std::to_string(r.orphaned),
             core::fmt(r.orphan_rate, 4), std::to_string(r.reorgs),
             std::to_string(r.max_depth)});
+    interval_json.push_raw(fork_row_json(interval, 2.0, r));
   }
   t1.print();
 
@@ -85,6 +105,7 @@ int main() {
             std::to_string(r.blocks), std::to_string(r.orphaned),
             core::fmt(r.orphan_rate, 4), std::to_string(r.reorgs),
             std::to_string(r.max_depth)});
+    delay_json.push_raw(fork_row_json(15.0, delay, r));
   }
   t2.print();
 
@@ -95,5 +116,13 @@ int main() {
          "forks (the figure's bottom chain) appear only in the high-ratio "
          "regime. Orphaned blocks' transactions return to the mempool for "
          "re-inclusion.\n";
+
+  JsonObject report;
+  report.put("bench", "fig4_forks");
+  report.put_raw("interval_sweep", interval_json.to_string());
+  report.put_raw("delay_sweep", delay_json.to_string());
+  report.put_raw("metrics", metrics_section);
+  write_bench_report("fig4_forks", report);
+  std::cout << "\nWrote BENCH_fig4_forks.json\n";
   return 0;
 }

@@ -184,6 +184,8 @@ struct ClusterRun {
   std::uint64_t included = 0;
   double hit_rate = 0;
   std::uint64_t sig_checks = 0;
+  std::string metrics_json;
+  std::string trace_summary_json;
 };
 
 ClusterRun run_cluster(bool caches_on, std::size_t verify_threads) {
@@ -228,6 +230,8 @@ ClusterRun run_cluster(bool caches_on, std::size_t verify_threads) {
       out.hit_rate = sc->stats().hit_rate();
       out.sig_checks = sc->stats().hits + sc->stats().misses;
     }
+    out.metrics_json = cluster.metrics_json().to_string();
+    out.trace_summary_json = cluster.trace_summary_json().to_string();
   });
   crypto::DigestCache::set_enabled(true);
   return out;
@@ -324,6 +328,8 @@ int main(int argc, char** argv) {
   report.put("bench", "hotpath");
   report.put_raw("micro", micro_json.to_string());
   report.put_raw("cluster", macro_json.to_string());
+  report.put_raw("metrics", on.metrics_json);  // caches-on reference run
+  report.put_raw("trace_summary", on.trace_summary_json);
   write_bench_report("hotpath", report);
   std::cout << "Wrote BENCH_hotpath.json\n";
 

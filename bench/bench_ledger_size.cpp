@@ -10,6 +10,7 @@
 
 #include "chain/fast_sync.hpp"
 #include "core/chain_cluster.hpp"
+#include "core/json_report.hpp"
 #include "core/lattice_cluster.hpp"
 #include "core/table.hpp"
 
@@ -37,6 +38,7 @@ struct SizeRow {
   std::uint64_t full_bytes = 0;
   std::uint64_t pruned_bytes = 0;
   std::string detail;
+  std::string metrics_json;
 };
 
 SizeRow run_chain(chain::ChainParams params, const std::string& label,
@@ -71,6 +73,7 @@ SizeRow run_chain(chain::ChainParams params, const std::string& label,
   row.system = label;
   row.txs = cluster.metrics().included;
   row.full_bytes = bc.storage().total();
+  row.metrics_json = cluster.metrics_json().to_string();
 
   if (eth_style) {
     // §V-A: discard state deltas; then measure what a fast-syncing node
@@ -115,6 +118,7 @@ SizeRow run_lattice() {
   row.system = "nano-like";
   row.txs = cluster.metrics().included;
   row.full_bytes = ledger.storage().total();
+  row.metrics_json = cluster.metrics_json().to_string();
   ledger.prune_history();
   row.pruned_bytes = ledger.storage().total();
   row.detail = "head-only: balances survive, history discarded";
@@ -172,5 +176,21 @@ int main() {
          "and the balance-carrying lattice prunes to near-constant size "
          "per account -- reproducing BTC >> ETH >> Nano. The trade-off is "
          "historical accessibility (pruned nodes cannot serve history).\n";
+
+  JsonArray rows_json;
+  for (const SizeRow& r : rows) {
+    JsonObject row;
+    row.put("system", r.system);
+    row.put("payments", r.txs);
+    row.put("full_bytes", r.full_bytes);
+    row.put("pruned_bytes", r.pruned_bytes);
+    rows_json.push_raw(row.to_string());
+  }
+  JsonObject report;
+  report.put("bench", "ledger_size");
+  report.put_raw("systems", rows_json.to_string());
+  report.put_raw("metrics", rows.front().metrics_json);
+  write_bench_report("ledger_size", report);
+  std::cout << "\nWrote BENCH_ledger_size.json\n";
   return 0;
 }

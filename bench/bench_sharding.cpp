@@ -7,9 +7,12 @@
 // making cross-shard communication transparent (and the protocol more
 // complex).
 #include <iostream>
+#include <string>
 
+#include "core/json_report.hpp"
 #include "core/table.hpp"
 #include "crypto/keys.hpp"
+#include "obs/metrics.hpp"
 #include "scaling/sharding.hpp"
 #include "support/rng.hpp"
 
@@ -81,6 +84,24 @@ int main() {
 
   constexpr std::size_t kTransfers = 20'000;
 
+  // No cluster here: a local registry tallies the sweeps so the report
+  // still carries a `metrics` section like every other bench.
+  obs::MetricsRegistry registry;
+  obs::Counter& transfers = registry.counter("sharding.transfers");
+  obs::Histogram& local_tps = registry.histogram("sharding.local_tps");
+  obs::Histogram& uniform_tps = registry.histogram("sharding.uniform_tps");
+  JsonArray local_json, uniform_json;
+
+  auto shard_row_json = [](std::size_t k, const ShardRun& r) {
+    JsonObject row;
+    row.put("shards", static_cast<std::uint64_t>(k));
+    row.put("tps", r.tps);
+    row.put("rounds_to_drain", r.rounds_to_drain);
+    row.put("cross_shard_fraction", r.cross_fraction);
+    row.put("receipts", r.receipts);
+    return row.to_string();
+  };
+
   std::cout << "Throughput vs shard count, shard-local traffic (every "
                "shard processes only its own transactions):\n";
   Table t1({"shards K", "TPS", "rounds to drain", "speedup vs K=1"});
@@ -88,6 +109,9 @@ int main() {
   for (std::size_t k : {1u, 2u, 4u, 8u, 16u}) {
     ShardRun r = run(k, 64 * k, kTransfers, /*local_traffic=*/true);
     if (k == 1) base = r.tps;
+    transfers.inc(kTransfers);
+    local_tps.observe(r.tps);
+    local_json.push_raw(shard_row_json(k, r));
     t1.row({std::to_string(k), fmt(r.tps, 1), fmt(r.rounds_to_drain, 0),
             fmt(r.tps / base, 2) + "x"});
   }
@@ -102,6 +126,9 @@ int main() {
   for (std::size_t k : {1u, 2u, 4u, 8u, 16u}) {
     ShardRun r = run(k, 64 * k, kTransfers, /*local_traffic=*/false);
     if (k == 1) base = r.tps;
+    transfers.inc(kTransfers);
+    uniform_tps.observe(r.tps);
+    uniform_json.push_raw(shard_row_json(k, r));
     t2.row({std::to_string(k), fmt(r.cross_fraction, 2), fmt(r.tps, 1),
             std::to_string(r.receipts), fmt(r.tps / base, 2) + "x"});
   }
@@ -115,5 +142,13 @@ int main() {
          "receipt delay -- the overhead that makes transparent cross-shard "
          "communication 'further increase the complexity of the "
          "protocol'.\n";
+
+  JsonObject report;
+  report.put("bench", "sharding");
+  report.put_raw("local_traffic", local_json.to_string());
+  report.put_raw("uniform_traffic", uniform_json.to_string());
+  report.put_raw("metrics", registry.to_json().to_string());
+  write_bench_report("sharding", report);
+  std::cout << "\nWrote BENCH_sharding.json\n";
   return 0;
 }

@@ -4,8 +4,12 @@
 // counterpart of §IV-A's depth table), and double-spend starvation vs the
 // tip-selection bias alpha.
 #include <iostream>
+#include <string>
 
+#include "core/json_report.hpp"
 #include "core/table.hpp"
+#include "obs/metrics.hpp"
+#include "obs/probe.hpp"
 #include "support/rng.hpp"
 #include "tangle/tangle.hpp"
 
@@ -23,11 +27,13 @@ Hash256 payload_of(int i) {
 /// tips from the PREVIOUS round's view (models issuance latency h: txs
 /// arriving together cannot see each other -- the whitepaper's L ~ 2*l*h).
 Tangle grow_rounds(double alpha, int rounds, int per_round, Rng& rng,
-                   std::vector<TxHash>* track = nullptr) {
+                   std::vector<TxHash>* track = nullptr,
+                   obs::Probe probe = {}) {
   TangleParams p;
   p.work_bits = 2;
   p.alpha = alpha;
   Tangle tangle(p);
+  tangle.set_probe(probe);
   auto issuer = crypto::KeyPair::from_seed(7);
   int seq = 0;
   for (int r = 0; r < rounds; ++r) {
@@ -53,13 +59,25 @@ int main() {
   std::cout << "=== Extension / footnote 1: the IOTA-style tangle ===\n\n";
   Rng rng(2024);
 
+  // The tangle has no cluster driver; a local registry fed through
+  // obs::Probe tallies attach accounting for the report's `metrics`
+  // section.
+  obs::MetricsRegistry registry;
+  JsonArray tips_json, confidence_json, alpha_json;
+
   std::cout << "Tip-count equilibrium vs arrival rate (txs per latency "
                "window; whitepaper: L ~ 2*lambda*h):\n";
   Table t1({"arrivals/round", "txs", "tips at end"});
   for (int per_round : {1, 2, 4, 8, 16}) {
-    Tangle tangle = grow_rounds(0.05, 60, per_round, rng);
+    Tangle tangle = grow_rounds(0.05, 60, per_round, rng, nullptr,
+                                obs::Probe{&registry, nullptr});
     t1.row({std::to_string(per_round), std::to_string(tangle.size()),
             std::to_string(tangle.tip_count())});
+    JsonObject row;
+    row.put("arrivals_per_round", per_round);
+    row.put("txs", static_cast<std::uint64_t>(tangle.size()));
+    row.put("tips", static_cast<std::uint64_t>(tangle.tip_count()));
+    tips_json.push_raw(row.to_string());
   }
   t1.print();
   std::cout << "Heavier concurrent traffic sustains proportionally more "
@@ -99,9 +117,16 @@ int main() {
         round(8);
         grown += 8;
       }
-      t2.row({std::to_string(checkpoint),
-              fmt(tangle.confirmation_confidence(target.hash()), 3),
-              fmt(tangle.walk_confidence(target.hash(), rng, 128), 3)});
+      const double tip_conf = tangle.confirmation_confidence(target.hash());
+      const double walk_conf =
+          tangle.walk_confidence(target.hash(), rng, 128);
+      t2.row({std::to_string(checkpoint), fmt(tip_conf, 3),
+              fmt(walk_conf, 3)});
+      JsonObject row;
+      row.put("txs_after_target", checkpoint);
+      row.put("tip_fraction_confidence", tip_conf);
+      row.put("walk_confidence", walk_conf);
+      confidence_json.push_raw(row.to_string());
     }
     t2.print();
     std::cout << "Confidence starts below 1 (concurrent tips do not see "
@@ -146,6 +171,14 @@ int main() {
     t3.row({fmt(alpha, 2), std::to_string(s1_wins ? w1 : w2),
             std::to_string(s1_wins ? w2 : w1),
             fmt(s1_wins ? c1 : c2, 3), fmt(s1_wins ? c2 : c1, 3)});
+    JsonObject row;
+    row.put("alpha", alpha);
+    row.put("winner_weight",
+            static_cast<std::uint64_t>(s1_wins ? w1 : w2));
+    row.put("loser_weight", static_cast<std::uint64_t>(s1_wins ? w2 : w1));
+    row.put("winner_walk_confidence", s1_wins ? c1 : c2);
+    row.put("loser_walk_confidence", s1_wins ? c2 : c1);
+    alpha_json.push_raw(row.to_string());
   }
   t3.print();
   std::cout << "alpha = 0 (uniform walk) keeps both sides of a double "
@@ -153,5 +186,14 @@ int main() {
                "lighter cone, resolving the conflict -- the tangle's "
                "counterpart of the §III/§IV fork-resolution mechanisms "
                "(longest chain, weighted votes).\n";
+
+  JsonObject report;
+  report.put("bench", "tangle");
+  report.put_raw("tip_equilibrium", tips_json.to_string());
+  report.put_raw("confidence_vs_age", confidence_json.to_string());
+  report.put_raw("alpha_sweep", alpha_json.to_string());
+  report.put_raw("metrics", registry.to_json().to_string());
+  write_bench_report("tangle", report);
+  std::cout << "\nWrote BENCH_tangle.json\n";
   return 0;
 }

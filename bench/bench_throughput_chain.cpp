@@ -6,10 +6,12 @@
 // seconds"; Visa processes 56,000 TPS. We saturate each chain and measure
 // the achieved inclusion rate plus the §VI pending-transaction backlog.
 #include <iostream>
+#include <string>
 
 #include "core/chain_cluster.hpp"
 #include "core/json_report.hpp"
 #include "core/table.hpp"
+#include "obs/trace.hpp"
 
 using namespace dlt;
 using namespace dlt::core;
@@ -23,17 +25,23 @@ struct TpRun {
   double incl_median = 0;
   double conf_median = 0;
   std::uint64_t blocks = 0;
+  std::string metrics_json;
+  std::string trace_summary_json;
 };
 
 /// Saturating run: offered load is well above capacity; the measured
 /// inclusion rate IS the protocol ceiling.
+///
+/// When `trace_path` is non-empty and DLT_TRACE is set, the run's event
+/// trace is exported as JSONL (byte-identical across identical-seed runs).
 TpRun run(chain::ChainParams params, double offered_tps, double duration,
-          std::size_t accounts) {
+          std::size_t accounts, const std::string& trace_path = {}) {
   params.verify_pow = false;
   params.retarget_window = 0;
 
   ChainClusterConfig cfg;
   cfg.params = params;
+  cfg.obs.trace_capacity = obs::trace_capacity_from_env();
   cfg.node_count = 4;
   cfg.miner_count = 2;
   cfg.validator_count = 4;
@@ -77,6 +85,12 @@ TpRun run(chain::ChainParams params, double offered_tps, double duration,
   out.conf_median =
       m.confirmation_latency.count() ? m.confirmation_latency.median() : 0;
   out.blocks = cluster.node(0).chain().height();
+  out.metrics_json = cluster.metrics_json().to_string();
+  out.trace_summary_json = cluster.trace_summary_json().to_string();
+  if (!trace_path.empty() && cluster.tracer().enabled()) {
+    if (cluster.tracer().export_jsonl(trace_path))
+      std::cout << "Wrote " << trace_path << "\n";
+  }
   return out;
 }
 
@@ -100,6 +114,7 @@ int main() {
            "pending at end", "inclusion median s", "confirm median s"});
 
   JsonObject systems_json;
+  std::string metrics_section, trace_section;
   auto record = [&](const char* name, const TpRun& r) {
     JsonObject sys;
     sys.put("tps_included", r.tps_included);
@@ -112,7 +127,9 @@ int main() {
   };
 
   {
-    TpRun r = run(btc, 14.0, 3600.0, 60);
+    TpRun r = run(btc, 14.0, 3600.0, 60, "TRACE_throughput_chain.jsonl");
+    metrics_section = r.metrics_json;       // reference run: bitcoin-like
+    trace_section = r.trace_summary_json;
     const double norm = r.tps_included * (146.0 / 400.0);
     t.row({"bitcoin-like", "600 s", "1 MB", fmt(r.tps_included, 2),
            fmt(norm, 2), std::to_string(r.pending), fmt(r.incl_median, 0),
@@ -186,6 +203,8 @@ int main() {
   report.put("bench", "throughput_chain");
   report.put_raw("systems", systems_json.to_string());
   report.put_raw("miner_scaling", miners_json.to_string());
+  report.put_raw("metrics", metrics_section);
+  report.put_raw("trace_summary", trace_section);
   write_bench_report("throughput_chain", report);
   std::cout << "\nWrote BENCH_throughput_chain.json\n";
 

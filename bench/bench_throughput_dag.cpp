@@ -12,10 +12,12 @@
 // per-block anti-spam work -- becomes the limit.
 #include <cmath>
 #include <iostream>
+#include <string>
 
 #include "core/json_report.hpp"
 #include "core/lattice_cluster.hpp"
 #include "core/table.hpp"
+#include "obs/trace.hpp"
 
 using namespace dlt;
 using namespace dlt::core;
@@ -27,10 +29,16 @@ struct DagRun {
   double achieved_tps = 0;
   double confirm_median = 0;
   std::uint64_t unsettled = 0;
+  std::string metrics_json;
+  std::string trace_summary_json;
 };
 
-DagRun run(double offered_tps, double bandwidth, int work_bits) {
+/// When `trace_path` is non-empty and DLT_TRACE is set, the run's event
+/// trace is exported as JSONL (byte-identical across identical-seed runs).
+DagRun run(double offered_tps, double bandwidth, int work_bits,
+           const std::string& trace_path = {}) {
   LatticeClusterConfig cfg;
+  cfg.obs.trace_capacity = obs::trace_capacity_from_env();
   cfg.node_count = 6;
   cfg.representative_count = 2;
   cfg.account_count = 48;
@@ -65,6 +73,12 @@ DagRun run(double offered_tps, double bandwidth, int work_bits) {
                            ? m.confirmation_latency.median()
                            : 0;
   out.unsettled = m.pending_end;
+  out.metrics_json = cluster.metrics_json().to_string();
+  out.trace_summary_json = cluster.trace_summary_json().to_string();
+  if (!trace_path.empty() && cluster.tracer().enabled()) {
+    if (cluster.tracer().export_jsonl(trace_path))
+      std::cout << "Wrote " << trace_path << "\n";
+  }
   return out;
 }
 
@@ -84,11 +98,18 @@ int main() {
     return row.to_string();
   };
   JsonArray generous_json, constrained_json;
+  std::string metrics_section, trace_section;
 
   std::cout << "Generous environment (100 Mbit links, trivial work):\n";
   Table t1({"offered TPS", "achieved TPS", "confirm median s", "unsettled"});
   for (double offered : {5.0, 20.0, 60.0, 120.0}) {
-    DagRun r = run(offered, 1.25e7, 2);
+    const bool reference = metrics_section.empty();
+    DagRun r = run(offered, 1.25e7, 2,
+                   reference ? "TRACE_throughput_dag.jsonl" : "");
+    if (reference) {
+      metrics_section = r.metrics_json;
+      trace_section = r.trace_summary_json;
+    }
     t1.row({fmt(r.offered, 0), fmt(r.achieved_tps, 1),
             fmt(r.confirm_median, 3), std::to_string(r.unsettled)});
     generous_json.push_raw(dag_json(r, 1.25e7));
@@ -114,6 +135,8 @@ int main() {
   report.put("bench", "throughput_dag");
   report.put_raw("generous", generous_json.to_string());
   report.put_raw("constrained", constrained_json.to_string());
+  report.put_raw("metrics", metrics_section);
+  report.put_raw("trace_summary", trace_section);
   write_bench_report("throughput_dag", report);
   std::cout << "\nWrote BENCH_throughput_dag.json\n";
 

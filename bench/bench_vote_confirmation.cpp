@@ -5,7 +5,9 @@
 // have not seen before", plus block cementing. Measures time-to-quorum vs
 // representative count and weight distribution, and conflict resolution.
 #include <iostream>
+#include <string>
 
+#include "core/json_report.hpp"
 #include "core/lattice_cluster.hpp"
 #include "core/table.hpp"
 
@@ -22,6 +24,7 @@ struct VoteRun {
   std::uint64_t elections = 0;
   std::uint64_t rollbacks = 0;
   std::uint64_t vote_messages = 0;
+  std::string metrics_json;
 };
 
 VoteRun run(std::size_t reps, double link_delay, bool inject_conflicts) {
@@ -89,6 +92,7 @@ VoteRun run(std::size_t reps, double link_delay, bool inject_conflicts) {
   auto votes = cluster.network().traffic_by_type().find("lat-vote");
   if (votes != cluster.network().traffic_by_type().end())
     out.vote_messages = votes->second.messages;
+  out.metrics_json = cluster.metrics_json().to_string();
   return out;
 }
 
@@ -99,13 +103,24 @@ int main() {
 
   std::cout << "Time to majority-vote confirmation vs representative count "
                "(50 ms links):\n";
+  JsonArray reps_json, delay_json, conflict_json;
+  std::string metrics_section;
   Table t1({"representatives", "confirmed", "cemented", "median s", "p95 s",
             "vote msgs"});
   for (std::size_t reps : {1u, 2u, 4u, 8u}) {
     VoteRun r = run(reps, 0.05, false);
+    if (metrics_section.empty()) metrics_section = r.metrics_json;
     t1.row({std::to_string(reps), std::to_string(r.confirmed),
             std::to_string(r.cemented), fmt(r.confirm_median, 3),
             fmt(r.confirm_p95, 3), std::to_string(r.vote_messages)});
+    JsonObject row;
+    row.put("representatives", static_cast<std::uint64_t>(reps));
+    row.put("confirmed", r.confirmed);
+    row.put("cemented", r.cemented);
+    row.put("confirm_median_s", r.confirm_median);
+    row.put("confirm_p95_s", r.confirm_p95);
+    row.put("vote_messages", r.vote_messages);
+    reps_json.push_raw(row.to_string());
   }
   t1.print();
 
@@ -114,6 +129,11 @@ int main() {
   for (double delay : {0.02, 0.1, 0.3, 1.0}) {
     VoteRun r = run(4, delay, false);
     t2.row({fmt(delay, 2), fmt(r.confirm_median, 3), fmt(r.confirm_p95, 3)});
+    JsonObject row;
+    row.put("link_delay_s", delay);
+    row.put("confirm_median_s", r.confirm_median);
+    row.put("confirm_p95_s", r.confirm_p95);
+    delay_json.push_raw(row.to_string());
   }
   t2.print();
 
@@ -123,6 +143,12 @@ int main() {
     VoteRun r = run(reps, 0.05, true);
     t3.row({std::to_string(reps), std::to_string(r.elections),
             std::to_string(r.rollbacks), std::to_string(r.confirmed)});
+    JsonObject row;
+    row.put("representatives", static_cast<std::uint64_t>(reps));
+    row.put("elections", r.elections);
+    row.put("rollbacks", r.rollbacks);
+    row.put("confirmed", r.confirmed);
+    conflict_json.push_raw(row.to_string());
   }
   t3.print();
 
@@ -134,5 +160,14 @@ int main() {
          "immune (paper: block-cementing prevents rollback). For a "
          "transaction with no issues, no extra voting round is required "
          "beyond the automatic vote broadcast (§III-B).\n";
+
+  JsonObject report;
+  report.put("bench", "vote_confirmation");
+  report.put_raw("representative_sweep", reps_json.to_string());
+  report.put_raw("delay_sweep", delay_json.to_string());
+  report.put_raw("conflict_resolution", conflict_json.to_string());
+  report.put_raw("metrics", metrics_section);
+  write_bench_report("vote_confirmation", report);
+  std::cout << "\nWrote BENCH_vote_confirmation.json\n";
   return 0;
 }

@@ -6,6 +6,7 @@
 #include <deque>
 #include <map>
 
+#include "obs/profile.hpp"
 #include "support/hex.hpp"
 #include "support/log.hpp"
 
@@ -197,8 +198,16 @@ Status Blockchain::check_contextual(const Block& block,
   return Status::success();
 }
 
+void Blockchain::set_metrics(obs::MetricsRegistry* metrics) {
+  profile_connect_ =
+      metrics ? &metrics->histogram("profile.connect_block_us") : nullptr;
+  profile_prefetch_ =
+      metrics ? &metrics->histogram("profile.prefetch_us") : nullptr;
+}
+
 void Blockchain::prefetch_signatures(const Block& block) const {
   if (!verify_pool_ || !sigcache_) return;
+  obs::ProfileTimer timer(profile_prefetch_);
 
   // Collect the independent (pubkey, sighash, signature) checks in block
   // order. Sighashes are memoized here, on the simulation thread, so the
@@ -241,6 +250,7 @@ void Blockchain::prefetch_signatures(const Block& block) const {
 Status Blockchain::connect_block(Record& rec) {
   const Block& block = rec.block;
   const std::uint32_t h = block.header.height;
+  obs::ProfileTimer timer(profile_connect_);
 
   prefetch_signatures(block);
 
@@ -390,6 +400,7 @@ Result<std::uint32_t> Blockchain::adopt_branch(const BlockHash& candidate) {
   fork_stats_.reorgs += 1;
   fork_stats_.blocks_disconnected += depth;
   fork_stats_.max_reorg_depth = std::max(fork_stats_.max_reorg_depth, depth);
+  if (reorg_hook_) reorg_hook_(depth, height());
   return depth;
 }
 
@@ -431,6 +442,7 @@ Result<AcceptResult> Blockchain::submit(const Block& block) {
     result = AcceptResult{Accept::kReorged, *depth};
   } else {
     fork_stats_.side_chain_blocks += 1;
+    if (side_chain_hook_) side_chain_hook_(block);
     result = AcceptResult{Accept::kSideChain, 0};
   }
 

@@ -21,6 +21,7 @@
 #include "chain/state.hpp"
 #include "chain/utxo.hpp"
 #include "crypto/sigcache.hpp"
+#include "obs/metrics.hpp"
 #include "support/result.hpp"
 #include "support/thread_pool.hpp"
 
@@ -139,6 +140,17 @@ class Blockchain {
     disconnect_hooks_.push_back(std::move(fn));
   }
 
+  /// Fires once per applied reorg with (depth, new tip height) — exactly
+  /// when ForkStats::reorgs increments, including reorgs triggered deep in
+  /// orphan processing, so trace-derived counts match the aggregate.
+  void on_reorg(std::function<void(std::uint32_t, std::uint32_t)> fn) {
+    reorg_hook_ = std::move(fn);
+  }
+  /// Fires when a valid block parks on a side chain (a fork opening).
+  void on_side_chain(std::function<void(const Block&)> fn) {
+    side_chain_hook_ = std::move(fn);
+  }
+
   /// ASCII diagram of the block tree near the tip (examples/Fig. 4).
   std::string render_tree(std::uint32_t from_height = 0) const;
 
@@ -154,6 +166,11 @@ class Blockchain {
   void set_verify_pool(std::shared_ptr<support::ThreadPool> pool) {
     verify_pool_ = std::move(pool);
   }
+
+  /// Wall-clock profiling of the validation hot path. Durations land in
+  /// `profile.connect_block_us` / `profile.prefetch_us` histograms; they
+  /// never enter traces (see obs/profile.hpp). May be null.
+  void set_metrics(obs::MetricsRegistry* metrics);
 
  private:
   struct Record {
@@ -205,9 +222,14 @@ class Blockchain {
 
   std::vector<std::function<void(const Block&)>> connect_hooks_;
   std::vector<std::function<void(const Block&)>> disconnect_hooks_;
+  std::function<void(std::uint32_t, std::uint32_t)> reorg_hook_;
+  std::function<void(const Block&)> side_chain_hook_;
 
   std::shared_ptr<crypto::SignatureCache> sigcache_;
   std::shared_ptr<support::ThreadPool> verify_pool_;
+
+  obs::Histogram* profile_connect_ = nullptr;
+  obs::Histogram* profile_prefetch_ = nullptr;
 };
 
 /// Builds the deterministic genesis block for a spec (shared by all nodes).

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "crypto/hashcash.hpp"
+#include "obs/profile.hpp"
 #include "support/log.hpp"
 
 namespace dlt::chain {
@@ -37,9 +38,36 @@ ChainNode::ChainNode(net::Network& network, const ChainParams& params,
 
   chain_.set_sigcache(config_.sigcache);
   chain_.set_verify_pool(config_.verify_pool);
+  chain_.set_metrics(config_.probe.metrics);
+
+  if (config_.probe) {
+    obs_blocks_mined_ = config_.probe.counter("chain.blocks_mined");
+    obs_blocks_received_ = config_.probe.counter("chain.blocks_received");
+    obs_blocks_rejected_ = config_.probe.counter("chain.blocks_rejected");
+    obs_forks_opened_ = config_.probe.counter("chain.forks_opened");
+    obs_reorgs_ = config_.probe.counter("chain.reorgs");
+    obs_votes_cast_ = config_.probe.counter("chain.votes_cast");
+    obs_justified_ = config_.probe.counter("chain.checkpoints_justified");
+    obs_finalized_ = config_.probe.counter("chain.checkpoints_finalized");
+    if (config_.solve_pow)
+      profile_pow_ = config_.probe.histogram("profile.pow_solve_us");
+  }
 
   chain_.on_connect([this](const Block& b) { on_block_connected(b); });
   chain_.on_disconnect([this](const Block& b) { on_block_disconnected(b); });
+  if (config_.probe) {
+    chain_.on_reorg([this](std::uint32_t depth, std::uint32_t new_height) {
+      obs::inc(obs_reorgs_);
+      config_.probe.trace(net_.simulation().now(),
+                          obs::EventType::kReorgApplied, id_, depth,
+                          new_height);
+    });
+    chain_.on_side_chain([this](const Block& b) {
+      obs::inc(obs_forks_opened_);
+      config_.probe.trace(net_.simulation().now(), obs::EventType::kForkOpened,
+                          id_, b.header.height, obs::trace_id(b.hash()));
+    });
+  }
 
   net_.set_handler(id_, [this](const net::Message& m) { handle_message(m); });
 }
@@ -100,9 +128,15 @@ void ChainNode::accept_block(const Block& block, net::NodeId from) {
   const BlockHash old_tip = chain_.tip_hash();
   auto res = chain_.submit(block);
   if (!res) {
+    obs::inc(obs_blocks_rejected_);
     DLT_LOG_DEBUG("node %u rejected block: %s", id_,
                   res.error().to_string().c_str());
     return;
+  }
+  if (res->outcome != Accept::kDuplicate) {
+    obs::inc(obs_blocks_received_);
+    config_.probe.trace(net_.simulation().now(), obs::EventType::kBlockReceived,
+                        id_, block.header.height, obs::trace_id(block.hash()));
   }
   // Orphan: the parent is missing locally -- backfill it from whoever
   // sent us this block (simplified headers-first sync).
@@ -150,6 +184,7 @@ void ChainNode::mine_block() {
 
   if (config_.solve_pow) {
     // Real partial hash inversion against the fractional target.
+    obs::ProfileTimer timer(profile_pow_);
     std::uint64_t nonce = rng_.next();
     for (;; ++nonce) {
       block.header.nonce = nonce;
@@ -166,6 +201,9 @@ void ChainNode::mine_block() {
     DLT_LOG_WARN("node %u mined invalid block: %s", id_,
                  res.error().to_string().c_str());
   } else {
+    obs::inc(obs_blocks_mined_);
+    config_.probe.trace(net_.simulation().now(), obs::EventType::kBlockMined,
+                        id_, block.header.height, block.tx_count());
     net_.gossip(id_,
                 net::make_message(kMsgBlock, block,
                                   block.serialized_size() +
@@ -242,6 +280,9 @@ void ChainNode::run_slot(std::uint64_t slot) {
     ++blocks_mined_;
     auto res = chain_.submit(block);
     if (res) {
+      obs::inc(obs_blocks_mined_);
+      config_.probe.trace(net_.simulation().now(), obs::EventType::kBlockMined,
+                          id_, block.header.height, block.tx_count());
       net_.gossip(id_,
                   net::make_message(kMsgBlock, block,
                                     block.serialized_size() +
@@ -271,6 +312,10 @@ void ChainNode::maybe_vote_checkpoint() {
   vote.sign(wallet_, rng_);
   last_voted_epoch_ = epoch;
 
+  obs::inc(obs_votes_cast_);
+  config_.probe.trace(net_.simulation().now(), obs::EventType::kVoteCast, id_,
+                      epoch, obs::trace_id(vote.target_hash));
+
   handle_vote(vote);  // count own vote locally
   net_.gossip(id_, net::make_message(kMsgVote, vote,
                                      CheckpointVote::kSerializedSize));
@@ -280,7 +325,14 @@ void ChainNode::handle_vote(const CheckpointVote& vote) {
   if (!finality_) return;
   auto outcome = finality_->process_vote(vote);
   if (!outcome) return;
+  if (outcome->justified_target) {
+    obs::inc(obs_justified_);
+    config_.probe.trace(net_.simulation().now(),
+                        obs::EventType::kQuorumReached, id_, vote.target_epoch,
+                        obs::trace_id(vote.target_hash));
+  }
   if (outcome->finalized_source) {
+    obs::inc(obs_finalized_);
     // Non-reversible checkpoint (paper §IV-A): lock fork choice below it.
     (void)chain_.finalize(finality_->last_finalized_hash());
   }
@@ -316,6 +368,8 @@ void ChainNode::on_block_connected(const Block& block) {
     if (!include_time_.count(id)) {
       include_time_[id] = now;
       timings_.inclusion_latency.add(now - it->second);
+      config_.probe.trace(now, obs::EventType::kTxIncluded, id_,
+                          obs::trace_id(id), block.header.height);
     }
   };
   if (block.is_utxo())
@@ -336,6 +390,8 @@ void ChainNode::on_block_connected(const Block& block) {
         timings_.confirmation_latency.add(now - it->second);
         submit_time_.erase(it);
         include_time_.erase(id);
+        config_.probe.trace(now, obs::EventType::kTxConfirmed, id_,
+                            obs::trace_id(id), confirmed_h);
       };
       if (confirmed->is_utxo())
         for (const auto& tx : confirmed->utxo_txs()) record_confirm(tx.id());

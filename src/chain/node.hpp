@@ -12,6 +12,7 @@
 #include "chain/mempool.hpp"
 #include "chain/pos.hpp"
 #include "net/network.hpp"
+#include "obs/probe.hpp"
 #include "support/stats.hpp"
 
 namespace dlt::chain {
@@ -38,6 +39,9 @@ struct NodeConfig {
   /// Thread pool for batch verification during block connect (needs
   /// `sigcache` to stage results). Null = serial verification.
   std::shared_ptr<support::ThreadPool> verify_pool;
+  /// Observability hookup (cluster-owned registry + tracer). A default
+  /// probe is inert; see obs/probe.hpp.
+  obs::Probe probe;
 };
 
 /// Latency metrics a node records about its own submitted transactions.
@@ -120,6 +124,17 @@ class ChainNode {
   std::unordered_map<Hash256, double> submit_time_;
   std::unordered_map<Hash256, double> include_time_;
   TxTimings timings_;
+
+  // Cached registry metrics (null when no probe is attached).
+  obs::Counter* obs_blocks_mined_ = nullptr;
+  obs::Counter* obs_blocks_received_ = nullptr;
+  obs::Counter* obs_blocks_rejected_ = nullptr;
+  obs::Counter* obs_forks_opened_ = nullptr;
+  obs::Counter* obs_reorgs_ = nullptr;
+  obs::Counter* obs_votes_cast_ = nullptr;
+  obs::Counter* obs_justified_ = nullptr;
+  obs::Counter* obs_finalized_ = nullptr;
+  obs::Histogram* profile_pow_ = nullptr;
 };
 
 }  // namespace dlt::chain

@@ -7,8 +7,13 @@ namespace dlt::core {
 ChainCluster::ChainCluster(ChainClusterConfig config)
     : config_(std::move(config)),
       rng_(config_.seed),
-      crypto_(make_cluster_crypto(config_.crypto)) {
+      crypto_(make_cluster_crypto(config_.crypto)),
+      obs_(config_.obs) {
+  submitted_ = &obs_.metrics.counter("cluster.submitted");
+  rejected_ = &obs_.metrics.counter("cluster.rejected");
+
   net_ = std::make_unique<net::Network>(sim_, rng_.fork());
+  net_->set_probe(obs_.probe());
 
   // Workload accounts funded in the genesis allocation (paper §II-A: the
   // initial state is hard-coded in the first block).
@@ -49,6 +54,7 @@ ChainCluster::ChainCluster(ChainClusterConfig config)
       nc.sigcache = std::make_shared<crypto::SignatureCache>(
           config_.crypto.sigcache_capacity);
     nc.verify_pool = crypto_.verify_pool;
+    nc.probe = obs_.probe();
     nodes_.push_back(std::make_unique<chain::ChainNode>(
         *net_, config_.params, genesis, nc, rng_.fork(), stakes));
   }
@@ -69,9 +75,9 @@ Status ChainCluster::submit_payment(std::size_t from, std::size_t to,
                   ? submit_utxo_payment(from, to, amount)
                   : submit_account_payment(from, to, amount);
   if (st.ok())
-    ++submitted_;
+    submitted_->inc();
   else
-    ++rejected_;
+    rejected_->inc();
   return st;
 }
 
@@ -161,8 +167,8 @@ RunMetrics ChainCluster::metrics() const {
   RunMetrics m;
   m.system = config_.params.name;
   m.sim_duration = sim_.now();
-  m.submitted = submitted_;
-  m.rejected = rejected_;
+  m.submitted = submitted_->value();
+  m.rejected = rejected_->value();
 
   const chain::Blockchain& chain = nodes_[0]->chain();
   // Included: payments on the active chain (excludes coinbases).

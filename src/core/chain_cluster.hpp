@@ -40,6 +40,9 @@ struct ChainClusterConfig {
   /// Crypto hot-path knobs (shared sigcache, batch verification).
   CryptoConfig crypto{};
 
+  /// Observability knobs (metrics registry is always on; tracing opt-in).
+  ObsConfig obs{};
+
   std::uint64_t seed = 42;
 };
 
@@ -82,6 +85,23 @@ class ChainCluster {
     return crypto_.sigcache.get();
   }
 
+  /// Cluster-wide observability state (nodes and the network feed it).
+  obs::MetricsRegistry& metrics_registry() { return obs_.metrics; }
+  const obs::MetricsRegistry& metrics_registry() const {
+    return obs_.metrics;
+  }
+  obs::Tracer& tracer() { return obs_.tracer; }
+  const obs::Tracer& tracer() const { return obs_.tracer; }
+  /// Registry JSON with sim.* gauges refreshed — the bench `metrics`
+  /// section.
+  support::JsonObject metrics_json() {
+    obs_.capture_sim(sim_);
+    return obs_.metrics.to_json();
+  }
+  support::JsonObject trace_summary_json() const {
+    return obs_.tracer.summary_json();
+  }
+
  private:
   Status submit_utxo_payment(std::size_t from, std::size_t to,
                              chain::Amount amount);
@@ -91,6 +111,7 @@ class ChainCluster {
   ChainClusterConfig config_;
   Rng rng_;
   ClusterCrypto crypto_;
+  ClusterObs obs_;
   sim::Simulation sim_;
   std::unique_ptr<net::Network> net_;
   std::vector<std::unique_ptr<chain::ChainNode>> nodes_;
@@ -102,8 +123,10 @@ class ChainCluster {
   // Account-model wallet bookkeeping: next nonce per workload account.
   std::vector<std::uint64_t> next_nonce_;
 
-  std::uint64_t submitted_ = 0;
-  std::uint64_t rejected_ = 0;
+  // Workload tallies live in the cluster registry (obs_.metrics); these
+  // are cached handles into it.
+  obs::Counter* submitted_ = nullptr;
+  obs::Counter* rejected_ = nullptr;
 };
 
 }  // namespace dlt::core

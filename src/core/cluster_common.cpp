@@ -13,6 +13,17 @@ ClusterCrypto make_cluster_crypto(const CryptoConfig& config) {
   return out;
 }
 
+void ClusterObs::capture_sim(const sim::Simulation& sim) {
+  metrics.gauge("sim.events_fired")
+      .set(static_cast<double>(sim.events_fired()));
+  metrics.gauge("sim.events_scheduled")
+      .set(static_cast<double>(sim.events_scheduled()));
+  metrics.gauge("sim.events_cancelled")
+      .set(static_cast<double>(sim.events_cancelled()));
+  metrics.gauge("sim.pending").set(static_cast<double>(sim.pending()));
+  metrics.gauge("sim.now").set(sim.now());
+}
+
 std::vector<crypto::KeyPair> make_workload_accounts(std::size_t count) {
   std::vector<crypto::KeyPair> accounts;
   accounts.reserve(count);

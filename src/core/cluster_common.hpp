@@ -11,6 +11,9 @@
 #include "crypto/keys.hpp"
 #include "crypto/sigcache.hpp"
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
+#include "obs/probe.hpp"
+#include "obs/trace.hpp"
 #include "support/rng.hpp"
 #include "support/thread_pool.hpp"
 
@@ -38,6 +41,31 @@ struct ClusterCrypto {
 };
 
 ClusterCrypto make_cluster_crypto(const CryptoConfig& config);
+
+/// Observability knobs common to both cluster kinds. The registry is
+/// always on (cheap: pointer-cached counters); tracing is opt-in because
+/// the ring buffer holds trace_capacity events in memory.
+struct ObsConfig {
+  /// Trace ring capacity in events; 0 = tracing disabled (the record path
+  /// collapses to a branch, and no RunMetrics value may change either way).
+  std::size_t trace_capacity = 0;
+};
+
+/// Cluster-owned observability state. Nodes and the network hold
+/// non-owning Probes into it; the cluster driver exports it into
+/// BENCH_*.json (metrics + trace_summary) at the end of a run.
+struct ClusterObs {
+  obs::MetricsRegistry metrics;
+  obs::Tracer tracer;
+
+  explicit ClusterObs(const ObsConfig& config) {
+    if (config.trace_capacity > 0) tracer.enable(config.trace_capacity);
+  }
+  obs::Probe probe() { return obs::Probe{&metrics, &tracer}; }
+
+  /// Copies scheduler counters into sim.* gauges (call before export).
+  void capture_sim(const sim::Simulation& sim);
+};
 
 /// Workload account keys on the shared deterministic seed schedule, so
 /// fixtures and benches line up across cluster kinds.

@@ -1,110 +1,43 @@
 #include "core/json_report.hpp"
 
-#include <cmath>
-#include <cstdio>
-#include <fstream>
-
-#include "support/log.hpp"
-
 namespace dlt::core {
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
+namespace {
+
+JsonObject percentiles_json(const Percentiles& p) {
+  JsonObject o;
+  o.put("count", static_cast<std::uint64_t>(p.count()));
+  o.put("median", p.median());
+  o.put("p95", p.p95());
+  o.put("p99", p.p99());
+  return o;
 }
 
-std::string json_number(double v) {
-  if (!std::isfinite(v)) return "null";
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.12g", v);
-  return buf;
-}
+}  // namespace
 
-JsonObject& JsonObject::emit(const std::string& key,
-                             const std::string& encoded) {
-  members_.emplace_back(key, encoded);
-  return *this;
-}
-
-JsonObject& JsonObject::put(const std::string& key, const std::string& value) {
-  return emit(key, "\"" + json_escape(value) + "\"");
-}
-JsonObject& JsonObject::put(const std::string& key, const char* value) {
-  return put(key, std::string(value));
-}
-JsonObject& JsonObject::put(const std::string& key, double value) {
-  return emit(key, json_number(value));
-}
-JsonObject& JsonObject::put(const std::string& key, std::uint64_t value) {
-  return emit(key, std::to_string(value));
-}
-JsonObject& JsonObject::put(const std::string& key, std::int64_t value) {
-  return emit(key, std::to_string(value));
-}
-JsonObject& JsonObject::put(const std::string& key, int value) {
-  return emit(key, std::to_string(value));
-}
-JsonObject& JsonObject::put(const std::string& key, bool value) {
-  return emit(key, value ? "true" : "false");
-}
-JsonObject& JsonObject::put_raw(const std::string& key,
-                                const std::string& json) {
-  return emit(key, json);
-}
-
-std::string JsonObject::to_string() const {
-  std::string out = "{";
-  for (std::size_t i = 0; i < members_.size(); ++i) {
-    if (i > 0) out += ",";
-    out += "\"" + json_escape(members_[i].first) + "\":" + members_[i].second;
-  }
-  out += "}";
-  return out;
-}
-
-JsonArray& JsonArray::push_raw(const std::string& json) {
-  items_.push_back(json);
-  return *this;
-}
-
-std::string JsonArray::to_string() const {
-  std::string out = "[";
-  for (std::size_t i = 0; i < items_.size(); ++i) {
-    if (i > 0) out += ",";
-    out += items_[i];
-  }
-  out += "]";
-  return out;
-}
-
-bool write_bench_report(const std::string& bench_name,
-                        const JsonObject& root) {
-  const std::string path = "BENCH_" + bench_name + ".json";
-  std::ofstream out(path);
-  if (!out) {
-    DLT_LOG_WARN("cannot write %s", path.c_str());
-    return false;
-  }
-  out << root.to_string() << "\n";
-  return out.good();
+JsonObject run_metrics_json(const RunMetrics& m) {
+  JsonObject o;
+  o.put("system", m.system);
+  o.put("sim_duration", m.sim_duration);
+  o.put("submitted", m.submitted);
+  o.put("rejected", m.rejected);
+  o.put("included", m.included);
+  o.put("confirmed", m.confirmed);
+  o.put("pending_end", m.pending_end);
+  o.put("tps_included", m.tps_included());
+  o.put("tps_confirmed", m.tps_confirmed());
+  o.put_raw("inclusion_latency",
+            percentiles_json(m.inclusion_latency).to_string());
+  o.put_raw("confirmation_latency",
+            percentiles_json(m.confirmation_latency).to_string());
+  o.put("reorgs", m.reorgs);
+  o.put("orphaned_blocks", m.orphaned_blocks);
+  o.put("max_reorg_depth", static_cast<std::uint64_t>(m.max_reorg_depth));
+  o.put("blocks_produced", m.blocks_produced);
+  o.put("stored_bytes", m.stored_bytes);
+  o.put("messages", m.messages);
+  o.put("message_bytes", m.message_bytes);
+  return o;
 }
 
 }  // namespace dlt::core

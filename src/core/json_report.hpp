@@ -1,53 +1,29 @@
-// Minimal JSON emitter for machine-readable bench reports.
+// Machine-readable bench reports.
+//
+// The JSON emitter itself lives in support/json.hpp so the observability
+// layer (src/obs) can serialize without depending on core; this header
+// re-exports it under the historical dlt::core names and adds the
+// RunMetrics serializer shared by every cluster bench.
 //
 // Benches print human tables to stdout and additionally write
 // BENCH_<name>.json via write_bench_report(), so the perf trajectory can be
-// tracked across PRs by tooling instead of by eyeballing tables. Only what
-// reports need: objects, arrays, strings, numbers, bools -- no parsing.
+// tracked across PRs by tooling (tools/bench_diff.py) instead of by
+// eyeballing tables.
 #pragma once
 
-#include <cstdint>
-#include <string>
-#include <vector>
+#include "core/metrics.hpp"
+#include "support/json.hpp"
 
 namespace dlt::core {
 
-std::string json_escape(const std::string& s);
-/// Doubles print round-trippably; non-finite values become null (JSON has
-/// no NaN/Inf).
-std::string json_number(double v);
+using support::JsonArray;
+using support::JsonObject;
+using support::json_escape;
+using support::json_number;
+using support::write_bench_report;
 
-class JsonObject {
- public:
-  JsonObject& put(const std::string& key, const std::string& value);
-  JsonObject& put(const std::string& key, const char* value);
-  JsonObject& put(const std::string& key, double value);
-  JsonObject& put(const std::string& key, std::uint64_t value);
-  JsonObject& put(const std::string& key, std::int64_t value);
-  JsonObject& put(const std::string& key, int value);
-  JsonObject& put(const std::string& key, bool value);
-  /// Nests pre-encoded JSON (another object's / array's to_string()).
-  JsonObject& put_raw(const std::string& key, const std::string& json);
-
-  std::string to_string() const;
-
- private:
-  JsonObject& emit(const std::string& key, const std::string& encoded);
-  std::vector<std::pair<std::string, std::string>> members_;
-};
-
-class JsonArray {
- public:
-  JsonArray& push_raw(const std::string& json);
-  std::size_t size() const { return items_.size(); }
-  std::string to_string() const;
-
- private:
-  std::vector<std::string> items_;
-};
-
-/// Writes `root` to BENCH_<bench_name>.json in the working directory.
-/// Returns false (after logging) if the file cannot be written.
-bool write_bench_report(const std::string& bench_name, const JsonObject& root);
+/// Serializes a RunMetrics aggregate (counts, tps, latency percentiles,
+/// fork dynamics, storage, traffic) as a JsonObject for bench reports.
+JsonObject run_metrics_json(const RunMetrics& m);
 
 }  // namespace dlt::core

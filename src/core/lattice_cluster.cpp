@@ -8,13 +8,18 @@ LatticeCluster::LatticeCluster(LatticeClusterConfig config)
     : config_(std::move(config)),
       rng_(config_.seed),
       crypto_(make_cluster_crypto(config_.crypto)),
+      obs_(config_.obs),
       genesis_key_(crypto::KeyPair::from_seed(0x6e5)) {
+  submitted_ = &obs_.metrics.counter("cluster.submitted");
+  rejected_ = &obs_.metrics.counter("cluster.rejected");
+
   if (config_.supply == 0) {
     config_.supply = config_.initial_balance *
                      static_cast<lattice::Amount>(config_.account_count) *
                      5 / 4;
   }
   net_ = std::make_unique<net::Network>(sim_, rng_.fork());
+  net_->set_probe(obs_.probe());
 
   accounts_ = make_workload_accounts(config_.account_count);
 
@@ -23,6 +28,7 @@ LatticeCluster::LatticeCluster(LatticeClusterConfig config)
     if (i < config_.roles.size()) nc.role = config_.roles[i];
     nc.solve_work = config_.params.verify_work;
     nc.sigcache = crypto_.sigcache;
+    nc.probe = obs_.probe();
     nodes_.push_back(std::make_unique<lattice::LatticeNode>(
         *net_, config_.params, genesis_key_, config_.supply, nc,
         rng_.fork()));
@@ -81,10 +87,10 @@ Status LatticeCluster::submit_payment(std::size_t from, std::size_t to,
   lattice::LatticeNode& owner = owner_of(from);
   auto res = owner.send(accounts_[from], accounts_[to].account_id(), amount);
   if (res) {
-    ++submitted_;
+    submitted_->inc();
     return Status::success();
   }
-  ++rejected_;
+  rejected_->inc();
   return res.error();
 }
 
@@ -105,8 +111,8 @@ RunMetrics LatticeCluster::metrics() const {
   RunMetrics m;
   m.system = "nano-like";
   m.sim_duration = sim_.now();
-  m.submitted = submitted_;
-  m.rejected = rejected_;
+  m.submitted = submitted_->value();
+  m.rejected = rejected_->value();
 
   const lattice::Ledger& ledger = nodes_[0]->ledger();
   // Included payments = send blocks in the reference ledger.

@@ -37,6 +37,9 @@ struct LatticeClusterConfig {
   /// Crypto hot-path knobs (shared sigcache for block + vote checks).
   CryptoConfig crypto{};
 
+  /// Observability knobs (metrics registry is always on; tracing opt-in).
+  ObsConfig obs{};
+
   std::uint64_t seed = 42;
 };
 
@@ -79,18 +82,38 @@ class LatticeCluster {
     return crypto_.sigcache.get();
   }
 
+  /// Cluster-wide observability state (nodes and the network feed it).
+  obs::MetricsRegistry& metrics_registry() { return obs_.metrics; }
+  const obs::MetricsRegistry& metrics_registry() const {
+    return obs_.metrics;
+  }
+  obs::Tracer& tracer() { return obs_.tracer; }
+  const obs::Tracer& tracer() const { return obs_.tracer; }
+  /// Registry JSON with sim.* gauges refreshed — the bench `metrics`
+  /// section.
+  support::JsonObject metrics_json() {
+    obs_.capture_sim(sim_);
+    return obs_.metrics.to_json();
+  }
+  support::JsonObject trace_summary_json() const {
+    return obs_.tracer.summary_json();
+  }
+
  private:
   LatticeClusterConfig config_;
   Rng rng_;
   ClusterCrypto crypto_;
+  ClusterObs obs_;
   sim::Simulation sim_;
   std::unique_ptr<net::Network> net_;
   std::vector<std::unique_ptr<lattice::LatticeNode>> nodes_;
   std::vector<crypto::KeyPair> accounts_;
   crypto::KeyPair genesis_key_;
 
-  std::uint64_t submitted_ = 0;
-  std::uint64_t rejected_ = 0;
+  // Workload tallies live in the cluster registry (obs_.metrics); these
+  // are cached handles into it.
+  obs::Counter* submitted_ = nullptr;
+  obs::Counter* rejected_ = nullptr;
 };
 
 }  // namespace dlt::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/profile.hpp"
 #include "support/log.hpp"
 
 namespace dlt::lattice {
@@ -32,6 +33,16 @@ LatticeNode::LatticeNode(net::Network& network, const LatticeParams& params,
               supply),
       rng_(std::move(rng)) {
   ledger_.set_sigcache(config_.sigcache);
+  if (config_.probe) {
+    obs_blocks_received_ = config_.probe.counter("lattice.blocks_received");
+    obs_sends_ = config_.probe.counter("lattice.sends_issued");
+    obs_receives_ = config_.probe.counter("lattice.receives_settled");
+    obs_votes_cast_ = config_.probe.counter("lattice.votes_cast");
+    obs_confirmed_ = config_.probe.counter("lattice.blocks_confirmed");
+    obs_elections_ = config_.probe.counter("lattice.elections_started");
+    if (config_.solve_work)
+      profile_work_ = config_.probe.histogram("profile.lattice_work_us");
+  }
   net_.set_handler(id_, [this](const net::Message& m) { handle_message(m); });
 }
 
@@ -139,6 +150,10 @@ void LatticeNode::serve_block(net::NodeId peer, const BlockHash& hash) {
 }
 
 void LatticeNode::handle_block(const LatticeBlock& block, net::NodeId from) {
+  obs::inc(obs_blocks_received_);
+  config_.probe.trace(net_.simulation().now(), obs::EventType::kBlockReceived,
+                      id_, static_cast<std::uint64_t>(block.type),
+                      obs::trace_id(block.hash()));
   if (config_.role == NodeRole::kLight) {
     // Light nodes hold no ledger (paper §V-B); they only watch for sends
     // addressed to their own accounts so they can receive them.
@@ -222,6 +237,10 @@ void LatticeNode::vote_on(const LatticeBlock& block) {
   vote.sequence = vote_sequence_++;
   vote.sign(*rep, rng_);
 
+  obs::inc(obs_votes_cast_);
+  config_.probe.trace(net_.simulation().now(), obs::EventType::kVoteCast, id_,
+                      vote.sequence, obs::trace_id(vote.block));
+
   handle_vote(vote);  // tally our own vote immediately
   net_.gossip(id_, net::make_message(kMsgVote, vote, Vote::kSerializedSize));
 }
@@ -268,6 +287,10 @@ void LatticeNode::tally_confirmation(const BlockHash& hash,
 
   confirmed_.insert(hash);
   ++conf_stats_.blocks_confirmed;
+  obs::inc(obs_confirmed_);
+  config_.probe.trace(net_.simulation().now(), obs::EventType::kQuorumReached,
+                      id_, static_cast<std::uint64_t>(total),
+                      obs::trace_id(hash));
   auto seen = first_seen_.find(hash);
   if (seen != first_seen_.end())
     conf_stats_.time_to_confirm.add(net_.simulation().now() - seen->second);
@@ -310,6 +333,7 @@ void LatticeNode::start_or_join_election(const LatticeBlock& incoming) {
   if (!elections_.count(root)) {
     elections_.emplace(root, Election(root, net_.simulation().now()));
     ++conf_stats_.elections_started;
+    obs::inc(obs_elections_);
     // First-seen rule: a representative endorses the block it already
     // applied, not the newcomer.
     if (existing) vote_on(*existing);
@@ -394,7 +418,13 @@ Result<BlockHash> LatticeNode::send(const crypto::KeyPair& from,
   block.balance = info->head().balance - amount;
   block.link = to;
   block.representative = info->head().representative;
-  return build_and_publish(std::move(block), from);
+  auto res = build_and_publish(std::move(block), from);
+  if (res) {
+    obs::inc(obs_sends_);
+    config_.probe.trace(net_.simulation().now(), obs::EventType::kSendIssued,
+                        id_, amount, obs::trace_id(to));
+  }
+  return res;
 }
 
 Result<BlockHash> LatticeNode::receive_pending(const crypto::KeyPair& key,
@@ -428,7 +458,15 @@ Result<BlockHash> LatticeNode::receive_pending(const crypto::KeyPair& key,
     block.balance = info->head().balance + pend->second.amount;
     block.representative = info->head().representative;
   }
-  return build_and_publish(std::move(block), key);
+  const Amount received = pend->second.amount;
+  auto res = build_and_publish(std::move(block), key);
+  if (res) {
+    obs::inc(obs_receives_);
+    config_.probe.trace(net_.simulation().now(),
+                        obs::EventType::kReceiveSettled, id_, received,
+                        obs::trace_id(send_hash));
+  }
+  return res;
 }
 
 Result<BlockHash> LatticeNode::change_representative(
@@ -447,8 +485,10 @@ Result<BlockHash> LatticeNode::change_representative(
 
 Result<BlockHash> LatticeNode::build_and_publish(LatticeBlock block,
                                                  const crypto::KeyPair& key) {
-  if (config_.solve_work)
+  if (config_.solve_work) {
+    obs::ProfileTimer timer(profile_work_);
     block.solve_work(ledger_.params().work_bits);
+  }
   block.sign(key, rng_);
 
   const BlockHash hash = block.hash();

@@ -16,6 +16,7 @@
 #include "lattice/ledger.hpp"
 #include "lattice/voting.hpp"
 #include "net/network.hpp"
+#include "obs/probe.hpp"
 #include "support/stats.hpp"
 
 namespace dlt::lattice {
@@ -43,6 +44,9 @@ struct LatticeNodeConfig {
   /// Signature-verification cache for block and vote checks, usually
   /// shared across the whole cluster (crypto/sigcache.hpp). May be null.
   std::shared_ptr<crypto::SignatureCache> sigcache;
+  /// Observability hookup (cluster-owned registry + tracer). A default
+  /// probe is inert; see obs/probe.hpp.
+  obs::Probe probe;
 };
 
 /// Statistics on vote-based confirmation (paper §IV-B).
@@ -147,6 +151,15 @@ class LatticeNode {
   std::uint64_t vote_sequence_ = 1;
 
   ConfirmationStats conf_stats_;
+
+  // Cached registry metrics (null when no probe is attached).
+  obs::Counter* obs_blocks_received_ = nullptr;
+  obs::Counter* obs_sends_ = nullptr;
+  obs::Counter* obs_receives_ = nullptr;
+  obs::Counter* obs_votes_cast_ = nullptr;
+  obs::Counter* obs_confirmed_ = nullptr;
+  obs::Counter* obs_elections_ = nullptr;
+  obs::Histogram* profile_work_ = nullptr;
 };
 
 }  // namespace dlt::lattice

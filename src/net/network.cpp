@@ -50,10 +50,20 @@ Network::Link* Network::find_link(NodeId from, NodeId to) {
   return it == links_.end() ? nullptr : &it->second;
 }
 
+void Network::set_probe(obs::Probe probe) {
+  probe_ = probe;
+  obs_messages_ = probe_.counter("net.messages");
+  obs_bytes_ = probe_.counter("net.bytes");
+  obs_dropped_ = probe_.counter("net.dropped");
+}
+
 void Network::send(NodeId from, NodeId to, Message msg) {
   Link* link = find_link(from, to);
   if (link == nullptr || partitioned(from, to)) return;
-  if (loss_rate_ > 0.0 && rng_.chance(loss_rate_)) return;
+  if (loss_rate_ > 0.0 && rng_.chance(loss_rate_)) {
+    obs::inc(obs_dropped_);
+    return;
+  }
 
   msg.from = from;
 
@@ -75,6 +85,17 @@ void Network::send(NodeId from, NodeId to, Message msg) {
   auto& t = by_type_[msg.type];
   t.messages += 1;
   t.bytes += msg.bytes;
+
+  obs::inc(obs_messages_);
+  obs::inc(obs_bytes_, msg.bytes);
+  if (probe_.tracer && probe_.tracer->enabled()) {
+    auto [it, inserted] = type_ids_.emplace(msg.type, type_ids_.size());
+    if (inserted && probe_.metrics)
+      probe_.metrics->gauge("net.kind." + msg.type)
+          .set(static_cast<double>(it->second));
+    probe_.tracer->record(now, obs::EventType::kMessageSent, from, it->second,
+                          msg.bytes);
+  }
 
   sim_.schedule_at(arrive, [this, to, msg = std::move(msg), now] {
     delivery_delay_.add(sim_.now() - now);

@@ -18,6 +18,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/probe.hpp"
 #include "sim/simulation.hpp"
 #include "support/bytes.hpp"
 #include "support/rng.hpp"
@@ -88,6 +89,13 @@ class Network {
   }
   Summary& delivery_delay() { return delivery_delay_; }
 
+  /// Attaches the observability probe: net.messages / net.bytes /
+  /// net.dropped counters plus a message_sent trace event per send. The
+  /// trace's `kind` field is an interned id assigned in first-send order
+  /// (deterministic under the sim); `net.kind.<type>` gauges record the
+  /// mapping in the registry.
+  void set_probe(obs::Probe probe);
+
   sim::Simulation& simulation() { return sim_; }
   Rng& rng() { return rng_; }
 
@@ -119,6 +127,12 @@ class Network {
   TrafficStats total_traffic_;
   std::map<std::string, TrafficStats> by_type_;
   Summary delivery_delay_;
+
+  obs::Probe probe_;
+  obs::Counter* obs_messages_ = nullptr;
+  obs::Counter* obs_bytes_ = nullptr;
+  obs::Counter* obs_dropped_ = nullptr;
+  std::map<std::string, std::uint64_t> type_ids_;  // message_sent `kind`
 };
 
 /// Topology builders (return the network for chaining-free use).

@@ -1,0 +1,50 @@
+#include "obs/metrics.hpp"
+
+namespace dlt::obs {
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+support::JsonObject MetricsRegistry::to_json() const {
+  support::JsonObject root;
+
+  support::JsonObject counters;
+  for (const auto& [name, c] : counters_) counters.put(name, c.value());
+  root.put_raw("counters", counters.to_string());
+
+  support::JsonObject gauges;
+  for (const auto& [name, g] : gauges_) gauges.put(name, g.value());
+  root.put_raw("gauges", gauges.to_string());
+
+  support::JsonObject histograms;
+  for (const auto& [name, h] : histograms_) {
+    support::JsonObject ho;
+    ho.put("count", h.count());
+    ho.put("mean", h.summary().mean());
+    ho.put("min", h.summary().min());
+    ho.put("max", h.summary().max());
+    ho.put("stddev", h.summary().stddev());
+    ho.put("median", h.percentiles().median());
+    ho.put("p95", h.percentiles().p95());
+    ho.put("p99", h.percentiles().p99());
+    histograms.put_raw(name, ho.to_string());
+  }
+  root.put_raw("histograms", histograms.to_string());
+
+  return root;
+}
+
+}  // namespace dlt::obs

@@ -1,0 +1,43 @@
+// ProfileTimer: scoped wall-clock timing for hot paths (block validation,
+// signature verification, PoW solving).
+//
+// Wall-clock durations are inherently nondeterministic, so they feed the
+// MetricsRegistry ONLY — by convention under a "profile." name prefix,
+// which tools/bench_diff.py ignores by default — and are never recorded
+// into traces. Sim-time observables and traces stay bit-for-bit
+// reproducible regardless of host load.
+#pragma once
+
+#include <chrono>
+
+#include "obs/metrics.hpp"
+
+namespace dlt::obs {
+
+class ProfileTimer {
+ public:
+  /// Starts timing iff `sink` is non-null; destructor observes elapsed
+  /// microseconds. The disabled path never touches the clock.
+  explicit ProfileTimer(Histogram* sink) : sink_(sink) {
+    if (sink_) start_ = std::chrono::steady_clock::now();
+  }
+  ~ProfileTimer() { stop(); }
+
+  ProfileTimer(const ProfileTimer&) = delete;
+  ProfileTimer& operator=(const ProfileTimer&) = delete;
+
+  /// Records early and disarms (idempotent).
+  void stop() {
+    if (!sink_) return;
+    const auto end = std::chrono::steady_clock::now();
+    sink_->observe(
+        std::chrono::duration<double, std::micro>(end - start_).count());
+    sink_ = nullptr;
+  }
+
+ private:
+  Histogram* sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace dlt::obs

@@ -19,6 +19,7 @@ bool Simulation::cancel(EventId id) {
   if (it == fns_.end()) return false;
   fns_.erase(it);
   cancelled_.insert(id);
+  ++cancelled_total_;
   return true;
 }
 

@@ -58,6 +58,9 @@ class Simulation {
 
   std::size_t pending() const { return heap_.size() - cancelled_.size(); }
   std::uint64_t events_fired() const { return fired_; }
+  /// Scheduler counters exported by the observability layer (sim.* gauges).
+  std::uint64_t events_scheduled() const { return next_seq_ - 1; }
+  std::uint64_t events_cancelled() const { return cancelled_total_; }
 
  private:
   struct Event {
@@ -76,6 +79,7 @@ class Simulation {
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t fired_ = 0;
+  std::uint64_t cancelled_total_ = 0;
   bool stop_requested_ = false;
   std::priority_queue<Event, std::vector<Event>, Later> heap_;
   std::unordered_set<EventId> cancelled_;

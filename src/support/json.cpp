@@ -1,0 +1,110 @@
+#include "support/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "support/log.hpp"
+
+namespace dlt::support {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+JsonObject& JsonObject::emit(const std::string& key,
+                             const std::string& encoded) {
+  members_.emplace_back(key, encoded);
+  return *this;
+}
+
+JsonObject& JsonObject::put(const std::string& key, const std::string& value) {
+  return emit(key, "\"" + json_escape(value) + "\"");
+}
+JsonObject& JsonObject::put(const std::string& key, const char* value) {
+  return put(key, std::string(value));
+}
+JsonObject& JsonObject::put(const std::string& key, double value) {
+  return emit(key, json_number(value));
+}
+JsonObject& JsonObject::put(const std::string& key, std::uint64_t value) {
+  return emit(key, std::to_string(value));
+}
+JsonObject& JsonObject::put(const std::string& key, std::int64_t value) {
+  return emit(key, std::to_string(value));
+}
+JsonObject& JsonObject::put(const std::string& key, int value) {
+  return emit(key, std::to_string(value));
+}
+JsonObject& JsonObject::put(const std::string& key, bool value) {
+  return emit(key, value ? "true" : "false");
+}
+JsonObject& JsonObject::put_raw(const std::string& key,
+                                const std::string& json) {
+  return emit(key, json);
+}
+
+std::string JsonObject::to_string() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + json_escape(members_[i].first) + "\":" + members_[i].second;
+  }
+  out += "}";
+  return out;
+}
+
+JsonArray& JsonArray::push_raw(const std::string& json) {
+  items_.push_back(json);
+  return *this;
+}
+
+std::string JsonArray::to_string() const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += items_[i];
+  }
+  out += "]";
+  return out;
+}
+
+bool write_bench_report(const std::string& bench_name,
+                        const JsonObject& root) {
+  const std::string path = "BENCH_" + bench_name + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    DLT_LOG_WARN("cannot write %s", path.c_str());
+    return false;
+  }
+  out << root.to_string() << "\n";
+  return out.good();
+}
+
+}  // namespace dlt::support

@@ -1,0 +1,53 @@
+// Minimal JSON emitter shared by the bench reports and the observability
+// layer (obs::MetricsRegistry / obs::Tracer JSON export).
+//
+// Lives in support (not core) so low-level modules can serialize without
+// depending on the cluster drivers. Only what reports need: objects,
+// arrays, strings, numbers, bools -- no parsing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dlt::support {
+
+std::string json_escape(const std::string& s);
+/// Doubles print round-trippably; non-finite values become null (JSON has
+/// no NaN/Inf).
+std::string json_number(double v);
+
+class JsonObject {
+ public:
+  JsonObject& put(const std::string& key, const std::string& value);
+  JsonObject& put(const std::string& key, const char* value);
+  JsonObject& put(const std::string& key, double value);
+  JsonObject& put(const std::string& key, std::uint64_t value);
+  JsonObject& put(const std::string& key, std::int64_t value);
+  JsonObject& put(const std::string& key, int value);
+  JsonObject& put(const std::string& key, bool value);
+  /// Nests pre-encoded JSON (another object's / array's to_string()).
+  JsonObject& put_raw(const std::string& key, const std::string& json);
+
+  std::string to_string() const;
+
+ private:
+  JsonObject& emit(const std::string& key, const std::string& encoded);
+  std::vector<std::pair<std::string, std::string>> members_;
+};
+
+class JsonArray {
+ public:
+  JsonArray& push_raw(const std::string& json);
+  std::size_t size() const { return items_.size(); }
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> items_;
+};
+
+/// Writes `root` to BENCH_<bench_name>.json in the working directory.
+/// Returns false (after logging) if the file cannot be written.
+bool write_bench_report(const std::string& bench_name, const JsonObject& root);
+
+}  // namespace dlt::support

@@ -116,7 +116,27 @@ bool Tangle::cone_conflicts(const TxHash& a, const TxHash& b) const {
   return false;
 }
 
+void Tangle::set_probe(obs::Probe probe) {
+  probe_ = probe;
+  obs_attached_ = probe_.counter("tangle.attached");
+  obs_rejected_ = probe_.counter("tangle.rejected");
+}
+
 Status Tangle::attach(const TangleTx& tx) {
+  Status st = attach_impl(tx);
+  if (st.ok()) {
+    obs::inc(obs_attached_);
+    if (probe_.tracer && probe_.tracer->enabled())
+      probe_.tracer->record(tx.timestamp, obs::EventType::kTipAttached, 0,
+                            obs::trace_id(tx.hash()),
+                            tx.branch == tx.trunk ? 1 : 2);
+  } else {
+    obs::inc(obs_rejected_);
+  }
+  return st;
+}
+
+Status Tangle::attach_impl(const TangleTx& tx) {
   const TxHash hash = tx.hash();
   if (txs_.count(hash)) return make_error("duplicate");
   if (!tx.verify_signature()) return make_error("bad-signature");

@@ -24,6 +24,7 @@
 
 #include "crypto/hashcash.hpp"
 #include "crypto/keys.hpp"
+#include "obs/probe.hpp"
 #include "support/result.hpp"
 #include "support/rng.hpp"
 
@@ -114,7 +115,14 @@ class Tangle {
     return txs_.size() * TangleTx::kSerializedSize;
   }
 
+  /// Observability: tangle.attached / tangle.rejected counters plus a
+  /// tip_attached trace per accepted transaction. Trace timestamps use
+  /// TangleTx::timestamp (issuer-assigned logical time — the tangle has
+  /// no simulation clock), keeping traces deterministic.
+  void set_probe(obs::Probe probe);
+
  private:
+  Status attach_impl(const TangleTx& tx);
   bool cone_conflicts(const TxHash& a, const TxHash& b) const;
 
   TangleParams params_;
@@ -124,6 +132,10 @@ class Tangle {
   std::unordered_set<TxHash> tips_;
   // spend_key -> txs carrying it (conflict detection).
   std::unordered_map<Hash256, std::vector<TxHash>> spends_;
+
+  obs::Probe probe_;
+  obs::Counter* obs_attached_ = nullptr;
+  obs::Counter* obs_rejected_ = nullptr;
 };
 
 /// Convenience issuer: builds, works and signs a transaction approving

@@ -75,6 +75,41 @@ TEST(ChainClusterPow, ForksHappenUnderDelay) {
   EXPECT_GT(m.orphaned_blocks + m.reorgs, 0u);
 }
 
+TEST(ChainClusterPow, TraceEventCountsMatchRunMetrics) {
+  ChainClusterConfig cfg = small_pow_utxo();
+  cfg.params.block_interval = 5.0;  // fast blocks under heavy delay
+  cfg.total_hashrate = 1e6 / 5.0;
+  cfg.link = net::LinkParams{2.0, 0.5, 1e7};
+  cfg.seed = 11;
+  cfg.obs.trace_capacity = 1u << 20;
+  ChainCluster cluster(cfg);
+  cluster.start();
+  cluster.run_for(2000.0);
+
+  // The structured trace and the aggregate RunMetrics are two views of
+  // the same run; the tentpole contract is that they never disagree.
+  RunMetrics m = cluster.metrics();
+  const obs::Tracer& tracer = cluster.tracer();
+  ASSERT_EQ(tracer.dropped(), 0u);  // ring large enough to retain all
+  EXPECT_GT(m.reorgs, 0u);
+  // RunMetrics fork stats are node 0's view; filter the cluster-wide
+  // trace down to node 0's reorg events.
+  std::uint64_t node0_reorgs = 0;
+  for (const obs::TraceEvent& ev : tracer.events())
+    if (ev.type == obs::EventType::kReorgApplied && ev.node == 0)
+      ++node0_reorgs;
+  EXPECT_EQ(node0_reorgs, m.reorgs);
+  // blocks_produced sums every miner, as does the kBlockMined stream.
+  EXPECT_EQ(tracer.count_of(obs::EventType::kBlockMined),
+            m.blocks_produced);
+  // Registry counters, fed by the same probes, agree with the trace.
+  const obs::Counter* reorgs =
+      cluster.metrics_registry().find_counter("chain.reorgs");
+  ASSERT_NE(reorgs, nullptr);
+  EXPECT_EQ(reorgs->value(),
+            tracer.count_of(obs::EventType::kReorgApplied));
+}
+
 TEST(ChainClusterAccount, EthereumStyleFlow) {
   ChainClusterConfig cfg;
   cfg.params = chain::ethereum_like();

@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json snapshots and flag regressions.
+
+Flattens both reports to dotted paths (systems.bitcoin_like.tps_included,
+metrics.counters.chain.blocks_mined, ...), prints per-metric deltas, and
+exits non-zero when any metric regressed by more than the threshold.
+
+Direction matters: most metrics are "bigger is better" (tps, confirmed,
+speedup), but latency/backlog/fork metrics are "smaller is better"; the
+classifier below keys off the metric name. Wall-clock noise is excluded by
+default: keys under a `profile.` histogram prefix and `wall_seconds`
+entries vary run-to-run on a busy machine and are reported informationally
+unless --include-profile is given. The deterministic sections (counters,
+gauges, trace_summary) must match exactly across identical-seed runs --
+use --exact for that stronger check in CI.
+
+Usage:
+  tools/bench_diff.py old/BENCH_throughput_chain.json new/BENCH_throughput_chain.json
+  tools/bench_diff.py --threshold 10 old.json new.json
+  tools/bench_diff.py --exact a/BENCH_x.json b/BENCH_x.json   # byte-level determinism
+"""
+
+import argparse
+import json
+import math
+import sys
+
+# Substrings marking metrics where an increase is a regression.
+SMALLER_IS_BETTER = (
+    "latency",
+    "median",
+    "p95",
+    "p99",
+    "pending",
+    "unsettled",
+    "orphan",
+    "reorg",
+    "rollback",
+    "dropped",
+    "rejected",
+    "bytes",
+    "wall_seconds",
+    "_ns",
+    "_us",
+    "_ms",
+    "rounds_to_drain",
+)
+
+# Wall-clock metrics: noisy, excluded from the regression gate by default.
+PROFILE_MARKERS = ("profile.", "wall_seconds", "_ns", "_us")
+
+
+def flatten(node, prefix=""):
+    """Yield (dotted_path, number) for every numeric leaf."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            yield from flatten(value, f"{prefix}{key}.")
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            yield from flatten(value, f"{prefix}{i}.")
+    elif isinstance(node, bool):
+        yield prefix.rstrip("."), 1.0 if node else 0.0
+    elif isinstance(node, (int, float)):
+        yield prefix.rstrip("."), float(node)
+
+
+def is_profile(path):
+    return any(marker in path for marker in PROFILE_MARKERS)
+
+
+def smaller_is_better(path):
+    leaf = path.rsplit(".", 1)[-1]
+    return any(marker in leaf or marker in path for marker in SMALLER_IS_BETTER)
+
+
+def classify(path, old, new, threshold_pct):
+    """Returns (delta_pct, verdict) with verdict in ok/regressed/improved."""
+    if old == new:
+        return 0.0, "ok"
+    if old == 0.0:
+        delta = math.inf if new > 0 else -math.inf
+    else:
+        delta = (new - old) / abs(old) * 100.0
+    worse = delta < 0 if not smaller_is_better(path) else delta > 0
+    if abs(delta) <= threshold_pct:
+        return delta, "ok"
+    return delta, "regressed" if worse else "improved"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("old", help="baseline BENCH_*.json")
+    parser.add_argument("new", help="candidate BENCH_*.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=5.0,
+        metavar="PCT",
+        help="regression tolerance in percent (default 5)",
+    )
+    parser.add_argument(
+        "--include-profile",
+        action="store_true",
+        help="gate on wall-clock profile.* metrics too (noisy)",
+    )
+    parser.add_argument(
+        "--exact",
+        action="store_true",
+        help="require every metric identical (determinism check)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="only print regressions"
+    )
+    args = parser.parse_args()
+
+    with open(args.old) as f:
+        old_report = json.load(f)
+    with open(args.new) as f:
+        new_report = json.load(f)
+
+    old_metrics = dict(flatten(old_report))
+    new_metrics = dict(flatten(new_report))
+
+    regressions = []
+    rows = []
+    for path in sorted(set(old_metrics) | set(new_metrics)):
+        if path not in old_metrics:
+            rows.append((path, None, new_metrics[path], None, "added"))
+            continue
+        if path not in new_metrics:
+            rows.append((path, old_metrics[path], None, None, "removed"))
+            if args.exact:
+                regressions.append(path)
+            continue
+        old, new = old_metrics[path], new_metrics[path]
+        threshold = 0.0 if args.exact else args.threshold
+        delta, verdict = classify(path, old, new, threshold)
+        profile = is_profile(path)
+        if verdict == "regressed" and profile and not args.include_profile:
+            verdict = "profile-noise"
+        if verdict == "regressed":
+            regressions.append(path)
+        rows.append((path, old, new, delta, verdict))
+
+    def fmt(v):
+        if v is None:
+            return "-"
+        return f"{v:.6g}"
+
+    shown = 0
+    for path, old, new, delta, verdict in rows:
+        if args.quiet and verdict in ("ok", "profile-noise"):
+            continue
+        if verdict == "ok" and delta == 0.0 and not args.exact:
+            continue  # unchanged: keep output focused on movement
+        delta_s = "-" if delta is None else f"{delta:+.2f}%"
+        print(f"{verdict:>13}  {path}: {fmt(old)} -> {fmt(new)} ({delta_s})")
+        shown += 1
+    if shown == 0:
+        print("no metric movement")
+
+    if regressions:
+        print(
+            f"\nFAIL: {len(regressions)} metric(s) regressed beyond "
+            f"{0.0 if args.exact else args.threshold}%:",
+            file=sys.stderr,
+        )
+        for path in regressions:
+            print(f"  {path}", file=sys.stderr)
+        return 1
+    print("\nOK: no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# One-shot gate: tier-1 build + tests, then the same suite under
+# AddressSanitizer and UndefinedBehaviorSanitizer.
+#
+#   tools/check.sh            # all three passes
+#   tools/check.sh --fast     # tier-1 only
+#
+# Each pass uses its own build directory so sanitizer flags never leak
+# into the primary build/ tree.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+run_pass() {
+  local label="$1" dir="$2"
+  shift 2
+  echo "=== [$label] configure ==="
+  cmake -B "$dir" -S . "$@"
+  echo "=== [$label] build ==="
+  cmake --build "$dir" -j "$JOBS"
+  echo "=== [$label] ctest ==="
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+  echo "=== [$label] OK ==="
+}
+
+run_pass tier-1 build
+
+if [[ "$FAST" == "0" ]]; then
+  run_pass asan build-asan -DDLT_SANITIZE=address
+  run_pass ubsan build-ubsan -DDLT_SANITIZE=undefined
+fi
+
+echo "All checks passed."
