@@ -41,6 +41,7 @@ TpRun run(chain::ChainParams params, double offered_tps, double duration,
 
   ChainClusterConfig cfg;
   cfg.params = params;
+  apply_env_crypto(cfg.crypto);  // DLT_VERIFY_THREADS (determinism gate)
   cfg.obs.trace_capacity = obs::trace_capacity_from_env();
   cfg.node_count = 4;
   cfg.miner_count = 2;
@@ -168,6 +169,7 @@ int main() {
 
     ChainClusterConfig cfg;
     cfg.params = p;
+    apply_env_crypto(cfg.crypto);
     cfg.params.initial_difficulty = static_cast<double>(miners) * 1e6;
     cfg.node_count = std::max<std::size_t>(miners, 2);
     cfg.miner_count = miners;

@@ -38,6 +38,7 @@ struct DagRun {
 DagRun run(double offered_tps, double bandwidth, int work_bits,
            const std::string& trace_path = {}) {
   LatticeClusterConfig cfg;
+  apply_env_crypto(cfg.crypto);  // DLT_VERIFY_THREADS (determinism gate)
   cfg.obs.trace_capacity = obs::trace_capacity_from_env();
   cfg.node_count = 6;
   cfg.representative_count = 2;

@@ -20,8 +20,10 @@
 #include "chain/params.hpp"
 #include "chain/state.hpp"
 #include "chain/utxo.hpp"
+#include "chain/validation.hpp"
 #include "crypto/sigcache.hpp"
 #include "obs/metrics.hpp"
+#include "obs/parallel.hpp"
 #include "support/result.hpp"
 #include "support/thread_pool.hpp"
 
@@ -162,9 +164,22 @@ class Blockchain {
   }
   crypto::SignatureCache* sigcache() const { return sigcache_.get(); }
   /// Thread pool for batch signature verification during block connect.
-  /// Requires a sigcache (results are staged there); null = serial.
+  /// With parallel validation off it drives the sigcache prefetch (needs a
+  /// sigcache to stage results); null = serial.
   void set_verify_pool(std::shared_ptr<support::ThreadPool> pool) {
     verify_pool_ = std::move(pool);
+  }
+
+  /// Switches block connect from prefetch-then-serial-verify to the full
+  /// sharded pipeline: stateless checks (signatures, signer derivation)
+  /// run across the verify pool and the serial state-application phase
+  /// consumes the joined verdicts. No-op without a verify pool. The
+  /// serial path remains the reference implementation; both produce
+  /// byte-identical traces, metrics, and ledger state for a given seed
+  /// (proven by tests/parallel_validation_test.cpp).
+  void set_parallel_validation(bool on) { parallel_validation_ = on; }
+  bool parallel_validation() const {
+    return parallel_validation_ && verify_pool_ != nullptr;
   }
 
   /// Wall-clock profiling of the validation hot path. Durations land in
@@ -198,6 +213,14 @@ class Blockchain {
   /// in block order, so determinism and error reporting are untouched.
   void prefetch_signatures(const Block& block) const;
 
+  /// Parallel-validation collect/shard/join. On the simulation thread:
+  /// memoizes every sighash and probes the sigcache in block order (so
+  /// digest caches are never raced and hit/miss accounting matches the
+  /// serial path on valid blocks). Workers then run only pure functions
+  /// (crypto::verify, account_of) into pre-sized verdict slots; the join
+  /// inserts fresh successes into the sigcache in block order.
+  BlockVerdicts compute_verdicts(const Block& block) const;
+
   /// Attempts to make `candidate` the active tip (it must be heavier).
   /// Returns the reorg depth, or an error if its branch proved invalid.
   Result<std::uint32_t> adopt_branch(const BlockHash& candidate);
@@ -227,9 +250,11 @@ class Blockchain {
 
   std::shared_ptr<crypto::SignatureCache> sigcache_;
   std::shared_ptr<support::ThreadPool> verify_pool_;
+  bool parallel_validation_ = false;
 
   obs::Histogram* profile_connect_ = nullptr;
   obs::Histogram* profile_prefetch_ = nullptr;
+  mutable obs::ParallelValidationMetrics pv_;
 };
 
 /// Builds the deterministic genesis block for a spec (shared by all nodes).

@@ -13,6 +13,7 @@
 
 #include "chain/account_tx.hpp"
 #include "chain/params.hpp"
+#include "chain/validation.hpp"
 #include "crypto/trie.hpp"
 #include "support/result.hpp"
 
@@ -44,11 +45,13 @@ class WorldState {
   /// Validates and executes a transaction: signature, nonce, balance
   /// covering value + max fee. Returns the post state; fees are credited
   /// to `fee_recipient` and unused gas refunded to the sender. A shared
-  /// crypto::SignatureCache skips repeat signature verifications.
+  /// crypto::SignatureCache skips repeat signature verifications. When
+  /// `verdict` carries a pre-computed slot (parallel pipeline) the
+  /// signature check reads it instead of re-verifying.
   Result<WorldState> apply_transaction(
       const AccountTransaction& tx, const crypto::AccountId& fee_recipient,
-      const GasSchedule& gs = {},
-      crypto::SignatureCache* sigcache = nullptr) const;
+      const GasSchedule& gs = {}, crypto::SignatureCache* sigcache = nullptr,
+      const TxVerdict* verdict = nullptr) const;
 
   /// Credits `amount` (block reward).
   WorldState credit(const crypto::AccountId& id, Amount amount) const;

@@ -54,6 +54,7 @@ ChainCluster::ChainCluster(ChainClusterConfig config)
       nc.sigcache = std::make_shared<crypto::SignatureCache>(
           config_.crypto.sigcache_capacity);
     nc.verify_pool = crypto_.verify_pool;
+    nc.parallel_validation = config_.crypto.parallel_validation;
     nc.probe = obs_.probe();
     nodes_.push_back(std::make_unique<chain::ChainNode>(
         *net_, config_.params, genesis, nc, rng_.fork(), stakes));
@@ -67,6 +68,10 @@ ChainCluster::ChainCluster(ChainClusterConfig config)
 
 void ChainCluster::start() {
   for (auto& n : nodes_) n->start();
+}
+
+void ChainCluster::set_parallel_validation(bool on) {
+  for (auto& n : nodes_) n->chain().set_parallel_validation(on);
 }
 
 Status ChainCluster::submit_payment(std::size_t from, std::size_t to,

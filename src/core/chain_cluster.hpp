@@ -61,6 +61,12 @@ class ChainCluster {
   /// Starts miners/validators.
   void start();
 
+  /// Toggles the sharded validation pipeline on every node's chain
+  /// (effective for subsequently connected blocks; no-op per node without
+  /// a verify pool). Safe mid-run: either mode yields byte-identical
+  /// simulation output for a given seed.
+  void set_parallel_validation(bool on);
+
   /// Builds, signs and submits one payment between workload accounts
   /// (UTXO: coin selection + change; account model: nonce tracking).
   Status submit_payment(std::size_t from, std::size_t to,

@@ -1,5 +1,7 @@
 #include "core/cluster_common.hpp"
 
+#include <cstdlib>
+
 namespace dlt::core {
 
 ClusterCrypto make_cluster_crypto(const CryptoConfig& config) {
@@ -7,10 +9,25 @@ ClusterCrypto make_cluster_crypto(const CryptoConfig& config) {
   if (config.shared_sigcache)
     out.sigcache =
         std::make_shared<crypto::SignatureCache>(config.sigcache_capacity);
-  if (config.verify_threads > 1)
+  // A 1-thread pool runs parallel_for inline; only build one when the
+  // pipeline asked for it, so prefetch-era configs keep their exact
+  // pool-or-not behavior.
+  if (config.verify_threads > 1 ||
+      (config.parallel_validation && config.verify_threads == 1))
     out.verify_pool =
         std::make_shared<support::ThreadPool>(config.verify_threads);
   return out;
+}
+
+void apply_env_crypto(CryptoConfig& config) {
+  const char* env = std::getenv("DLT_VERIFY_THREADS");
+  if (!env || *env == '\0') return;
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(env, &end, 10);
+  if (end == env || *end != '\0') return;
+  if (v == 0) return;
+  config.verify_threads = static_cast<std::size_t>(v);
+  if (v > 1) config.parallel_validation = true;
 }
 
 void ClusterObs::capture_sim(const sim::Simulation& sim) {

@@ -29,10 +29,21 @@ struct CryptoConfig {
   bool shared_sigcache = true;
   std::size_t sigcache_capacity = 1u << 18;
   /// Total threads for batch signature verification during block connect
-  /// (0 or 1 = serial). Results join in index order, so RunMetrics and
-  /// converged tips are bit-identical to a serial run on the same seed.
+  /// (0 = serial; 1 = a pool that runs inline, useful for differential
+  /// tests). Results join in index order, so RunMetrics and converged tips
+  /// are bit-identical to a serial run on the same seed.
   std::size_t verify_threads = 0;
+  /// Run the full sharded validation pipeline (stateless checks across
+  /// the pool, verdicts consumed by the serial apply phase) instead of the
+  /// prefetch-only reference. Needs verify_threads >= 1.
+  bool parallel_validation = false;
 };
+
+/// Applies the DLT_VERIFY_THREADS environment override used by benches and
+/// the determinism gate: a value > 0 sets verify_threads, and a value > 1
+/// also turns on the sharded pipeline. Unset/invalid leaves `config`
+/// untouched.
+void apply_env_crypto(CryptoConfig& config);
 
 /// Instantiated handles a cluster hands to each of its nodes.
 struct ClusterCrypto {

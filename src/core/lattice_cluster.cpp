@@ -28,6 +28,8 @@ LatticeCluster::LatticeCluster(LatticeClusterConfig config)
     if (i < config_.roles.size()) nc.role = config_.roles[i];
     nc.solve_work = config_.params.verify_work;
     nc.sigcache = crypto_.sigcache;
+    nc.verify_pool = crypto_.verify_pool;
+    nc.parallel_validation = config_.crypto.parallel_validation;
     nc.probe = obs_.probe();
     nodes_.push_back(std::make_unique<lattice::LatticeNode>(
         *net_, config_.params, genesis_key_, config_.supply, nc,
@@ -105,6 +107,10 @@ void LatticeCluster::schedule_workload(
 
 void LatticeCluster::run_for(double seconds) {
   sim_.run_until(sim_.now() + seconds);
+}
+
+void LatticeCluster::set_parallel_validation(bool on) {
+  for (auto& n : nodes_) n->ledger().set_parallel_validation(on);
 }
 
 RunMetrics LatticeCluster::metrics() const {

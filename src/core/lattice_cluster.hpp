@@ -70,6 +70,11 @@ class LatticeCluster {
   void schedule_workload(const std::vector<PaymentEvent>& events);
   void run_for(double seconds);
 
+  /// Toggles the sharded validation pipeline on every node's ledger
+  /// (no-op per node without a verify pool). Safe mid-run: either mode
+  /// yields byte-identical simulation output for a given seed.
+  void set_parallel_validation(bool on);
+
   RunMetrics metrics() const;
 
   /// All nodes hold identical account heads (convergence check).

@@ -11,7 +11,9 @@
 #include <vector>
 
 #include "lattice/block.hpp"
+#include "obs/parallel.hpp"
 #include "support/result.hpp"
+#include "support/thread_pool.hpp"
 
 namespace dlt::lattice {
 
@@ -74,6 +76,24 @@ class Ledger {
     sigcache_ = std::move(cache);
   }
   crypto::SignatureCache* sigcache() const { return sigcache_.get(); }
+
+  /// Thread pool the parallel-validation pipeline shards stateless checks
+  /// (signature + hashcash) across. Null = serial.
+  void set_verify_pool(std::shared_ptr<support::ThreadPool> pool) {
+    verify_pool_ = std::move(pool);
+  }
+  /// Switches process() to the sharded pipeline: the two stateless checks
+  /// of a block run across the verify pool and validate() consumes the
+  /// joined verdict. No-op without a pool; either setting yields
+  /// byte-identical ledger state and traces for a given input sequence.
+  void set_parallel_validation(bool on) { parallel_validation_ = on; }
+  bool parallel_validation() const {
+    return parallel_validation_ && verify_pool_ != nullptr;
+  }
+  /// Wires the `parallel.validate.*` pipeline metrics. May be null.
+  void set_metrics(obs::MetricsRegistry* metrics) {
+    pv_.wire(obs::Probe{metrics, nullptr});
+  }
 
   // ---- Queries -----------------------------------------------------------
   const AccountInfo* account(const crypto::AccountId& id) const;
@@ -144,7 +164,21 @@ class Ledger {
     std::uint32_t height = 0;
   };
 
-  Status validate(const LatticeBlock& block) const;
+  /// Joined results of the stateless checks for one block.
+  struct StatelessVerdict {
+    bool sig_ok = false;
+    bool work_ok = false;
+  };
+
+  /// Runs the stateless checks across the verify pool: the content hash is
+  /// memoized and the sigcache probed on the calling (simulation) thread,
+  /// workers evaluate only pure functions, and fresh signature successes
+  /// enter the cache at the join — exactly where the serial path's
+  /// verify_cached would insert them.
+  StatelessVerdict compute_verdict(const LatticeBlock& block) const;
+
+  Status validate(const LatticeBlock& block,
+                  const StatelessVerdict* verdict = nullptr) const;
   void apply_weight_change(const crypto::AccountId& old_rep, Amount old_bal,
                            const crypto::AccountId& new_rep, Amount new_bal);
   Status rollback_one(const BlockHash& hash,
@@ -164,6 +198,9 @@ class Ledger {
   std::uint64_t block_count_ = 0;
   std::uint64_t pruned_blocks_ = 0;
   std::shared_ptr<crypto::SignatureCache> sigcache_;
+  std::shared_ptr<support::ThreadPool> verify_pool_;
+  bool parallel_validation_ = false;
+  mutable obs::ParallelValidationMetrics pv_;
 };
 
 }  // namespace dlt::lattice

@@ -22,6 +22,7 @@ void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
   if (workers_.empty() || n == 1) {
+    // Inline path: the first exception propagates directly, untouched.
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
@@ -31,6 +32,8 @@ void ThreadPool::parallel_for(std::size_t n,
     n_ = n;
     next_.store(0, std::memory_order_relaxed);
     remaining_.store(n, std::memory_order_relaxed);
+    failed_.store(false, std::memory_order_relaxed);
+    error_ = nullptr;
     ++generation_;
   }
   work_cv_.notify_all();
@@ -43,6 +46,10 @@ void ThreadPool::parallel_for(std::size_t n,
   // exhausted index range and never dereferences a dead fn.
   fn_ = nullptr;
   n_ = 0;
+  std::exception_ptr err = error_;
+  error_ = nullptr;
+  lock.unlock();
+  if (err) std::rethrow_exception(err);
 }
 
 void ThreadPool::worker_loop() {
@@ -67,12 +74,29 @@ void ThreadPool::run_indices(const std::function<void(std::size_t)>* fn,
   for (;;) {
     const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
     if (i >= n) return;
-    (*fn)(i);
+    // Indices claimed after a failure are consumed without running so the
+    // join still completes; the exception surfaces on the caller.
+    if (!failed_.load(std::memory_order_acquire)) {
+      try {
+        (*fn)(i);
+      } catch (...) {
+        capture_exception(i);
+      }
+    }
     if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       std::lock_guard<std::mutex> lock(mutex_);  // pair with done_cv_ wait
       done_cv_.notify_all();
     }
   }
+}
+
+void ThreadPool::capture_exception(std::size_t index) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!error_ || index < error_index_) {
+    error_ = std::current_exception();
+    error_index_ = index;
+  }
+  failed_.store(true, std::memory_order_release);
 }
 
 }  // namespace dlt::support

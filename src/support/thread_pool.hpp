@@ -13,6 +13,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -34,12 +35,20 @@ class ThreadPool {
 
   /// Runs fn(0) .. fn(n-1), each exactly once, returning after all have
   /// completed. fn must be safe to call concurrently for distinct indices
-  /// and must not call parallel_for reentrantly.
+  /// and must not call parallel_for reentrantly. n == 0 is a no-op.
+  ///
+  /// If fn throws, the batch still joins (every index is consumed, though
+  /// indices claimed after the first failure are skipped) and the caller
+  /// rethrows the captured exception with the lowest index among those
+  /// that ran. The pool stays usable for subsequent batches. Exceptions
+  /// are for bugs/resource exhaustion only: validation verdicts must be
+  /// returned as data, never thrown, or the skip would break determinism.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:
   void worker_loop();
   void run_indices(const std::function<void(std::size_t)>* fn, std::size_t n);
+  void capture_exception(std::size_t index);
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;
@@ -51,6 +60,9 @@ class ThreadPool {
   bool stop_ = false;                                     // guarded by mutex_
   std::atomic<std::size_t> next_{0};
   std::atomic<std::size_t> remaining_{0};
+  std::atomic<bool> failed_{false};         // a worker threw this batch
+  std::exception_ptr error_;                // guarded by mutex_
+  std::size_t error_index_ = 0;             // guarded by mutex_
 };
 
 }  // namespace dlt::support

@@ -4,6 +4,7 @@
 #include <deque>
 
 #include "crypto/hash.hpp"
+#include "obs/profile.hpp"
 #include "support/serialize.hpp"
 
 namespace dlt::tangle {
@@ -120,6 +121,7 @@ void Tangle::set_probe(obs::Probe probe) {
   probe_ = probe;
   obs_attached_ = probe_.counter("tangle.attached");
   obs_rejected_ = probe_.counter("tangle.rejected");
+  pv_.wire(probe_);
 }
 
 Status Tangle::attach(const TangleTx& tx) {
@@ -139,9 +141,30 @@ Status Tangle::attach(const TangleTx& tx) {
 Status Tangle::attach_impl(const TangleTx& tx) {
   const TxHash hash = tx.hash();
   if (txs_.count(hash)) return make_error("duplicate");
-  if (!tx.verify_signature()) return make_error("bad-signature");
-  if (params_.verify_work && !tx.verify_work(params_.work_bits))
-    return make_error("insufficient-work");
+  if (parallel_validation()) {
+    // Shard the stateless checks; both are pure functions of `tx`, so the
+    // workers share no mutable state. The join reports failures in the
+    // serial order below (signature before work).
+    const std::size_t n = params_.verify_work ? 2 : 1;
+    std::uint8_t ok[2] = {0, 0};
+    pv_.record_batch(n, verify_pool_->thread_count());
+    {
+      obs::ProfileTimer timer(pv_.join_us);
+      verify_pool_->parallel_for(n, [&](std::size_t k) {
+        if (k == 0)
+          ok[0] = tx.verify_signature() ? 1 : 0;
+        else
+          ok[1] = tx.verify_work(params_.work_bits) ? 1 : 0;
+      });
+    }
+    if (ok[0] == 0) return make_error("bad-signature");
+    if (params_.verify_work && ok[1] == 0)
+      return make_error("insufficient-work");
+  } else {
+    if (!tx.verify_signature()) return make_error("bad-signature");
+    if (params_.verify_work && !tx.verify_work(params_.work_bits))
+      return make_error("insufficient-work");
+  }
   if (!contains(tx.trunk)) return make_error("unknown-trunk");
   if (!contains(tx.branch)) return make_error("unknown-branch");
 

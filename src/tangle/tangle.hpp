@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -24,9 +25,11 @@
 
 #include "crypto/hashcash.hpp"
 #include "crypto/keys.hpp"
+#include "obs/parallel.hpp"
 #include "obs/probe.hpp"
 #include "support/result.hpp"
 #include "support/rng.hpp"
+#include "support/thread_pool.hpp"
 
 namespace dlt::tangle {
 
@@ -121,6 +124,19 @@ class Tangle {
   /// no simulation clock), keeping traces deterministic.
   void set_probe(obs::Probe probe);
 
+  /// Thread pool for the parallel-validation pipeline. Null = serial.
+  void set_verify_pool(std::shared_ptr<support::ThreadPool> pool) {
+    verify_pool_ = std::move(pool);
+  }
+  /// Shards attach()'s stateless checks (signature + hashcash, both pure —
+  /// TangleTx::hash() recomputes rather than memoizes) across the verify
+  /// pool before the serial cone/conflict phase. Needs the pool; attach
+  /// outcomes are identical either way.
+  void set_parallel_validation(bool on) { parallel_validation_ = on; }
+  bool parallel_validation() const {
+    return parallel_validation_ && verify_pool_ != nullptr;
+  }
+
  private:
   Status attach_impl(const TangleTx& tx);
   bool cone_conflicts(const TxHash& a, const TxHash& b) const;
@@ -136,6 +152,10 @@ class Tangle {
   obs::Probe probe_;
   obs::Counter* obs_attached_ = nullptr;
   obs::Counter* obs_rejected_ = nullptr;
+
+  std::shared_ptr<support::ThreadPool> verify_pool_;
+  bool parallel_validation_ = false;
+  obs::ParallelValidationMetrics pv_;
 };
 
 /// Convenience issuer: builds, works and signs a transaction approving

@@ -1,0 +1,548 @@
+// Differential harness for the sharded validation pipeline (ISSUE 3): the
+// same seed run serially and at worker counts {1, 2, 4, 8} must produce
+// byte-identical traces, equal RunMetrics, and the same final ledger state
+// for the blockchain (UTXO and account model), the block-lattice, and the
+// tangle — and tampered signatures must be rejected identically in every
+// mode (the verdict join feeds the exact error the serial path reports).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "chain_test_util.hpp"
+#include "core/chain_cluster.hpp"
+#include "core/lattice_cluster.hpp"
+#include "lattice_test_util.hpp"
+#include "support/thread_pool.hpp"
+#include "tangle/tangle.hpp"
+
+namespace dlt {
+namespace {
+
+/// One validation mode of the differential matrix. `threads == 0` is the
+/// serial reference; otherwise the sharded pipeline runs on a pool of
+/// `threads` (1 = inline on the caller, still exercising the verdict path).
+struct Mode {
+  const char* name;
+  std::size_t threads;
+};
+
+constexpr Mode kPipelineModes[] = {{"w1", 1}, {"w2", 2}, {"w4", 4}, {"w8", 8}};
+
+void apply_mode(core::CryptoConfig& crypto, const Mode& mode) {
+  crypto.verify_threads = mode.threads;
+  crypto.parallel_validation = mode.threads > 0;
+}
+
+std::shared_ptr<support::ThreadPool> make_pool(std::size_t threads) {
+  return std::make_shared<support::ThreadPool>(threads);
+}
+
+void expect_run_metrics_eq(const core::RunMetrics& a,
+                           const core::RunMetrics& b, const char* mode) {
+  SCOPED_TRACE(mode);
+  EXPECT_EQ(a.system, b.system);
+  EXPECT_DOUBLE_EQ(a.sim_duration, b.sim_duration);
+  EXPECT_EQ(a.submitted, b.submitted);
+  EXPECT_EQ(a.rejected, b.rejected);
+  EXPECT_EQ(a.included, b.included);
+  EXPECT_EQ(a.confirmed, b.confirmed);
+  EXPECT_EQ(a.pending_end, b.pending_end);
+  EXPECT_EQ(a.reorgs, b.reorgs);
+  EXPECT_EQ(a.orphaned_blocks, b.orphaned_blocks);
+  EXPECT_EQ(a.max_reorg_depth, b.max_reorg_depth);
+  EXPECT_EQ(a.blocks_produced, b.blocks_produced);
+  EXPECT_EQ(a.stored_bytes, b.stored_bytes);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.message_bytes, b.message_bytes);
+  EXPECT_EQ(a.inclusion_latency.count(), b.inclusion_latency.count());
+  EXPECT_EQ(a.confirmation_latency.count(), b.confirmation_latency.count());
+  if (a.confirmation_latency.count() > 0) {
+    EXPECT_DOUBLE_EQ(a.confirmation_latency.median(),
+                     b.confirmation_latency.median());
+  }
+}
+
+// ------------------------------------------------------- chain (clusters)
+
+struct ChainOutcome {
+  std::string trace;
+  core::RunMetrics metrics;
+  chain::BlockHash tip;
+  bool converged = false;
+  std::uint64_t pv_batches = 0;
+  std::uint64_t pv_checks = 0;
+  std::vector<chain::Amount> balances;  // account model only
+};
+
+core::ChainClusterConfig chain_base_config(chain::ChainParams params) {
+  core::ChainClusterConfig cfg;
+  cfg.params = std::move(params);
+  cfg.params.verify_pow = false;
+  cfg.params.initial_difficulty = 1e6;
+  cfg.params.block_interval = 5.0;
+  cfg.params.retarget_window = 0;
+  cfg.node_count = 4;
+  cfg.miner_count = 3;
+  cfg.total_hashrate = 1e6 / 5.0;
+  cfg.account_count = 8;
+  cfg.link = net::LinkParams{1.0, 0.3, 1e7};  // delay → forks + reorgs
+  cfg.seed = 11;
+  cfg.obs.trace_capacity = 1u << 16;
+  return cfg;
+}
+
+ChainOutcome run_chain(core::ChainClusterConfig cfg) {
+  core::ChainCluster cluster(cfg);
+  cluster.start();
+  Rng wl_rng(7);
+  core::WorkloadConfig wl;
+  wl.account_count = cfg.account_count;
+  wl.tx_rate = 0.5;
+  wl.duration = 300.0;
+  cluster.schedule_workload(core::generate_payments(wl, wl_rng));
+  cluster.run_for(400.0);
+
+  ChainOutcome out;
+  out.trace = cluster.tracer().to_jsonl();
+  out.metrics = cluster.metrics();
+  out.tip = cluster.node(0).chain().tip_hash();
+  out.converged = cluster.converged();
+  const auto& reg = cluster.metrics_registry();
+  if (const obs::Counter* c = reg.find_counter("parallel.validate.batches"))
+    out.pv_batches = c->value();
+  if (const obs::Counter* c = reg.find_counter("parallel.validate.checks"))
+    out.pv_checks = c->value();
+  if (cfg.params.tx_model == chain::TxModel::kAccount) {
+    const chain::WorldState& state = cluster.node(0).chain().world_state();
+    for (std::size_t i = 0; i < cfg.account_count; ++i)
+      out.balances.push_back(state.balance_of(cluster.account(i).account_id()));
+  }
+  return out;
+}
+
+TEST(ParallelValidationChain, UtxoClusterMatchesSerialAtAllWorkerCounts) {
+  core::ChainClusterConfig serial = chain_base_config(chain::bitcoin_like());
+  const ChainOutcome base = run_chain(serial);
+  EXPECT_TRUE(base.converged);
+  EXPECT_GT(base.metrics.included, 0u);
+  EXPECT_EQ(base.pv_batches, 0u);  // serial reference never shards
+
+  for (const Mode& mode : kPipelineModes) {
+    core::ChainClusterConfig cfg = chain_base_config(chain::bitcoin_like());
+    apply_mode(cfg.crypto, mode);
+    const ChainOutcome got = run_chain(cfg);
+    SCOPED_TRACE(mode.name);
+    EXPECT_EQ(got.trace, base.trace);
+    expect_run_metrics_eq(got.metrics, base.metrics, mode.name);
+    EXPECT_EQ(got.tip, base.tip);
+    EXPECT_TRUE(got.converged);
+    EXPECT_GT(got.pv_batches, 0u);
+  }
+
+  // The pipeline's work accounting (batches sharded, checks joined) is part
+  // of the deterministic surface: every worker count sees the same blocks
+  // in the same order, so the counters agree across worker counts.
+  core::ChainClusterConfig two = chain_base_config(chain::bitcoin_like());
+  apply_mode(two.crypto, Mode{"w2", 2});
+  core::ChainClusterConfig eight = chain_base_config(chain::bitcoin_like());
+  apply_mode(eight.crypto, Mode{"w8", 8});
+  const ChainOutcome a = run_chain(two);
+  const ChainOutcome b = run_chain(eight);
+  EXPECT_EQ(a.pv_batches, b.pv_batches);
+  EXPECT_EQ(a.pv_checks, b.pv_checks);
+}
+
+TEST(ParallelValidationChain, AccountClusterMatchesSerialAtAllWorkerCounts) {
+  core::ChainClusterConfig serial = chain_base_config(chain::ethereum_like());
+  const ChainOutcome base = run_chain(serial);
+  EXPECT_TRUE(base.converged);
+  EXPECT_GT(base.metrics.included, 0u);
+
+  for (const Mode& mode : kPipelineModes) {
+    core::ChainClusterConfig cfg = chain_base_config(chain::ethereum_like());
+    apply_mode(cfg.crypto, mode);
+    const ChainOutcome got = run_chain(cfg);
+    SCOPED_TRACE(mode.name);
+    EXPECT_EQ(got.trace, base.trace);
+    expect_run_metrics_eq(got.metrics, base.metrics, mode.name);
+    EXPECT_EQ(got.tip, base.tip);
+    EXPECT_EQ(got.balances, base.balances);
+    EXPECT_TRUE(got.converged);
+    EXPECT_GT(got.pv_batches, 0u);
+  }
+}
+
+// ------------------------------------------- chain (direct, tampered sig)
+
+/// Re-solves a block whose body was edited after sealing (merkle root and
+/// header hash change; the PoW payload is re-derived from scratch).
+void reseal(chain::Block& b) {
+  b.header.merkle_root = b.compute_merkle_root();
+  b.header.invalidate_digests();
+  for (std::uint64_t nonce = 0;; ++nonce) {
+    b.header.nonce = nonce;
+    if (chain::meets_target(b.header.pow_digest(), b.header.difficulty)) break;
+  }
+}
+
+TEST(ParallelValidationChain, UtxoTamperedSignatureRejectsIdentically) {
+  const auto keys = chain::testutil::make_keys(2);
+  const chain::GenesisSpec genesis =
+      chain::testutil::fund_all(keys, 1'000'000);
+  const crypto::AccountId miner = keys[0].account_id();
+  Rng rng(5);
+
+  // Reference chain builds the canonical good and tampered blocks once;
+  // every mode replays the same bytes.
+  chain::Blockchain ref(chain::testutil::cheap_pow_utxo(), genesis);
+
+  chain::Outpoint coin;
+  chain::Amount coin_value = 0;
+  ref.utxo_set().for_each_owned(
+      keys[0].account_id(),
+      [&](const chain::Outpoint& op, const chain::TxOut& out) {
+        coin = op;
+        coin_value = out.value;
+        return false;
+      });
+  ASSERT_GT(coin_value, 0u);
+
+  chain::UtxoTransaction spend;
+  spend.inputs.push_back(chain::TxIn{coin, keys[0].public_key(), {}});
+  spend.outputs.push_back(chain::TxOut{coin_value, keys[1].account_id()});
+  spend.sign_all({keys[0]}, rng);
+
+  const chain::Block good = chain::testutil::seal_block(
+      ref, ref.tip_hash(),
+      chain::UtxoTxList{
+          chain::UtxoTransaction::coinbase(miner, ref.params().block_reward,
+                                           1),
+          spend},
+      miner);
+  ASSERT_TRUE(ref.submit(good));
+
+  // Second block extends `good` (so rejection happens in the connect
+  // phase, not on a side chain) spending keys[1]'s genesis coin; its
+  // signature gets one bit flipped and the block is resealed so only the
+  // state phase can reject it.
+  chain::Outpoint coin2;
+  chain::Amount coin2_value = 0;
+  ref.utxo_set().for_each_owned(
+      keys[1].account_id(),
+      [&](const chain::Outpoint& op, const chain::TxOut& out) {
+        coin2 = op;
+        coin2_value = out.value;
+        return false;
+      });
+  ASSERT_GT(coin2_value, 0u);
+
+  chain::UtxoTransaction spend2;
+  spend2.inputs.push_back(chain::TxIn{coin2, keys[1].public_key(), {}});
+  spend2.outputs.push_back(chain::TxOut{coin2_value, keys[0].account_id()});
+  spend2.sign_all({keys[1]}, rng);
+
+  chain::Block bad = chain::testutil::seal_block(
+      ref, ref.tip_hash(),
+      chain::UtxoTxList{
+          chain::UtxoTransaction::coinbase(miner, ref.params().block_reward,
+                                           2),
+          spend2},
+      miner);
+  std::get<chain::UtxoTxList>(bad.txs)[1].inputs[0].signature.s ^= 1;
+  std::get<chain::UtxoTxList>(bad.txs)[1].invalidate_digests();
+  reseal(bad);
+
+  auto run_mode = [&](std::size_t threads) {
+    chain::Blockchain chain(chain::testutil::cheap_pow_utxo(), genesis);
+    if (threads > 0) {
+      chain.set_sigcache(std::make_shared<crypto::SignatureCache>(1u << 12));
+      chain.set_verify_pool(make_pool(threads));
+      chain.set_parallel_validation(true);
+    }
+    auto ok = chain.submit(good);
+    EXPECT_TRUE(ok) << "good block must connect (threads=" << threads << ")";
+    auto rejected = chain.submit(bad);
+    EXPECT_FALSE(rejected);
+    return std::pair{rejected ? std::string{} : rejected.error().code,
+                     chain.tip_hash()};
+  };
+
+  const auto [serial_code, serial_tip] = run_mode(0);
+  EXPECT_EQ(serial_code, "bad-signature");
+  for (const Mode& mode : kPipelineModes) {
+    SCOPED_TRACE(mode.name);
+    const auto [code, tip] = run_mode(mode.threads);
+    EXPECT_EQ(code, serial_code);
+    EXPECT_EQ(tip, serial_tip);
+  }
+}
+
+TEST(ParallelValidationChain, AccountTamperedSignatureRejectsIdentically) {
+  const auto keys = chain::testutil::make_keys(2);
+  const chain::GenesisSpec genesis =
+      chain::testutil::fund_all(keys, 1'000'000);
+  const crypto::AccountId proposer = keys[0].account_id();
+  Rng rng(6);
+
+  chain::Blockchain ref(chain::testutil::cheap_pow_account(), genesis);
+
+  auto make_payment = [&](std::uint64_t nonce) {
+    chain::AccountTransaction tx;
+    tx.to = keys[1].account_id();
+    tx.value = 500;
+    tx.nonce = nonce;
+    tx.gas_limit = tx.intrinsic_gas();
+    tx.gas_price = 1;
+    tx.sign(keys[0], rng);
+    return tx;
+  };
+
+  const chain::Block good = chain::testutil::seal_account_tip(
+      ref, chain::AccountTxList{make_payment(0)}, proposer);
+  ASSERT_TRUE(ref.submit(good));
+  const chain::Block next = chain::testutil::seal_account_tip(
+      ref, chain::AccountTxList{make_payment(1)}, proposer);
+
+  chain::Block bad = next;
+  std::get<chain::AccountTxList>(bad.txs)[0].signature.s ^= 1;
+  std::get<chain::AccountTxList>(bad.txs)[0].invalidate_digests();
+  reseal(bad);
+
+  auto run_mode = [&](std::size_t threads) {
+    chain::Blockchain chain(chain::testutil::cheap_pow_account(), genesis);
+    if (threads > 0) {
+      chain.set_sigcache(std::make_shared<crypto::SignatureCache>(1u << 12));
+      chain.set_verify_pool(make_pool(threads));
+      chain.set_parallel_validation(true);
+    }
+    EXPECT_TRUE(chain.submit(good));
+    auto rejected = chain.submit(bad);
+    EXPECT_FALSE(rejected);
+    return std::pair{rejected ? std::string{} : rejected.error().code,
+                     chain.tip_hash()};
+  };
+
+  const auto [serial_code, serial_tip] = run_mode(0);
+  EXPECT_EQ(serial_code, "bad-signature");
+  for (const Mode& mode : kPipelineModes) {
+    SCOPED_TRACE(mode.name);
+    const auto [code, tip] = run_mode(mode.threads);
+    EXPECT_EQ(code, serial_code);
+    EXPECT_EQ(tip, serial_tip);
+  }
+}
+
+// ----------------------------------------------------------------- lattice
+
+struct LatticeOutcome {
+  std::string trace;
+  core::RunMetrics metrics;
+  bool converged = false;
+  bool conserves = false;
+  std::vector<lattice::Amount> balances;
+  std::uint64_t pv_batches = 0;
+};
+
+LatticeOutcome run_lattice(const Mode& mode) {
+  core::LatticeClusterConfig cfg;
+  cfg.node_count = 3;
+  cfg.representative_count = 2;
+  cfg.account_count = 6;
+  cfg.params.work_bits = 2;
+  cfg.seed = 99;
+  cfg.obs.trace_capacity = 1u << 16;
+  apply_mode(cfg.crypto, mode);
+  core::LatticeCluster cluster(cfg);
+  cluster.fund_accounts();
+  Rng wl_rng(42);
+  core::WorkloadConfig wl;
+  wl.account_count = 6;
+  wl.tx_rate = 1.0;
+  wl.duration = 30.0;
+  wl.max_amount = 1000;
+  cluster.schedule_workload(core::generate_payments(wl, wl_rng));
+  cluster.run_for(60.0);
+
+  LatticeOutcome out;
+  out.trace = cluster.tracer().to_jsonl();
+  out.metrics = cluster.metrics();
+  out.converged = cluster.converged();
+  const lattice::Ledger& ledger = cluster.node(0).ledger();
+  out.conserves = ledger.conserves_value();
+  for (std::size_t i = 0; i < cfg.account_count; ++i)
+    out.balances.push_back(
+        ledger.balance_of(cluster.account(i).account_id()));
+  if (const obs::Counter* c =
+          cluster.metrics_registry().find_counter("parallel.validate.batches"))
+    out.pv_batches = c->value();
+  return out;
+}
+
+TEST(ParallelValidationLattice, ClusterMatchesSerialAtAllWorkerCounts) {
+  const LatticeOutcome base = run_lattice(Mode{"serial", 0});
+  EXPECT_TRUE(base.converged);
+  EXPECT_TRUE(base.conserves);
+  EXPECT_GT(base.metrics.included, 0u);
+  EXPECT_EQ(base.pv_batches, 0u);
+
+  for (const Mode& mode : kPipelineModes) {
+    const LatticeOutcome got = run_lattice(mode);
+    SCOPED_TRACE(mode.name);
+    EXPECT_EQ(got.trace, base.trace);
+    expect_run_metrics_eq(got.metrics, base.metrics, mode.name);
+    EXPECT_TRUE(got.converged);
+    EXPECT_TRUE(got.conserves);
+    EXPECT_EQ(got.balances, base.balances);
+    EXPECT_GT(got.pv_batches, 0u);
+  }
+}
+
+TEST(ParallelValidationLattice, TamperedBlocksRejectIdentically) {
+  const crypto::KeyPair genesis_key = crypto::KeyPair::from_seed(1);
+  const crypto::KeyPair receiver = crypto::KeyPair::from_seed(2);
+  const lattice::LatticeParams params = lattice::testutil::cheap_params();
+  constexpr lattice::Amount kSupply = 1'000'000;
+
+  // Build the block sequence once against a scratch ledger; each mode then
+  // replays the identical bytes.
+  lattice::Ledger scratch(params, genesis_key.account_id(),
+                          genesis_key.account_id(), kSupply);
+  Rng rng(9);
+  lattice::testutil::Builder build{scratch, rng, params.work_bits};
+  const lattice::LatticeBlock send =
+      build.send(genesis_key, receiver.account_id(), 250);
+  ASSERT_TRUE(scratch.process(send).ok());
+
+  lattice::LatticeBlock tampered =
+      build.send(genesis_key, receiver.account_id(), 100);
+  tampered.signature.s ^= 1;
+
+  // Valid signature over weak (zero-bit) work: the signature check passes
+  // and the hashcash check must be the one that rejects.
+  lattice::testutil::Builder weak{scratch, rng, 0};
+  lattice::LatticeBlock lazy =
+      weak.send(genesis_key, receiver.account_id(), 100);
+  const bool lazy_meets_work = lazy.verify_work(params.work_bits);
+
+  auto run_mode = [&](std::size_t threads) {
+    lattice::Ledger ledger(params, genesis_key.account_id(),
+                           genesis_key.account_id(), kSupply);
+    if (threads > 0) {
+      ledger.set_sigcache(std::make_shared<crypto::SignatureCache>(1u << 12));
+      ledger.set_verify_pool(make_pool(threads));
+      ledger.set_parallel_validation(true);
+    }
+    std::vector<std::string> codes;
+    const std::array<const lattice::LatticeBlock*, 3> sequence{
+        &send, &tampered, &lazy};
+    for (const lattice::LatticeBlock* b : sequence) {
+      const Status st = ledger.process(*b);
+      codes.push_back(st.ok() ? "ok" : st.error().code);
+    }
+    return codes;
+  };
+
+  const std::vector<std::string> serial = run_mode(0);
+  EXPECT_EQ(serial[0], "ok");
+  EXPECT_EQ(serial[1], "bad-signature");
+  if (!lazy_meets_work) {
+    EXPECT_EQ(serial[2], "insufficient-work");
+  }
+  for (const Mode& mode : kPipelineModes) {
+    SCOPED_TRACE(mode.name);
+    EXPECT_EQ(run_mode(mode.threads), serial);
+  }
+}
+
+// ------------------------------------------------------------------ tangle
+
+TEST(ParallelValidationTangle, AttachSequenceMatchesSerialAtAllWorkerCounts) {
+  tangle::TangleParams params;
+  params.work_bits = 2;
+  const crypto::KeyPair issuer = crypto::KeyPair::from_seed(1);
+
+  // Build the transaction sequence once against a reference tangle (tip
+  // selection consumes the rng, so construction must track a live state),
+  // then replay the same transactions into every mode.
+  std::vector<tangle::TangleTx> txs;
+  {
+    tangle::Tangle ref(params);
+    Rng rng(3);
+    for (int i = 0; i < 40; ++i) {
+      const tangle::TxHash trunk = ref.select_tip(rng);
+      const tangle::TxHash branch = ref.select_tip(rng);
+      tangle::TangleTx tx = tangle::make_tx(
+          ref, issuer, trunk, branch,
+          crypto::Sha256::digest(as_bytes("pv-payload" + std::to_string(i))),
+          i, rng);
+      if (i == 20) tx.payload.v[0] ^= 1;  // breaks the signature
+      else ASSERT_TRUE(ref.attach(tx).ok());
+      txs.push_back(tx);
+    }
+    txs.push_back(txs[7]);  // duplicate, rejected in the stateful phase
+  }
+
+  struct TangleOutcome {
+    std::vector<std::string> codes;
+    std::size_t size = 0;
+    std::vector<tangle::TxHash> tips;
+    std::size_t genesis_weight = 0;
+    std::uint64_t pv_batches = 0;
+    std::uint64_t pv_checks = 0;
+  };
+  auto run_mode = [&](std::size_t threads) {
+    obs::MetricsRegistry reg;
+    tangle::Tangle tangle(params);
+    tangle.set_probe(obs::Probe{&reg, nullptr});
+    if (threads > 0) {
+      tangle.set_verify_pool(make_pool(threads));
+      tangle.set_parallel_validation(true);
+    }
+    TangleOutcome out;
+    for (const tangle::TangleTx& tx : txs) {
+      const Status st = tangle.attach(tx);
+      out.codes.push_back(st.ok() ? "ok" : st.error().code);
+    }
+    out.size = tangle.size();
+    out.tips = tangle.tips();
+    out.genesis_weight = tangle.cumulative_weight(tangle.genesis());
+    if (const obs::Counter* c = reg.find_counter("parallel.validate.batches"))
+      out.pv_batches = c->value();
+    if (const obs::Counter* c = reg.find_counter("parallel.validate.checks"))
+      out.pv_checks = c->value();
+    return out;
+  };
+
+  const TangleOutcome base = run_mode(0);
+  EXPECT_EQ(base.codes[20], "bad-signature");
+  EXPECT_EQ(base.codes.back(), "duplicate");
+  EXPECT_EQ(base.genesis_weight, base.size);
+  EXPECT_EQ(base.pv_batches, 0u);
+
+  TangleOutcome prev{};
+  bool have_prev = false;
+  for (const Mode& mode : kPipelineModes) {
+    SCOPED_TRACE(mode.name);
+    const TangleOutcome got = run_mode(mode.threads);
+    EXPECT_EQ(got.codes, base.codes);
+    EXPECT_EQ(got.size, base.size);
+    EXPECT_EQ(got.tips, base.tips);
+    EXPECT_EQ(got.genesis_weight, base.genesis_weight);
+    EXPECT_GT(got.pv_batches, 0u);
+    // Work accounting is worker-count independent.
+    if (have_prev) {
+      EXPECT_EQ(got.pv_batches, prev.pv_batches);
+      EXPECT_EQ(got.pv_checks, prev.pv_checks);
+    }
+    prev = got;
+    have_prev = true;
+  }
+}
+
+}  // namespace
+}  // namespace dlt

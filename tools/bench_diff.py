@@ -18,6 +18,7 @@ Usage:
   tools/bench_diff.py old/BENCH_throughput_chain.json new/BENCH_throughput_chain.json
   tools/bench_diff.py --threshold 10 old.json new.json
   tools/bench_diff.py --exact a/BENCH_x.json b/BENCH_x.json   # byte-level determinism
+  tools/bench_diff.py --exact --ignore cluster.parallel.validate.workers a.json b.json
 """
 
 import argparse
@@ -106,7 +107,16 @@ def main():
     parser.add_argument(
         "--exact",
         action="store_true",
-        help="require every metric identical (determinism check)",
+        help="require every metric identical (determinism check); any "
+        "movement, addition, or removal fails",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="PREFIX",
+        help="skip metrics whose dotted path starts with PREFIX "
+        "(repeatable; e.g. deliberately run-dependent gauges)",
     )
     parser.add_argument(
         "--quiet", action="store_true", help="only print regressions"
@@ -124,8 +134,14 @@ def main():
     regressions = []
     rows = []
     for path in sorted(set(old_metrics) | set(new_metrics)):
+        if any(path.startswith(prefix) for prefix in args.ignore):
+            rows.append((path, old_metrics.get(path), new_metrics.get(path),
+                         None, "ignored"))
+            continue
         if path not in old_metrics:
             rows.append((path, None, new_metrics[path], None, "added"))
+            if args.exact:
+                regressions.append(path)
             continue
         if path not in new_metrics:
             rows.append((path, old_metrics[path], None, None, "removed"))
@@ -136,9 +152,10 @@ def main():
         threshold = 0.0 if args.exact else args.threshold
         delta, verdict = classify(path, old, new, threshold)
         profile = is_profile(path)
-        if verdict == "regressed" and profile and not args.include_profile:
-            verdict = "profile-noise"
-        if verdict == "regressed":
+        if profile and not args.include_profile:
+            if verdict in ("regressed", "improved"):
+                verdict = "profile-noise"
+        elif verdict == "regressed" or (args.exact and verdict == "improved"):
             regressions.append(path)
         rows.append((path, old, new, delta, verdict))
 
@@ -149,7 +166,7 @@ def main():
 
     shown = 0
     for path, old, new, delta, verdict in rows:
-        if args.quiet and verdict in ("ok", "profile-noise"):
+        if args.quiet and verdict in ("ok", "profile-noise", "ignored"):
             continue
         if verdict == "ok" and delta == 0.0 and not args.exact:
             continue  # unchanged: keep output focused on movement

@@ -2,18 +2,23 @@
 # One-shot gate: tier-1 build + tests, then the same suite under
 # AddressSanitizer and UndefinedBehaviorSanitizer.
 #
-#   tools/check.sh            # all three passes
-#   tools/check.sh --fast     # tier-1 only
+#   tools/check.sh                # all three passes
+#   tools/check.sh --fast         # tier-1 only
+#   tools/check.sh --determinism  # tier-1 + parallel-validation gate
 #
 # Each pass uses its own build directory so sanitizer flags never leak
-# into the primary build/ tree.
+# into the primary build/ tree. --determinism replays the same seed at
+# two worker counts and requires identical metrics + byte-identical
+# traces (tools/determinism_gate.sh).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
 FAST=0
+DETERMINISM=0
 [[ "${1:-}" == "--fast" ]] && FAST=1
+[[ "${1:-}" == "--determinism" ]] && { FAST=1; DETERMINISM=1; }
 
 run_pass() {
   local label="$1" dir="$2"
@@ -28,6 +33,10 @@ run_pass() {
 }
 
 run_pass tier-1 build
+
+if [[ "$DETERMINISM" == "1" ]]; then
+  tools/determinism_gate.sh build
+fi
 
 if [[ "$FAST" == "0" ]]; then
   run_pass asan build-asan -DDLT_SANITIZE=address

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Determinism gate for the parallel validation pipeline: the same seed run
+# at two different worker counts must emit byte-identical event traces and
+# an identical BENCH_*.json metrics section. Only wall-clock histograms
+# (profile.*, *_us) and the deliberately run-dependent
+# parallel.validate.workers gauge are exempt.
+#
+#   tools/determinism_gate.sh [build-dir]   # default: build
+#
+# Invoked by tools/check.sh --determinism, or via ctest when configured
+# with -DDLT_DETERMINISM_GATE=ON.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+[[ "$BUILD" = /* ]] || BUILD="$(pwd)/$BUILD"
+BIN="$BUILD/bench/bench_throughput_chain"
+DIFF="$(pwd)/tools/bench_diff.py"
+
+if [[ ! -x "$BIN" ]]; then
+  echo "determinism gate: $BIN not built (build the bench targets first)" >&2
+  exit 2
+fi
+
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+
+for threads in 2 4; do
+  dir="$work/w$threads"
+  mkdir -p "$dir"
+  echo "=== [determinism] bench_throughput_chain @ DLT_VERIFY_THREADS=$threads ==="
+  (cd "$dir" && DLT_VERIFY_THREADS="$threads" DLT_TRACE=1 "$BIN" >/dev/null)
+done
+
+echo "=== [determinism] metrics: exact diff (wall-clock + worker gauge exempt) ==="
+python3 "$DIFF" --exact --quiet \
+  --ignore metrics.gauges.parallel.validate.workers \
+  "$work/w2/BENCH_throughput_chain.json" \
+  "$work/w4/BENCH_throughput_chain.json"
+
+echo "=== [determinism] trace: byte compare ==="
+cmp "$work/w2/TRACE_throughput_chain.jsonl" \
+    "$work/w4/TRACE_throughput_chain.jsonl"
+echo "traces byte-identical"
+echo "=== [determinism] OK ==="
