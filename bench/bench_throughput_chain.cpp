@@ -43,6 +43,8 @@ TpRun run(chain::ChainParams params, double offered_tps, double duration,
   cfg.params = params;
   apply_env_crypto(cfg.crypto);  // DLT_VERIFY_THREADS (determinism gate)
   cfg.obs.trace_capacity = obs::trace_capacity_from_env();
+  // DLT_TRACE_SINK streams the reference run write-through (ring optional).
+  if (!trace_path.empty()) cfg.obs.trace_sink = obs::trace_sink_from_env();
   cfg.node_count = 4;
   cfg.miner_count = 2;
   cfg.validator_count = 4;
@@ -88,7 +90,8 @@ TpRun run(chain::ChainParams params, double offered_tps, double duration,
   out.blocks = cluster.node(0).chain().height();
   out.metrics_json = cluster.metrics_json().to_string();
   out.trace_summary_json = cluster.trace_summary_json().to_string();
-  if (!trace_path.empty() && cluster.tracer().enabled()) {
+  if (!trace_path.empty() && cluster.tracer().enabled() &&
+      !cluster.tracer().events().empty()) {  // sink-only mode has no ring
     if (cluster.tracer().export_jsonl(trace_path))
       std::cout << "Wrote " << trace_path << "\n";
   }

@@ -203,7 +203,7 @@ void Blockchain::set_metrics(obs::MetricsRegistry* metrics) {
       metrics ? &metrics->histogram("profile.connect_block_us") : nullptr;
   profile_prefetch_ =
       metrics ? &metrics->histogram("profile.prefetch_us") : nullptr;
-  pv_.wire(obs::Probe{metrics, nullptr});
+  pv_.wire(obs::Probe{metrics, nullptr, {}});
 }
 
 void Blockchain::prefetch_signatures(const Block& block) const {

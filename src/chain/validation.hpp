@@ -1,41 +1,17 @@
-// Verdicts produced by the sharded stateless-validation phase and consumed
-// by the serial state-application phase of block connect.
+// Chain-facing aliases for the shared validation verdicts.
 //
-// The pipeline (chain::Blockchain::compute_verdicts) runs signature checks
-// and signer derivation for every input of every transaction on the verify
-// pool, writing each result into a pre-sized slot. The serial consume loop
-// then reads the slots in (tx, input) order instead of re-running the
-// expensive checks, so the error it reports for an invalid block is the
-// same one the serial reference path reports: `crypto::verify` is pure,
-// which makes a verdict slot equivalent to an inline check at the same
-// position in the serial order.
+// The verdict structs were promoted to core/validation.hpp when the
+// collect/shard/join pipeline became common to all three ledgers; these
+// aliases keep the historical dlt::chain spellings working (the pipeline
+// itself lives in chain::Blockchain::compute_verdicts).
 #pragma once
 
-#include <cstddef>
-#include <vector>
-
-#include "crypto/keys.hpp"
+#include "core/validation.hpp"
 
 namespace dlt::chain {
 
-/// One signed input (UTXO model) or the single authorizing signature of an
-/// account transaction.
-struct InputVerdict {
-  crypto::AccountId signer{};  // account_of(pubkey), for the owner check
-  bool sig_ok = false;         // signature valid over the tx sighash
-};
-
-struct TxVerdict {
-  std::vector<InputVerdict> inputs;  // index-aligned with tx.inputs
-};
-
-/// Index-aligned with the block's transaction list.
-struct BlockVerdicts {
-  std::vector<TxVerdict> txs;
-
-  const TxVerdict* tx(std::size_t i) const {
-    return i < txs.size() ? &txs[i] : nullptr;
-  }
-};
+using InputVerdict = core::InputVerdict;
+using TxVerdict = core::TxVerdict;
+using BlockVerdicts = core::BlockVerdicts;
 
 }  // namespace dlt::chain

@@ -4,92 +4,15 @@
 
 namespace dlt::core {
 
-ChainCluster::ChainCluster(ChainClusterConfig config)
-    : config_(std::move(config)),
-      rng_(config_.seed),
-      crypto_(make_cluster_crypto(config_.crypto)),
-      obs_(config_.obs) {
-  submitted_ = &obs_.metrics.counter("cluster.submitted");
-  rejected_ = &obs_.metrics.counter("cluster.rejected");
+namespace {
 
-  net_ = std::make_unique<net::Network>(sim_, rng_.fork());
-  net_->set_probe(obs_.probe());
+using Engine = ClusterEngine<ChainTraits>;
 
-  // Workload accounts funded in the genesis allocation (paper §II-A: the
-  // initial state is hard-coded in the first block).
-  accounts_ = make_workload_accounts(config_.account_count);
-  chain::GenesisSpec genesis;
-  for (std::size_t i = 0; i < config_.account_count; ++i) {
-    const std::size_t coins =
-        std::max<std::size_t>(1, config_.genesis_outputs_per_account);
-    for (std::size_t j = 0; j < coins; ++j)
-      genesis.allocations.emplace_back(accounts_[i].account_id(),
-                                       config_.initial_balance);
-  }
-  next_nonce_.assign(config_.account_count, 0);
-
-  // PoS stake table shared by every node.
-  std::vector<chain::StakeAllocation> stakes;
-  if (config_.params.consensus == chain::ConsensusKind::kProofOfStake) {
-    for (std::size_t i = 0; i < config_.validator_count; ++i) {
-      const crypto::KeyPair key = crypto::KeyPair::from_seed(0x4000 + i);
-      stakes.push_back(chain::StakeAllocation{
-          key.account_id(), key.public_key(), config_.stake_per_validator});
-    }
-  }
-
-  for (std::size_t i = 0; i < config_.node_count; ++i) {
-    chain::NodeConfig nc;
-    nc.wallet_seed = 0x4000 + i;  // validators sign with their stake key
-    if (config_.params.consensus == chain::ConsensusKind::kProofOfWork &&
-        i < config_.miner_count) {
-      nc.hashrate = config_.total_hashrate /
-                    static_cast<double>(config_.miner_count);
-      nc.solve_pow = config_.params.verify_pow;
-    }
-    nc.sigcache = crypto_.sigcache;
-    // Batch verification stages results in a sigcache; give each node a
-    // private one if the cluster-wide cache is disabled.
-    if (crypto_.verify_pool && !nc.sigcache)
-      nc.sigcache = std::make_shared<crypto::SignatureCache>(
-          config_.crypto.sigcache_capacity);
-    nc.verify_pool = crypto_.verify_pool;
-    nc.parallel_validation = config_.crypto.parallel_validation;
-    nc.probe = obs_.probe();
-    nodes_.push_back(std::make_unique<chain::ChainNode>(
-        *net_, config_.params, genesis, nc, rng_.fork(), stakes));
-  }
-
-  std::vector<net::NodeId> ids;
-  for (const auto& n : nodes_) ids.push_back(n->id());
-  build_topology(*net_, ids, config_.topology, config_.link,
-                 config_.random_degree, rng_);
-}
-
-void ChainCluster::start() {
-  for (auto& n : nodes_) n->start();
-}
-
-void ChainCluster::set_parallel_validation(bool on) {
-  for (auto& n : nodes_) n->chain().set_parallel_validation(on);
-}
-
-Status ChainCluster::submit_payment(std::size_t from, std::size_t to,
-                                    chain::Amount amount) {
-  Status st = config_.params.tx_model == chain::TxModel::kUtxo
-                  ? submit_utxo_payment(from, to, amount)
-                  : submit_account_payment(from, to, amount);
-  if (st.ok())
-    submitted_->inc();
-  else
-    rejected_->inc();
-  return st;
-}
-
-Status ChainCluster::submit_utxo_payment(std::size_t from, std::size_t to,
-                                         chain::Amount amount) {
-  chain::ChainNode& node = *nodes_[0];
-  const crypto::KeyPair& key = accounts_[from];
+Status submit_utxo_payment(Engine& e, std::size_t from, std::size_t to,
+                           chain::Amount amount) {
+  chain::ChainNode& node = e.node(0);
+  ChainTraits::State& state = e.state();
+  const crypto::KeyPair& key = e.account(from);
   const chain::Amount fee = 1000;
 
   // Coin selection against the reference node's chainstate, skipping
@@ -101,7 +24,7 @@ Status ChainCluster::submit_utxo_payment(std::size_t from, std::size_t to,
   node.chain().utxo_set().for_each_owned(
       key.account_id(),
       [&](const chain::Outpoint& op, const chain::TxOut& out) {
-        if (reserved_.count(op)) return true;
+        if (state.reserved.count(op)) return true;
         selected.emplace_back(op, out);
         gathered += out.value;
         return gathered < amount + fee;
@@ -113,69 +36,131 @@ Status ChainCluster::submit_utxo_payment(std::size_t from, std::size_t to,
   for (const auto& [op, out] : selected)
     tx.inputs.push_back(chain::TxIn{op, key.public_key(), {}});
   tx.outputs.push_back(
-      chain::TxOut{amount, accounts_[to].account_id()});
+      chain::TxOut{amount, e.account(to).account_id()});
   if (gathered > amount + fee)
     tx.outputs.push_back(
         chain::TxOut{gathered - amount - fee, key.account_id()});
-  tx.sign_all({key}, rng_);
+  tx.sign_all({key}, e.rng());
 
   Status st = node.submit_transaction(tx);
   if (st.ok())
-    for (const auto& [op, out] : selected) reserved_.insert(op);
+    for (const auto& [op, out] : selected) state.reserved.insert(op);
   // Reserved outpoints are released lazily: once spent they vanish from
   // the UTXO set and future scans skip them anyway. Compact with a
   // doubling threshold so the scan cost stays amortized O(1) per payment.
-  if (reserved_.size() > reserved_compact_at_) {
-    for (auto it = reserved_.begin(); it != reserved_.end();) {
+  if (state.reserved.size() > state.reserved_compact_at) {
+    for (auto it = state.reserved.begin(); it != state.reserved.end();) {
       it = node.chain().utxo_set().contains(*it) ? std::next(it)
-                                                 : reserved_.erase(it);
+                                                 : state.reserved.erase(it);
     }
-    reserved_compact_at_ = std::max<std::size_t>(8192, reserved_.size() * 2);
+    state.reserved_compact_at =
+        std::max<std::size_t>(8192, state.reserved.size() * 2);
   }
   return st;
 }
 
-Status ChainCluster::submit_account_payment(std::size_t from, std::size_t to,
-                                            chain::Amount amount) {
-  chain::ChainNode& node = *nodes_[0];
-  const crypto::KeyPair& key = accounts_[from];
+Status submit_account_payment(Engine& e, std::size_t from, std::size_t to,
+                              chain::Amount amount) {
+  chain::ChainNode& node = e.node(0);
+  ChainTraits::State& state = e.state();
+  const crypto::KeyPair& key = e.account(from);
 
   chain::AccountTransaction tx;
-  tx.to = accounts_[to].account_id();
+  tx.to = e.account(to).account_id();
   tx.value = amount;
-  tx.nonce = next_nonce_[from];
-  if (config_.account_tx_data_mean > 0)
+  tx.nonce = state.next_nonce[from];
+  if (e.config().account_tx_data_mean > 0)
     tx.data_size = static_cast<std::uint32_t>(
-        rng_.uniform(2 * config_.account_tx_data_mean + 1));
+        e.rng().uniform(2 * e.config().account_tx_data_mean + 1));
   tx.gas_limit = tx.intrinsic_gas();
-  tx.gas_price = 1 + rng_.uniform(10);  // a little fee-market variety
-  tx.sign(key, rng_);
+  tx.gas_price = 1 + e.rng().uniform(10);  // a little fee-market variety
+  tx.sign(key, e.rng());
 
   Status st = node.submit_transaction(tx);
-  if (st.ok()) ++next_nonce_[from];
+  if (st.ok()) ++state.next_nonce[from];
   return st;
 }
 
-void ChainCluster::schedule_workload(const std::vector<PaymentEvent>& events) {
-  for (const PaymentEvent& ev : events) {
-    sim_.schedule_at(sim_.now() + ev.time, [this, ev] {
-      (void)submit_payment(ev.from, ev.to, ev.amount);
-    });
+}  // namespace
+
+ChainTraits::State ChainTraits::make_state(Config& config) {
+  State state;
+  state.next_nonce.assign(config.account_count, 0);
+  return state;
+}
+
+std::string ChainTraits::system_name(const Config& config) {
+  return config.params.name;
+}
+
+void ChainTraits::build_nodes(Engine& e) {
+  const Config& config = e.config();
+
+  // Workload accounts funded in the genesis allocation (paper §II-A: the
+  // initial state is hard-coded in the first block).
+  chain::GenesisSpec genesis;
+  for (std::size_t i = 0; i < config.account_count; ++i) {
+    const std::size_t coins =
+        std::max<std::size_t>(1, config.genesis_outputs_per_account);
+    for (std::size_t j = 0; j < coins; ++j)
+      genesis.allocations.emplace_back(e.account(i).account_id(),
+                                       config.initial_balance);
+  }
+
+  // PoS stake table shared by every node.
+  std::vector<chain::StakeAllocation> stakes;
+  if (config.params.consensus == chain::ConsensusKind::kProofOfStake) {
+    for (std::size_t i = 0; i < config.validator_count; ++i) {
+      const crypto::KeyPair key = crypto::KeyPair::from_seed(0x4000 + i);
+      stakes.push_back(chain::StakeAllocation{
+          key.account_id(), key.public_key(), config.stake_per_validator});
+    }
+  }
+
+  const ClusterCrypto& crypto = e.crypto_handles();
+  for (std::size_t i = 0; i < config.node_count; ++i) {
+    chain::NodeConfig nc;
+    nc.wallet_seed = 0x4000 + i;  // validators sign with their stake key
+    if (config.params.consensus == chain::ConsensusKind::kProofOfWork &&
+        i < config.miner_count) {
+      nc.hashrate =
+          config.total_hashrate / static_cast<double>(config.miner_count);
+      nc.solve_pow = config.params.verify_pow;
+    }
+    nc.sigcache = crypto.sigcache;
+    // Batch verification stages results in a sigcache; give each node a
+    // private one if the cluster-wide cache is disabled.
+    if (crypto.verify_pool && !nc.sigcache)
+      nc.sigcache = std::make_shared<crypto::SignatureCache>(
+          config.crypto.sigcache_capacity);
+    nc.verify_pool = crypto.verify_pool;
+    nc.parallel_validation = config.crypto.parallel_validation;
+    nc.probe = e.node_probe(i);
+    e.add_node(std::make_unique<chain::ChainNode>(
+        e.network(), config.params, genesis, nc, e.rng().fork(), stakes));
   }
 }
 
-void ChainCluster::run_for(double seconds) {
-  sim_.run_until(sim_.now() + seconds);
+void ChainTraits::after_topology(Engine&) {}
+
+void ChainTraits::start(Engine& e) {
+  for (std::size_t i = 0; i < e.node_count(); ++i) e.node(i).start();
 }
 
-RunMetrics ChainCluster::metrics() const {
-  RunMetrics m;
-  m.system = config_.params.name;
-  m.sim_duration = sim_.now();
-  m.submitted = submitted_->value();
-  m.rejected = rejected_->value();
+Status ChainTraits::submit_payment(Engine& e, std::size_t from,
+                                   std::size_t to, Amount amount) {
+  return e.config().params.tx_model == chain::TxModel::kUtxo
+             ? submit_utxo_payment(e, from, to, amount)
+             : submit_account_payment(e, from, to, amount);
+}
 
-  const chain::Blockchain& chain = nodes_[0]->chain();
+void ChainTraits::set_parallel_validation(Engine& e, bool on) {
+  for (std::size_t i = 0; i < e.node_count(); ++i)
+    e.node(i).chain().set_parallel_validation(on);
+}
+
+void ChainTraits::fill_metrics(const Engine& e, RunMetrics& m) {
+  const chain::Blockchain& chain = e.node(0).chain();
   // Included: payments on the active chain (excludes coinbases).
   std::uint64_t included = 0, confirmed = 0;
   for (std::uint32_t h = 1; h <= chain.height(); ++h) {
@@ -188,27 +173,25 @@ RunMetrics ChainCluster::metrics() const {
   }
   m.included = included;
   m.confirmed = confirmed;
-  m.pending_end = nodes_[0]->mempool_size();
+  m.pending_end = e.node(0).mempool_size();
 
-  for (const auto& n : nodes_) m.blocks_produced += n->blocks_mined();
+  for (std::size_t i = 0; i < e.node_count(); ++i)
+    m.blocks_produced += e.node(i).blocks_mined();
   // Latencies live on node 0 (the submission node).
-  m.inclusion_latency = nodes_[0]->timings().inclusion_latency;
-  m.confirmation_latency = nodes_[0]->timings().confirmation_latency;
+  m.inclusion_latency = e.node(0).timings().inclusion_latency;
+  m.confirmation_latency = e.node(0).timings().confirmation_latency;
 
   const chain::ForkStats& f = chain.fork_stats();
   m.reorgs = f.reorgs;
   m.orphaned_blocks = f.side_chain_blocks + f.blocks_disconnected;
   m.max_reorg_depth = f.max_reorg_depth;
   m.stored_bytes = chain.storage().total();
-  m.messages = net_->traffic().messages;
-  m.message_bytes = net_->traffic().bytes;
-  return m;
 }
 
-bool ChainCluster::converged() const {
-  const chain::BlockHash tip = nodes_[0]->chain().tip_hash();
-  for (const auto& n : nodes_)
-    if (!(n->chain().tip_hash() == tip)) return false;
+bool ChainTraits::converged(const Engine& e) {
+  const chain::BlockHash tip = e.node(0).chain().tip_hash();
+  for (std::size_t i = 0; i < e.node_count(); ++i)
+    if (!(e.node(i).chain().tip_hash() == tip)) return false;
   return true;
 }
 

@@ -1,17 +1,18 @@
 // A complete simulated blockchain network: nodes, miners/validators,
 // wallets, and a workload driver. The drivers behind the §IV-§VI benches.
+//
+// Since the engine unification, ChainCluster is a thin facade over
+// core::ClusterEngine<ChainTraits>: the engine owns the sim loop, topology,
+// crypto/obs wiring and RunMetrics assembly; ChainTraits supplies the
+// chain-specific policy (genesis allocation, PoS stakes, UTXO coin
+// selection / account nonces, fork stats). The public API is unchanged.
 #pragma once
 
-#include <memory>
 #include <unordered_set>
 #include <vector>
 
 #include "chain/node.hpp"
-#include "core/cluster_common.hpp"
-#include "core/metrics.hpp"
-#include "core/workload.hpp"
-#include "net/network.hpp"
-#include "sim/simulation.hpp"
+#include "core/cluster_engine.hpp"
 
 namespace dlt::core {
 
@@ -46,93 +47,39 @@ struct ChainClusterConfig {
   std::uint64_t seed = 42;
 };
 
-class ChainCluster {
+/// Ledger policy plugged into ClusterEngine (see cluster_engine.hpp for
+/// the full contract). Definitions live in chain_cluster.cpp.
+struct ChainTraits {
+  using Config = ChainClusterConfig;
+  using Node = chain::ChainNode;
+  using Amount = chain::Amount;
+
+  /// Driver-side wallet bookkeeping.
+  struct State {
+    // UTXO model: outpoints already committed to in-flight txs.
+    std::unordered_set<chain::Outpoint> reserved;
+    std::size_t reserved_compact_at = 8192;
+    // Account model: next nonce per workload account.
+    std::vector<std::uint64_t> next_nonce;
+  };
+
+  static State make_state(Config& config);
+  static std::string system_name(const Config& config);
+  static void build_nodes(ClusterEngine<ChainTraits>& e);
+  static void after_topology(ClusterEngine<ChainTraits>& e);
+  static void start(ClusterEngine<ChainTraits>& e);
+  static Status submit_payment(ClusterEngine<ChainTraits>& e,
+                               std::size_t from, std::size_t to,
+                               Amount amount);
+  static void set_parallel_validation(ClusterEngine<ChainTraits>& e, bool on);
+  static void fill_metrics(const ClusterEngine<ChainTraits>& e,
+                           RunMetrics& m);
+  static bool converged(const ClusterEngine<ChainTraits>& e);
+};
+
+class ChainCluster : public ClusterEngine<ChainTraits> {
  public:
-  explicit ChainCluster(ChainClusterConfig config);
-
-  sim::Simulation& simulation() { return sim_; }
-  net::Network& network() { return *net_; }
-  chain::ChainNode& node(std::size_t i) { return *nodes_[i]; }
-  std::size_t node_count() const { return nodes_.size(); }
-  const crypto::KeyPair& account(std::size_t i) const {
-    return accounts_[i];
-  }
-
-  /// Starts miners/validators.
-  void start();
-
-  /// Toggles the sharded validation pipeline on every node's chain
-  /// (effective for subsequently connected blocks; no-op per node without
-  /// a verify pool). Safe mid-run: either mode yields byte-identical
-  /// simulation output for a given seed.
-  void set_parallel_validation(bool on);
-
-  /// Builds, signs and submits one payment between workload accounts
-  /// (UTXO: coin selection + change; account model: nonce tracking).
-  Status submit_payment(std::size_t from, std::size_t to,
-                        chain::Amount amount);
-
-  /// Schedules an entire workload into the simulation.
-  void schedule_workload(const std::vector<PaymentEvent>& events);
-
-  /// Runs the simulation for `seconds` of simulated time.
-  void run_for(double seconds);
-
-  /// Snapshot of aggregated metrics (reference view: node 0).
-  RunMetrics metrics() const;
-
-  /// True when every node agrees on the tip (convergence checks).
-  bool converged() const;
-
-  /// The cluster-wide signature cache (null when crypto.shared_sigcache is
-  /// off); benches read its hit-rate stats.
-  crypto::SignatureCache* sigcache() { return crypto_.sigcache.get(); }
-  const crypto::SignatureCache* sigcache() const {
-    return crypto_.sigcache.get();
-  }
-
-  /// Cluster-wide observability state (nodes and the network feed it).
-  obs::MetricsRegistry& metrics_registry() { return obs_.metrics; }
-  const obs::MetricsRegistry& metrics_registry() const {
-    return obs_.metrics;
-  }
-  obs::Tracer& tracer() { return obs_.tracer; }
-  const obs::Tracer& tracer() const { return obs_.tracer; }
-  /// Registry JSON with sim.* gauges refreshed — the bench `metrics`
-  /// section.
-  support::JsonObject metrics_json() {
-    obs_.capture_sim(sim_);
-    return obs_.metrics.to_json();
-  }
-  support::JsonObject trace_summary_json() const {
-    return obs_.tracer.summary_json();
-  }
-
- private:
-  Status submit_utxo_payment(std::size_t from, std::size_t to,
-                             chain::Amount amount);
-  Status submit_account_payment(std::size_t from, std::size_t to,
-                                chain::Amount amount);
-
-  ChainClusterConfig config_;
-  Rng rng_;
-  ClusterCrypto crypto_;
-  ClusterObs obs_;
-  sim::Simulation sim_;
-  std::unique_ptr<net::Network> net_;
-  std::vector<std::unique_ptr<chain::ChainNode>> nodes_;
-  std::vector<crypto::KeyPair> accounts_;
-
-  // UTXO wallet bookkeeping: outpoints already committed to in-flight txs.
-  std::unordered_set<chain::Outpoint> reserved_;
-  std::size_t reserved_compact_at_ = 8192;
-  // Account-model wallet bookkeeping: next nonce per workload account.
-  std::vector<std::uint64_t> next_nonce_;
-
-  // Workload tallies live in the cluster registry (obs_.metrics); these
-  // are cached handles into it.
-  obs::Counter* submitted_ = nullptr;
-  obs::Counter* rejected_ = nullptr;
+  using ClusterEngine<ChainTraits>::ClusterEngine;
 };
 
 }  // namespace dlt::core

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "crypto/keys.hpp"
@@ -39,10 +40,17 @@ struct CryptoConfig {
   bool parallel_validation = false;
 };
 
-/// Applies the DLT_VERIFY_THREADS environment override used by benches and
-/// the determinism gate: a value > 0 sets verify_threads, and a value > 1
-/// also turns on the sharded pipeline. Unset/invalid leaves `config`
-/// untouched.
+/// Applies the environment overrides used by benches and the determinism
+/// gate, logging the resolved config (DLT_LOG_INFO) whenever any override
+/// was present:
+///  - DLT_VERIFY_THREADS=N (N > 0): sets verify_threads AND turns on the
+///    sharded pipeline — a single worker runs it inline. (Historically N=1
+///    silently kept the prefetch-only path; simulation output is
+///    byte-identical either way, so the pipeline is now the env default.)
+///  - DLT_PARALLEL_VALIDATION=1/true/on|0/false/off: explicit pipeline
+///    override, applied after DLT_VERIFY_THREADS. Enabling it with
+///    verify_threads still 0 bumps verify_threads to 1 so the pool exists.
+/// Unset/invalid values leave `config` untouched.
 void apply_env_crypto(CryptoConfig& config);
 
 /// Instantiated handles a cluster hands to each of its nodes.
@@ -60,6 +68,15 @@ struct ObsConfig {
   /// Trace ring capacity in events; 0 = tracing disabled (the record path
   /// collapses to a branch, and no RunMetrics value may change either way).
   std::size_t trace_capacity = 0;
+  /// Streaming JSONL sink path; non-empty = every trace event is written
+  /// through to this file as it is recorded, so long runs keep full
+  /// fidelity after the ring wraps (`dropped` stays 0 while active). May be
+  /// combined with a ring (trace_capacity > 0) or used alone.
+  std::string trace_sink;
+  /// Namespace each node's registry metrics under "node.<id>." (see
+  /// ClusterObs::probe_for), making cross-node skew measurable. Off by
+  /// default: aggregated counters keep their historical names/bytes.
+  bool per_node_metrics = false;
 };
 
 /// Cluster-owned observability state. Nodes and the network hold
@@ -68,11 +85,21 @@ struct ObsConfig {
 struct ClusterObs {
   obs::MetricsRegistry metrics;
   obs::Tracer tracer;
+  bool per_node_metrics = false;
 
-  explicit ClusterObs(const ObsConfig& config) {
+  explicit ClusterObs(const ObsConfig& config)
+      : per_node_metrics(config.per_node_metrics) {
     if (config.trace_capacity > 0) tracer.enable(config.trace_capacity);
+    if (!config.trace_sink.empty()) tracer.stream_to(config.trace_sink);
   }
-  obs::Probe probe() { return obs::Probe{&metrics, &tracer}; }
+  obs::Probe probe() { return obs::Probe{&metrics, &tracer, {}}; }
+  /// Probe for node `i`: identical to probe() unless per_node_metrics is
+  /// on, in which case registry names resolve under "node.<i>.".
+  obs::Probe probe_for(std::size_t i) {
+    obs::Probe p = probe();
+    if (per_node_metrics) p.prefix = "node." + std::to_string(i) + ".";
+    return p;
+  }
 
   /// Copies scheduler counters into sim.* gauges (call before export).
   void capture_sim(const sim::Simulation& sim);

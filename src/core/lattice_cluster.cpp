@@ -4,63 +4,124 @@
 
 namespace dlt::core {
 
-LatticeCluster::LatticeCluster(LatticeClusterConfig config)
-    : config_(std::move(config)),
-      rng_(config_.seed),
-      crypto_(make_cluster_crypto(config_.crypto)),
-      obs_(config_.obs),
-      genesis_key_(crypto::KeyPair::from_seed(0x6e5)) {
-  submitted_ = &obs_.metrics.counter("cluster.submitted");
-  rejected_ = &obs_.metrics.counter("cluster.rejected");
+namespace {
 
-  if (config_.supply == 0) {
-    config_.supply = config_.initial_balance *
-                     static_cast<lattice::Amount>(config_.account_count) *
-                     5 / 4;
+using Engine = ClusterEngine<LatticeTraits>;
+
+lattice::LatticeNode& owner_of(Engine& e, std::size_t account_index) {
+  return e.node(account_index % e.node_count());
+}
+
+}  // namespace
+
+LatticeTraits::State LatticeTraits::make_state(Config& config) {
+  if (config.supply == 0) {
+    config.supply = config.initial_balance *
+                    static_cast<lattice::Amount>(config.account_count) * 5 /
+                    4;
   }
-  net_ = std::make_unique<net::Network>(sim_, rng_.fork());
-  net_->set_probe(obs_.probe());
+  return State{};
+}
 
-  accounts_ = make_workload_accounts(config_.account_count);
+std::string LatticeTraits::system_name(const Config&) { return "nano-like"; }
 
-  for (std::size_t i = 0; i < config_.node_count; ++i) {
+void LatticeTraits::build_nodes(Engine& e) {
+  const Config& config = e.config();
+  const ClusterCrypto& crypto = e.crypto_handles();
+  const crypto::KeyPair& genesis_key = e.state().genesis_key;
+
+  for (std::size_t i = 0; i < config.node_count; ++i) {
     lattice::LatticeNodeConfig nc;
-    if (i < config_.roles.size()) nc.role = config_.roles[i];
-    nc.solve_work = config_.params.verify_work;
-    nc.sigcache = crypto_.sigcache;
-    nc.verify_pool = crypto_.verify_pool;
-    nc.parallel_validation = config_.crypto.parallel_validation;
-    nc.probe = obs_.probe();
-    nodes_.push_back(std::make_unique<lattice::LatticeNode>(
-        *net_, config_.params, genesis_key_, config_.supply, nc,
-        rng_.fork()));
+    if (i < config.roles.size()) nc.role = config.roles[i];
+    nc.solve_work = config.params.verify_work;
+    nc.sigcache = crypto.sigcache;
+    nc.verify_pool = crypto.verify_pool;
+    nc.parallel_validation = config.crypto.parallel_validation;
+    nc.probe = e.node_probe(i);
+    e.add_node(std::make_unique<lattice::LatticeNode>(
+        e.network(), config.params, genesis_key, config.supply, nc,
+        e.rng().fork()));
   }
 
   // Voting identities. Node 0's is the genesis account itself, so the
   // genesis weight votes from the start; every other node gets a dedicated
   // representative account that accumulates weight via delegation.
-  nodes_[0]->add_account(genesis_key_);
-  for (std::size_t i = 1; i < config_.node_count; ++i)
-    nodes_[i]->add_account(crypto::KeyPair::from_seed(0x7000 + i));
+  e.node(0).add_account(genesis_key);
+  for (std::size_t i = 1; i < config.node_count; ++i)
+    e.node(i).add_account(crypto::KeyPair::from_seed(0x7000 + i));
 
   // Workload accounts are controlled by their owner node.
-  for (std::size_t i = 0; i < config_.account_count; ++i)
-    owner_of(i).add_account(accounts_[i]);
+  for (std::size_t i = 0; i < config.account_count; ++i)
+    owner_of(e, i).add_account(e.account(i));
+}
 
-  std::vector<net::NodeId> ids;
-  for (const auto& n : nodes_) ids.push_back(n->id());
-  build_topology(*net_, ids, config_.topology, config_.link,
-                 config_.random_degree, rng_);
+void LatticeTraits::after_topology(Engine& e) {
+  for (std::size_t i = 0; i < e.node_count(); ++i) e.node(i).start();
+}
 
-  for (auto& n : nodes_) n->start();
+// Lattice nodes auto-start during construction (after_topology); an
+// explicit start() is a no-op kept for API symmetry with the other ledgers.
+void LatticeTraits::start(Engine&) {}
+
+Status LatticeTraits::submit_payment(Engine& e, std::size_t from,
+                                     std::size_t to, Amount amount) {
+  lattice::LatticeNode& owner = owner_of(e, from);
+  auto res =
+      owner.send(e.account(from), e.account(to).account_id(), amount);
+  if (res) return Status::success();
+  return res.error();
+}
+
+void LatticeTraits::set_parallel_validation(Engine& e, bool on) {
+  for (std::size_t i = 0; i < e.node_count(); ++i)
+    e.node(i).ledger().set_parallel_validation(on);
+}
+
+void LatticeTraits::fill_metrics(const Engine& e, RunMetrics& m) {
+  const lattice::Ledger& ledger = e.node(0).ledger();
+  // Included payments = send blocks in the reference ledger.
+  std::uint64_t sends = 0;
+  for (std::size_t i = 0; i < e.config().account_count; ++i) {
+    const lattice::AccountInfo* info =
+        ledger.account(e.account(i).account_id());
+    if (!info) continue;
+    for (const lattice::LatticeBlock& b : info->chain)
+      if (b.type == lattice::BlockType::kSend) ++sends;
+  }
+  // Plus sends from the genesis chain (funding).
+  if (const lattice::AccountInfo* g =
+          ledger.account(e.state().genesis_key.account_id())) {
+    for (const lattice::LatticeBlock& b : g->chain)
+      if (b.type == lattice::BlockType::kSend) ++sends;
+  }
+  m.included = sends;
+  m.confirmed = e.node(0).confirmations().blocks_confirmed;
+  m.pending_end = ledger.pending().size();  // unsettled sends (Fig. 3)
+
+  m.confirmation_latency = e.node(0).confirmations().time_to_confirm;
+  m.blocks_produced = ledger.block_count();
+  m.stored_bytes = ledger.storage().total();
+}
+
+bool LatticeTraits::converged(const Engine& e) {
+  for (std::size_t i = 0; i < e.config().account_count; ++i) {
+    auto head0 = e.node(0).ledger().head_of(e.account(i).account_id());
+    for (std::size_t n = 1; n < e.node_count(); ++n) {
+      if (e.node(n).config().role == lattice::NodeRole::kLight) continue;
+      if (e.node(n).ledger().head_of(e.account(i).account_id()) != head0)
+        return false;
+    }
+  }
+  return true;
 }
 
 void LatticeCluster::fund_accounts() {
   // Genesis account showers every workload account (send blocks); owner
   // nodes auto-receive (open blocks) as the sends arrive -- Fig. 3 flow.
-  for (std::size_t i = 0; i < config_.account_count; ++i) {
-    auto sent = nodes_[0]->send(genesis_key_, accounts_[i].account_id(),
-                                config_.initial_balance);
+  const crypto::KeyPair& genesis_key = state().genesis_key;
+  for (std::size_t i = 0; i < config().account_count; ++i) {
+    auto sent = node(0).send(genesis_key, account(i).account_id(),
+                             config().initial_balance);
     assert(sent);
     (void)sent;
   }
@@ -73,91 +134,15 @@ void LatticeCluster::fund_accounts() {
   // weight is spread across representatives and quorum requires real
   // network rounds.
   const std::size_t reps = std::max<std::size_t>(
-      1, std::min(config_.representative_count, nodes_.size() - 1));
-  for (std::size_t i = 0; i < config_.account_count; ++i) {
+      1, std::min(config().representative_count, node_count() - 1));
+  for (std::size_t i = 0; i < config().account_count; ++i) {
     lattice::LatticeNode& owner = owner_of(i);
     const std::size_t rep_node = 1 + (i % reps);
-    const crypto::KeyPair* rep = nodes_[rep_node]->representative_key();
+    const crypto::KeyPair* rep = node(rep_node).representative_key();
     assert(rep);
-    (void)owner.change_representative(accounts_[i], rep->account_id());
+    (void)owner.change_representative(account(i), rep->account_id());
   }
   run_for(30.0);
-}
-
-Status LatticeCluster::submit_payment(std::size_t from, std::size_t to,
-                                      lattice::Amount amount) {
-  lattice::LatticeNode& owner = owner_of(from);
-  auto res = owner.send(accounts_[from], accounts_[to].account_id(), amount);
-  if (res) {
-    submitted_->inc();
-    return Status::success();
-  }
-  rejected_->inc();
-  return res.error();
-}
-
-void LatticeCluster::schedule_workload(
-    const std::vector<PaymentEvent>& events) {
-  for (const PaymentEvent& ev : events) {
-    sim_.schedule_at(sim_.now() + ev.time, [this, ev] {
-      (void)submit_payment(ev.from, ev.to, ev.amount);
-    });
-  }
-}
-
-void LatticeCluster::run_for(double seconds) {
-  sim_.run_until(sim_.now() + seconds);
-}
-
-void LatticeCluster::set_parallel_validation(bool on) {
-  for (auto& n : nodes_) n->ledger().set_parallel_validation(on);
-}
-
-RunMetrics LatticeCluster::metrics() const {
-  RunMetrics m;
-  m.system = "nano-like";
-  m.sim_duration = sim_.now();
-  m.submitted = submitted_->value();
-  m.rejected = rejected_->value();
-
-  const lattice::Ledger& ledger = nodes_[0]->ledger();
-  // Included payments = send blocks in the reference ledger.
-  std::uint64_t sends = 0;
-  for (std::size_t i = 0; i < config_.account_count; ++i) {
-    const lattice::AccountInfo* info =
-        ledger.account(accounts_[i].account_id());
-    if (!info) continue;
-    for (const lattice::LatticeBlock& b : info->chain)
-      if (b.type == lattice::BlockType::kSend) ++sends;
-  }
-  // Plus sends from the genesis chain (funding).
-  if (const lattice::AccountInfo* g =
-          ledger.account(genesis_key_.account_id())) {
-    for (const lattice::LatticeBlock& b : g->chain)
-      if (b.type == lattice::BlockType::kSend) ++sends;
-  }
-  m.included = sends;
-  m.confirmed = nodes_[0]->confirmations().blocks_confirmed;
-  m.pending_end = ledger.pending().size();  // unsettled sends (Fig. 3)
-
-  m.confirmation_latency = nodes_[0]->confirmations().time_to_confirm;
-  m.blocks_produced = ledger.block_count();
-  m.stored_bytes = ledger.storage().total();
-  m.messages = net_->traffic().messages;
-  m.message_bytes = net_->traffic().bytes;
-  return m;
-}
-
-bool LatticeCluster::converged() const {
-  for (std::size_t i = 0; i < config_.account_count; ++i) {
-    auto head0 = nodes_[0]->ledger().head_of(accounts_[i].account_id());
-    for (std::size_t n = 1; n < nodes_.size(); ++n) {
-      if (nodes_[n]->config().role == lattice::NodeRole::kLight) continue;
-      if (nodes_[n]->ledger().head_of(accounts_[i].account_id()) != head0)
-        return false;
-    }
-  }
-  return true;
 }
 
 }  // namespace dlt::core

@@ -1,16 +1,17 @@
 // A complete simulated block-lattice (Nano-like) network: nodes owning
 // accounts, representatives, and a workload driver (paper §II-B, §VI-B).
+//
+// Since the engine unification, LatticeCluster is a thin facade over
+// core::ClusterEngine<LatticeTraits>: the engine owns the sim loop,
+// topology, crypto/obs wiring and RunMetrics assembly; LatticeTraits
+// supplies the lattice-specific policy (genesis/supply, account→node
+// ownership, voting identities, confirmation stats). Public API unchanged.
 #pragma once
 
-#include <memory>
 #include <vector>
 
-#include "core/cluster_common.hpp"
-#include "core/metrics.hpp"
-#include "core/workload.hpp"
+#include "core/cluster_engine.hpp"
 #include "lattice/node.hpp"
-#include "net/network.hpp"
-#include "sim/simulation.hpp"
 
 namespace dlt::core {
 
@@ -43,82 +44,43 @@ struct LatticeClusterConfig {
   std::uint64_t seed = 42;
 };
 
-class LatticeCluster {
- public:
-  explicit LatticeCluster(LatticeClusterConfig config);
+/// Ledger policy plugged into ClusterEngine (see cluster_engine.hpp for
+/// the full contract). Definitions live in lattice_cluster.cpp.
+struct LatticeTraits {
+  using Config = LatticeClusterConfig;
+  using Node = lattice::LatticeNode;
+  using Amount = lattice::Amount;
 
-  sim::Simulation& simulation() { return sim_; }
-  net::Network& network() { return *net_; }
-  lattice::LatticeNode& node(std::size_t i) { return *nodes_[i]; }
-  std::size_t node_count() const { return nodes_.size(); }
-  const crypto::KeyPair& account(std::size_t i) const {
-    return accounts_[i];
-  }
+  struct State {
+    crypto::KeyPair genesis_key = crypto::KeyPair::from_seed(0x6e5);
+  };
+
+  static State make_state(Config& config);
+  static std::string system_name(const Config& config);
+  static void build_nodes(ClusterEngine<LatticeTraits>& e);
+  static void after_topology(ClusterEngine<LatticeTraits>& e);
+  static void start(ClusterEngine<LatticeTraits>& e);
+  static Status submit_payment(ClusterEngine<LatticeTraits>& e,
+                               std::size_t from, std::size_t to,
+                               Amount amount);
+  static void set_parallel_validation(ClusterEngine<LatticeTraits>& e,
+                                      bool on);
+  static void fill_metrics(const ClusterEngine<LatticeTraits>& e,
+                           RunMetrics& m);
+  static bool converged(const ClusterEngine<LatticeTraits>& e);
+};
+
+class LatticeCluster : public ClusterEngine<LatticeTraits> {
+ public:
+  using ClusterEngine<LatticeTraits>::ClusterEngine;
+
   lattice::LatticeNode& owner_of(std::size_t account_index) {
-    return *nodes_[account_index % nodes_.size()];
+    return node(account_index % node_count());
   }
 
   /// Distributes `initial_balance` from the genesis account to every
   /// workload account (send + open pairs, Fig. 3), then settles.
   void fund_accounts();
-
-  /// One payment: the owner node issues the send; the receiver's node
-  /// auto-receives when the send arrives (if online).
-  Status submit_payment(std::size_t from, std::size_t to,
-                        lattice::Amount amount);
-
-  void schedule_workload(const std::vector<PaymentEvent>& events);
-  void run_for(double seconds);
-
-  /// Toggles the sharded validation pipeline on every node's ledger
-  /// (no-op per node without a verify pool). Safe mid-run: either mode
-  /// yields byte-identical simulation output for a given seed.
-  void set_parallel_validation(bool on);
-
-  RunMetrics metrics() const;
-
-  /// All nodes hold identical account heads (convergence check).
-  bool converged() const;
-
-  /// The cluster-wide signature cache (null when crypto.shared_sigcache is
-  /// off); benches read its hit-rate stats.
-  crypto::SignatureCache* sigcache() { return crypto_.sigcache.get(); }
-  const crypto::SignatureCache* sigcache() const {
-    return crypto_.sigcache.get();
-  }
-
-  /// Cluster-wide observability state (nodes and the network feed it).
-  obs::MetricsRegistry& metrics_registry() { return obs_.metrics; }
-  const obs::MetricsRegistry& metrics_registry() const {
-    return obs_.metrics;
-  }
-  obs::Tracer& tracer() { return obs_.tracer; }
-  const obs::Tracer& tracer() const { return obs_.tracer; }
-  /// Registry JSON with sim.* gauges refreshed — the bench `metrics`
-  /// section.
-  support::JsonObject metrics_json() {
-    obs_.capture_sim(sim_);
-    return obs_.metrics.to_json();
-  }
-  support::JsonObject trace_summary_json() const {
-    return obs_.tracer.summary_json();
-  }
-
- private:
-  LatticeClusterConfig config_;
-  Rng rng_;
-  ClusterCrypto crypto_;
-  ClusterObs obs_;
-  sim::Simulation sim_;
-  std::unique_ptr<net::Network> net_;
-  std::vector<std::unique_ptr<lattice::LatticeNode>> nodes_;
-  std::vector<crypto::KeyPair> accounts_;
-  crypto::KeyPair genesis_key_;
-
-  // Workload tallies live in the cluster registry (obs_.metrics); these
-  // are cached handles into it.
-  obs::Counter* submitted_ = nullptr;
-  obs::Counter* rejected_ = nullptr;
 };
 
 }  // namespace dlt::core

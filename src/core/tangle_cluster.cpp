@@ -1,0 +1,117 @@
+#include "core/tangle_cluster.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "crypto/hash.hpp"
+#include "support/serialize.hpp"
+
+namespace dlt::core {
+
+namespace {
+
+using Engine = ClusterEngine<TangleTraits>;
+
+/// Payload commitment for a workload payment: the tangle carries opaque
+/// content, so the payment is committed, not interpreted.
+Hash256 payment_payload(std::size_t from, std::size_t to,
+                        std::uint64_t amount, std::uint64_t seq) {
+  Writer w;
+  w.u64(from);
+  w.u64(to);
+  w.u64(amount);
+  w.u64(seq);
+  return crypto::tagged_hash("dlt/tangle-payment",
+                             ByteView{w.bytes().data(), w.size()});
+}
+
+}  // namespace
+
+TangleTraits::State TangleTraits::make_state(Config&) { return State{}; }
+
+std::string TangleTraits::system_name(const Config&) { return "iota-like"; }
+
+void TangleTraits::build_nodes(Engine& e) {
+  const Config& config = e.config();
+  const ClusterCrypto& crypto = e.crypto_handles();
+  for (std::size_t i = 0; i < config.node_count; ++i) {
+    tangle::TangleNodeConfig nc;
+    nc.verify_pool = crypto.verify_pool;
+    nc.parallel_validation = config.crypto.parallel_validation;
+    nc.probe = e.node_probe(i);
+    e.add_node(std::make_unique<tangle::TangleNode>(
+        e.network(), config.params, nc, e.rng().fork()));
+  }
+}
+
+void TangleTraits::after_topology(Engine&) {}
+
+// Tangle nodes are purely reactive (no miners/voters to schedule); start()
+// is a no-op kept for API symmetry with the other ledgers.
+void TangleTraits::start(Engine&) {}
+
+Status TangleTraits::submit_payment(Engine& e, std::size_t from,
+                                    std::size_t to, Amount amount) {
+  const Hash256 payload =
+      payment_payload(from, to, amount, e.state().payment_seq++);
+  tangle::TangleNode& issuer = e.node(from % e.node_count());
+  auto res = issuer.issue(e.account(from), payload);
+  if (res) return Status::success();
+  return res.error();
+}
+
+void TangleTraits::set_parallel_validation(Engine& e, bool on) {
+  for (std::size_t i = 0; i < e.node_count(); ++i)
+    e.node(i).tangle().set_parallel_validation(on);
+}
+
+void TangleTraits::fill_metrics(const Engine& e, RunMetrics& m) {
+  const tangle::Tangle& tangle = e.node(0).tangle();
+
+  // Included: every transaction in the reference replica except genesis.
+  m.included = tangle.size() > 0 ? tangle.size() - 1 : 0;
+  m.blocks_produced = m.included;
+
+  // Confirmed: one past-cone walk per tip accumulates, for every
+  // transaction, how many tips approve it; confidence = approvers / tips
+  // (confirmation_confidence, batched so the scan is O(tips × cone)
+  // instead of O(txs × tips × cone)).
+  const std::vector<tangle::TxHash> tips = tangle.tips();
+  std::unordered_map<tangle::TxHash, std::size_t> approve_count;
+  for (const tangle::TxHash& tip : tips)
+    for (const tangle::TxHash& h : tangle.past_cone(tip))
+      ++approve_count[h];
+  std::uint64_t confirmed = 0;
+  if (!tips.empty()) {
+    const double threshold =
+        e.config().confirmation_threshold * static_cast<double>(tips.size());
+    for (const auto& [hash, count] : approve_count) {
+      if (hash == tangle.genesis()) continue;
+      if (static_cast<double>(count) >= threshold) ++confirmed;
+    }
+  }
+  m.confirmed = confirmed;
+
+  // Backlog: tips are exactly the transactions nothing approves yet.
+  m.pending_end = tangle.tip_count();
+  m.stored_bytes = tangle.stored_bytes();
+}
+
+bool TangleTraits::converged(const Engine& e) {
+  const tangle::Tangle& reference = e.node(0).tangle();
+  const std::vector<tangle::TxHash> ref_tips = reference.tips();
+  const std::unordered_set<tangle::TxHash> ref_tip_set(ref_tips.begin(),
+                                                       ref_tips.end());
+  for (std::size_t i = 0; i < e.node_count(); ++i) {
+    const tangle::Tangle& t = e.node(i).tangle();
+    if (t.size() != reference.size()) return false;
+    const std::vector<tangle::TxHash> tips = t.tips();
+    if (tips.size() != ref_tip_set.size()) return false;
+    for (const tangle::TxHash& tip : tips)
+      if (!ref_tip_set.count(tip)) return false;
+    if (e.node(i).gap_pool_size() != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace dlt::core

@@ -1,0 +1,57 @@
+// Verdicts produced by the sharded stateless-validation phase and consumed
+// by the serial state-application phase — the shared vocabulary of the
+// collect/shard/join pipeline across all three ledgers (chain, lattice,
+// tangle).
+//
+// The pipeline runs the expensive pure checks (signatures, signer
+// derivation, proof-of-work) on the verify pool, writing each result into a
+// pre-sized slot. The serial consume loop then reads the slots in the same
+// order the serial reference path would have performed the checks, so the
+// error reported for an invalid input is identical: every check is a pure
+// function of its input, which makes a verdict slot equivalent to an
+// inline check at the same position in the serial order.
+//
+// Chain blocks carry per-input signatures (UTXO) or one authorizing
+// signature per transaction (account model) → InputVerdict/TxVerdict/
+// BlockVerdicts. Lattice blocks and tangle transactions carry one signature
+// plus one hashcash each → StatelessVerdict. Depends only on crypto/, so
+// any ledger layer can include it.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "crypto/keys.hpp"
+
+namespace dlt::core {
+
+/// One signed input (UTXO model) or the single authorizing signature of an
+/// account transaction.
+struct InputVerdict {
+  crypto::AccountId signer{};  // account_of(pubkey), for the owner check
+  bool sig_ok = false;         // signature valid over the tx sighash
+};
+
+struct TxVerdict {
+  std::vector<InputVerdict> inputs;  // index-aligned with tx.inputs
+};
+
+/// Index-aligned with the block's transaction list.
+struct BlockVerdicts {
+  std::vector<TxVerdict> txs;
+
+  const TxVerdict* tx(std::size_t i) const {
+    return i < txs.size() ? &txs[i] : nullptr;
+  }
+};
+
+/// The single-signature + single-work verdict used by ledgers whose unit of
+/// validation carries exactly one authorization (lattice blocks, tangle
+/// transactions). `work_ok` is pre-set to true when the ledger skips work
+/// verification so the consume phase stays branch-free.
+struct StatelessVerdict {
+  bool sig_ok = false;
+  bool work_ok = true;
+};
+
+}  // namespace dlt::core

@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/validation.hpp"
 #include "lattice/block.hpp"
 #include "obs/parallel.hpp"
 #include "support/result.hpp"
@@ -92,7 +93,7 @@ class Ledger {
   }
   /// Wires the `parallel.validate.*` pipeline metrics. May be null.
   void set_metrics(obs::MetricsRegistry* metrics) {
-    pv_.wire(obs::Probe{metrics, nullptr});
+    pv_.wire(obs::Probe{metrics, nullptr, {}});
   }
 
   // ---- Queries -----------------------------------------------------------
@@ -164,11 +165,9 @@ class Ledger {
     std::uint32_t height = 0;
   };
 
-  /// Joined results of the stateless checks for one block.
-  struct StatelessVerdict {
-    bool sig_ok = false;
-    bool work_ok = false;
-  };
+  /// Joined results of the stateless checks for one block (the shared
+  /// single-signature verdict from core/validation.hpp).
+  using StatelessVerdict = core::StatelessVerdict;
 
   /// Runs the stateless checks across the verify pool: the content hash is
   /// memoized and the sigcache probed on the calling (simulation) thread,

@@ -63,6 +63,32 @@ void Tracer::disable() {
   head_ = 0;
   ring_.clear();
   ring_.shrink_to_fit();
+  close_sink();
+}
+
+bool Tracer::stream_to(const std::string& path) {
+  auto out = std::make_unique<std::ofstream>(path);
+  if (!*out) {
+    DLT_LOG_WARN("cannot open trace sink %s", path.c_str());
+    return false;
+  }
+  sink_ = std::move(out);
+  sink_path_ = path;
+  // Sink-only mode: a tracer with no ring still records through the sink.
+  enabled_ = true;
+  return true;
+}
+
+void Tracer::close_sink() {
+  if (!sink_) return;
+  sink_->flush();
+  sink_.reset();
+  // Keep sink_path_ so callers can report where the trace landed.
+  if (capacity_ == 0) enabled_ = false;  // sink-only tracer is done
+}
+
+void Tracer::write_sink(const TraceEvent& ev) {
+  *sink_ << event_json(ev) << '\n';
 }
 
 std::vector<TraceEvent> Tracer::events() const {
@@ -134,6 +160,9 @@ support::JsonObject Tracer::summary_json() const {
     o.put("first_time", evs.front().time);
     o.put("last_time", evs.back().time);
   }
+  // Only mention the sink when one was attached, so ring-only runs keep
+  // their exact historical summary bytes.
+  if (!sink_path_.empty()) o.put("sink", sink_path_);
   return o;
 }
 
@@ -146,6 +175,11 @@ std::size_t trace_capacity_from_env() {
   if (v == 0) return 0;              // "0" → disabled
   if (v == 1) return std::size_t{1} << 20;  // "1" → default capacity
   return static_cast<std::size_t>(v);
+}
+
+std::string trace_sink_from_env() {
+  const char* env = std::getenv("DLT_TRACE_SINK");
+  return (env && *env) ? std::string(env) : std::string();
 }
 
 }  // namespace dlt::obs

@@ -1,0 +1,106 @@
+#include "tangle/node.hpp"
+
+#include <deque>
+
+namespace dlt::tangle {
+
+namespace {
+constexpr const char* kTxMessage = "tangle-tx";
+}  // namespace
+
+TangleNode::TangleNode(net::Network& network, const TangleParams& params,
+                       const TangleNodeConfig& config, Rng rng)
+    : net_(network),
+      id_(network.add_node()),
+      config_(config),
+      tangle_(params),
+      rng_(std::move(rng)) {
+  tangle_.set_probe(config_.probe);
+  tangle_.set_trace_node(id_);
+  tangle_.set_verify_pool(config_.verify_pool);
+  tangle_.set_parallel_validation(config_.parallel_validation);
+  if (config_.probe) {
+    obs_issued_ = config_.probe.counter("tangle.txs_issued");
+    obs_received_ = config_.probe.counter("tangle.txs_received");
+  }
+  net_.set_handler(id_, [this](const net::Message& msg) {
+    handle_message(msg);
+  });
+}
+
+Result<TxHash> TangleNode::issue(const crypto::KeyPair& issuer,
+                                 const Hash256& payload,
+                                 const Hash256& spend_key) {
+  std::vector<Hash256> avoid;
+  if (!spend_key.is_zero()) avoid.push_back(spend_key);
+  const TxHash trunk = tangle_.select_tip(rng_, avoid);
+  const TxHash branch = tangle_.select_tip(rng_, avoid);
+  const TangleTx tx =
+      make_tx(tangle_, issuer, trunk, branch, payload,
+              net_.simulation().now(), rng_, spend_key);
+
+  Status st = tangle_.attach(tx);
+  if (!st.ok()) return st.error();
+  obs::inc(obs_issued_);
+  net_.gossip(id_, net::make_message(kTxMessage, tx,
+                                     TangleTx::kSerializedSize));
+  return tx.hash();
+}
+
+std::size_t TangleNode::gap_pool_size() const {
+  std::size_t n = 0;
+  for (const auto& [parent, waiting] : gap_pool_) n += waiting.size();
+  return n;
+}
+
+void TangleNode::handle_message(const net::Message& msg) {
+  if (msg.type != kTxMessage) return;
+  process_tx(net::payload_as<TangleTx>(msg));
+}
+
+void TangleNode::process_tx(const TangleTx& tx) {
+  if (tangle_.contains(tx.hash())) return;
+  // Park on the first missing parent rather than burn a signature/work
+  // check on a transaction that cannot attach yet.
+  if (!tangle_.contains(tx.trunk)) {
+    gap_pool_[tx.trunk].push_back(tx);
+    return;
+  }
+  if (!tangle_.contains(tx.branch)) {
+    gap_pool_[tx.branch].push_back(tx);
+    return;
+  }
+  if (tangle_.attach(tx).ok()) {
+    obs::inc(obs_received_);
+    retry_gaps(tx.hash());
+  }
+}
+
+void TangleNode::retry_gaps(const TxHash& now_available) {
+  std::deque<TxHash> ready{now_available};
+  while (!ready.empty()) {
+    const TxHash parent = ready.front();
+    ready.pop_front();
+    auto it = gap_pool_.find(parent);
+    if (it == gap_pool_.end()) continue;
+    std::vector<TangleTx> waiting = std::move(it->second);
+    gap_pool_.erase(it);
+    for (const TangleTx& tx : waiting) {
+      if (tangle_.contains(tx.hash())) continue;
+      if (!tangle_.contains(tx.trunk)) {
+        gap_pool_[tx.trunk].push_back(tx);
+        continue;
+      }
+      if (!tangle_.contains(tx.branch)) {
+        gap_pool_[tx.branch].push_back(tx);
+        continue;
+      }
+      if (tangle_.attach(tx).ok()) {
+        obs::inc(obs_received_);
+        ready.push_back(tx.hash());
+      }
+    }
+  }
+}
+
+}  // namespace dlt::tangle

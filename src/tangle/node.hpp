@@ -1,0 +1,79 @@
+// An IOTA-style network participant: a full tangle replica behind a gossip
+// endpoint (paper §II-B footnote 1 — the third ledger paradigm).
+//
+// Every node keeps its own Tangle replica. Issuing a transaction runs the
+// MCMC tip selection against the local replica, solves the per-transaction
+// hashcash, signs, attaches locally and gossips. Received transactions
+// whose parents have not arrived yet (gossip floods from different origins
+// race over different paths) park in a gap pool keyed by the first missing
+// parent and are retried when it lands — the tangle's analogue of the
+// lattice gap_previous pool (§IV-B).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/network.hpp"
+#include "obs/probe.hpp"
+#include "tangle/tangle.hpp"
+
+namespace dlt::tangle {
+
+struct TangleNodeConfig {
+  /// Thread pool for the tangle's parallel-validation pipeline. May be
+  /// null (serial validation).
+  std::shared_ptr<support::ThreadPool> verify_pool;
+  /// Shard each transaction's stateless checks (signature + hashcash)
+  /// across `verify_pool` before the serial cone phase. Needs the pool;
+  /// attach outcomes are byte-identical either way for a given seed.
+  bool parallel_validation = false;
+  /// Observability hookup (cluster-owned registry + tracer). A default
+  /// probe is inert; see obs/probe.hpp.
+  obs::Probe probe;
+};
+
+class TangleNode {
+ public:
+  TangleNode(net::Network& network, const TangleParams& params,
+             const TangleNodeConfig& config, Rng rng);
+
+  net::NodeId id() const { return id_; }
+  Tangle& tangle() { return tangle_; }
+  const Tangle& tangle() const { return tangle_; }
+  Rng& rng() { return rng_; }
+
+  /// Issues one transaction: two MCMC tip selections against the local
+  /// replica, hashcash, signature, local attach, gossip. The timestamp is
+  /// the current simulation time, so traces stay deterministic.
+  Result<TxHash> issue(const crypto::KeyPair& issuer, const Hash256& payload,
+                       const Hash256& spend_key = {});
+
+  /// Transactions parked waiting for a missing parent.
+  std::size_t gap_pool_size() const;
+
+ private:
+  void handle_message(const net::Message& msg);
+  void process_tx(const TangleTx& tx);
+  /// Re-attaches parked transactions whose parents became available,
+  /// cascading (FIFO) through dependents of dependents.
+  void retry_gaps(const TxHash& now_available);
+
+  net::Network& net_;
+  net::NodeId id_;
+  TangleNodeConfig config_;
+  Tangle tangle_;
+  Rng rng_;
+
+  // Parked transactions keyed by the first missing parent (§IV-B gap
+  // healing). A tx re-parks under its other parent if that one is also
+  // missing when the first arrives.
+  std::unordered_map<TxHash, std::vector<TangleTx>> gap_pool_;
+
+  // Cached registry metrics (null when no probe is attached).
+  obs::Counter* obs_issued_ = nullptr;
+  obs::Counter* obs_received_ = nullptr;
+};
+
+}  // namespace dlt::tangle

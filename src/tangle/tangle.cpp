@@ -129,8 +129,8 @@ Status Tangle::attach(const TangleTx& tx) {
   if (st.ok()) {
     obs::inc(obs_attached_);
     if (probe_.tracer && probe_.tracer->enabled())
-      probe_.tracer->record(tx.timestamp, obs::EventType::kTipAttached, 0,
-                            obs::trace_id(tx.hash()),
+      probe_.tracer->record(tx.timestamp, obs::EventType::kTipAttached,
+                            trace_node_, obs::trace_id(tx.hash()),
                             tx.branch == tx.trunk ? 1 : 2);
   } else {
     obs::inc(obs_rejected_);
@@ -143,22 +143,23 @@ Status Tangle::attach_impl(const TangleTx& tx) {
   if (txs_.count(hash)) return make_error("duplicate");
   if (parallel_validation()) {
     // Shard the stateless checks; both are pure functions of `tx`, so the
-    // workers share no mutable state. The join reports failures in the
-    // serial order below (signature before work).
+    // workers share no mutable state (the verdict members are distinct
+    // memory locations). The join reports failures in the serial order
+    // below (signature before work).
     const std::size_t n = params_.verify_work ? 2 : 1;
-    std::uint8_t ok[2] = {0, 0};
+    core::StatelessVerdict verdict;
     pv_.record_batch(n, verify_pool_->thread_count());
     {
       obs::ProfileTimer timer(pv_.join_us);
       verify_pool_->parallel_for(n, [&](std::size_t k) {
         if (k == 0)
-          ok[0] = tx.verify_signature() ? 1 : 0;
+          verdict.sig_ok = tx.verify_signature();
         else
-          ok[1] = tx.verify_work(params_.work_bits) ? 1 : 0;
+          verdict.work_ok = tx.verify_work(params_.work_bits);
       });
     }
-    if (ok[0] == 0) return make_error("bad-signature");
-    if (params_.verify_work && ok[1] == 0)
+    if (!verdict.sig_ok) return make_error("bad-signature");
+    if (params_.verify_work && !verdict.work_ok)
       return make_error("insufficient-work");
   } else {
     if (!tx.verify_signature()) return make_error("bad-signature");

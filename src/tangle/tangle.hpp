@@ -23,6 +23,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/validation.hpp"
 #include "crypto/hashcash.hpp"
 #include "crypto/keys.hpp"
 #include "obs/parallel.hpp"
@@ -124,6 +125,11 @@ class Tangle {
   /// no simulation clock), keeping traces deterministic.
   void set_probe(obs::Probe probe);
 
+  /// Node id stamped on tip_attached trace events. Standalone tangles keep
+  /// the historical 0; cluster replicas set their net::NodeId so per-node
+  /// attach order is visible in traces.
+  void set_trace_node(std::uint32_t node) { trace_node_ = node; }
+
   /// Thread pool for the parallel-validation pipeline. Null = serial.
   void set_verify_pool(std::shared_ptr<support::ThreadPool> pool) {
     verify_pool_ = std::move(pool);
@@ -150,6 +156,7 @@ class Tangle {
   std::unordered_map<Hash256, std::vector<TxHash>> spends_;
 
   obs::Probe probe_;
+  std::uint32_t trace_node_ = 0;
   obs::Counter* obs_attached_ = nullptr;
   obs::Counter* obs_rejected_ = nullptr;
 

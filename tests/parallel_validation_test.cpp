@@ -498,7 +498,7 @@ TEST(ParallelValidationTangle, AttachSequenceMatchesSerialAtAllWorkerCounts) {
   auto run_mode = [&](std::size_t threads) {
     obs::MetricsRegistry reg;
     tangle::Tangle tangle(params);
-    tangle.set_probe(obs::Probe{&reg, nullptr});
+    tangle.set_probe(obs::Probe{&reg, nullptr, {}});
     if (threads > 0) {
       tangle.set_verify_pool(make_pool(threads));
       tangle.set_parallel_validation(true);

@@ -2,14 +2,18 @@
 # One-shot gate: tier-1 build + tests, then the same suite under
 # AddressSanitizer and UndefinedBehaviorSanitizer.
 #
-#   tools/check.sh                # all three passes
+#   tools/check.sh                # tier-1 + asan + ubsan
 #   tools/check.sh --fast         # tier-1 only
 #   tools/check.sh --determinism  # tier-1 + parallel-validation gate
+#   tools/check.sh --tsan         # tier-1 + ThreadSanitizer pass
 #
 # Each pass uses its own build directory so sanitizer flags never leak
 # into the primary build/ tree. --determinism replays the same seed at
 # two worker counts and requires identical metrics + byte-identical
-# traces (tools/determinism_gate.sh).
+# traces (tools/determinism_gate.sh). --tsan exercises the verify-pool
+# data paths (sharded validation, batch verification) under
+# ThreadSanitizer; it is split from the default run because TSan is an
+# order of magnitude slower than the tier-1 suite.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -17,8 +21,14 @@ cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 2)"
 FAST=0
 DETERMINISM=0
-[[ "${1:-}" == "--fast" ]] && FAST=1
-[[ "${1:-}" == "--determinism" ]] && { FAST=1; DETERMINISM=1; }
+TSAN=0
+case "${1:-}" in
+  --fast) FAST=1 ;;
+  --determinism) FAST=1; DETERMINISM=1 ;;
+  --tsan) FAST=1; TSAN=1 ;;
+  "") ;;
+  *) echo "usage: tools/check.sh [--fast|--determinism|--tsan]" >&2; exit 2 ;;
+esac
 
 run_pass() {
   local label="$1" dir="$2"
@@ -35,7 +45,12 @@ run_pass() {
 run_pass tier-1 build
 
 if [[ "$DETERMINISM" == "1" ]]; then
+  cmake --build build -j "$JOBS" --target bench_throughput_chain bench_throughput_tangle
   tools/determinism_gate.sh build
+fi
+
+if [[ "$TSAN" == "1" ]]; then
+  run_pass tsan build-tsan -DDLT_SANITIZE=thread
 fi
 
 if [[ "$FAST" == "0" ]]; then

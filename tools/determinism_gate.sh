@@ -5,6 +5,9 @@
 # (profile.*, *_us) and the deliberately run-dependent
 # parallel.validate.workers gauge are exempt.
 #
+# Covers both ledger-paradigm drivers of the unified cluster engine:
+# bench_throughput_chain (block-based) and bench_throughput_tangle (DAG).
+#
 #   tools/determinism_gate.sh [build-dir]   # default: build
 #
 # Invoked by tools/check.sh --determinism, or via ctest when configured
@@ -15,32 +18,43 @@ cd "$(dirname "$0")/.."
 
 BUILD="${1:-build}"
 [[ "$BUILD" = /* ]] || BUILD="$(pwd)/$BUILD"
-BIN="$BUILD/bench/bench_throughput_chain"
 DIFF="$(pwd)/tools/bench_diff.py"
 
-if [[ ! -x "$BIN" ]]; then
-  echo "determinism gate: $BIN not built (build the bench targets first)" >&2
-  exit 2
-fi
+# gate <bench-name>: run the bench at 2 and 4 verify workers, then demand
+# identical metrics and byte-identical traces.
+gate() {
+  local bench="$1"
+  local bin="$BUILD/bench/$bench"
 
-work="$(mktemp -d)"
-trap 'rm -rf "$work"' EXIT
+  if [[ ! -x "$bin" ]]; then
+    echo "determinism gate: $bin not built (build the bench targets first)" >&2
+    exit 2
+  fi
 
-for threads in 2 4; do
-  dir="$work/w$threads"
-  mkdir -p "$dir"
-  echo "=== [determinism] bench_throughput_chain @ DLT_VERIFY_THREADS=$threads ==="
-  (cd "$dir" && DLT_VERIFY_THREADS="$threads" DLT_TRACE=1 "$BIN" >/dev/null)
-done
+  local work
+  work="$(mktemp -d)"
+  # shellcheck disable=SC2064  # expand $work now; one trap per subshell run
+  trap "rm -rf '$work'" RETURN
 
-echo "=== [determinism] metrics: exact diff (wall-clock + worker gauge exempt) ==="
-python3 "$DIFF" --exact --quiet \
-  --ignore metrics.gauges.parallel.validate.workers \
-  "$work/w2/BENCH_throughput_chain.json" \
-  "$work/w4/BENCH_throughput_chain.json"
+  for threads in 2 4; do
+    local dir="$work/w$threads"
+    mkdir -p "$dir"
+    echo "=== [determinism] $bench @ DLT_VERIFY_THREADS=$threads ==="
+    (cd "$dir" && DLT_VERIFY_THREADS="$threads" DLT_TRACE=1 "$bin" >/dev/null)
+  done
 
-echo "=== [determinism] trace: byte compare ==="
-cmp "$work/w2/TRACE_throughput_chain.jsonl" \
-    "$work/w4/TRACE_throughput_chain.jsonl"
-echo "traces byte-identical"
+  echo "=== [determinism] $bench metrics: exact diff (wall-clock + worker gauge exempt) ==="
+  python3 "$DIFF" --exact --quiet \
+    --ignore metrics.gauges.parallel.validate.workers \
+    "$work/w2/BENCH_${bench#bench_}.json" \
+    "$work/w4/BENCH_${bench#bench_}.json"
+
+  echo "=== [determinism] $bench trace: byte compare ==="
+  cmp "$work/w2/TRACE_${bench#bench_}.jsonl" \
+      "$work/w4/TRACE_${bench#bench_}.jsonl"
+  echo "traces byte-identical"
+}
+
+gate bench_throughput_chain
+gate bench_throughput_tangle
 echo "=== [determinism] OK ==="
