@@ -72,6 +72,7 @@ struct ChainTraits {
                                std::size_t from, std::size_t to,
                                Amount amount);
   static void set_parallel_validation(ClusterEngine<ChainTraits>& e, bool on);
+  static void set_parallel_state(ClusterEngine<ChainTraits>& e, bool on);
   static void fill_metrics(const ClusterEngine<ChainTraits>& e,
                            RunMetrics& m);
   static bool converged(const ClusterEngine<ChainTraits>& e);

@@ -52,6 +52,7 @@ namespace dlt::core {
 ///   static Status submit_payment(ClusterEngine&, std::size_t from,
 ///                                std::size_t to, Amount);
 ///   static void set_parallel_validation(ClusterEngine&, bool);
+///   static void set_parallel_state(ClusterEngine&, bool);
 ///   static void fill_metrics(const ClusterEngine&, RunMetrics&);
 ///   static bool converged(const ClusterEngine&);
 template <typename Traits>
@@ -133,6 +134,10 @@ class ClusterEngine {
   void set_parallel_validation(bool on) {
     Traits::set_parallel_validation(*this, on);
   }
+
+  /// Toggles the sharded stateful-apply pipeline on every node's ledger
+  /// (Traits::set_parallel_state). Byte-identical output either way.
+  void set_parallel_state(bool on) { Traits::set_parallel_state(*this, on); }
 
   /// Snapshot of aggregated metrics (reference view: node 0). The engine
   /// fills the ledger-independent fields; Traits::fill_metrics the rest.

@@ -37,6 +37,7 @@ void LatticeTraits::build_nodes(Engine& e) {
     nc.sigcache = crypto.sigcache;
     nc.verify_pool = crypto.verify_pool;
     nc.parallel_validation = config.crypto.parallel_validation;
+    nc.parallel_state = config.crypto.parallel_state;
     nc.probe = e.node_probe(i);
     e.add_node(std::make_unique<lattice::LatticeNode>(
         e.network(), config.params, genesis_key, config.supply, nc,
@@ -75,6 +76,11 @@ Status LatticeTraits::submit_payment(Engine& e, std::size_t from,
 void LatticeTraits::set_parallel_validation(Engine& e, bool on) {
   for (std::size_t i = 0; i < e.node_count(); ++i)
     e.node(i).ledger().set_parallel_validation(on);
+}
+
+void LatticeTraits::set_parallel_state(Engine& e, bool on) {
+  for (std::size_t i = 0; i < e.node_count(); ++i)
+    e.node(i).ledger().set_parallel_state(on);
 }
 
 void LatticeTraits::fill_metrics(const Engine& e, RunMetrics& m) {

@@ -1,0 +1,97 @@
+// Conflict partitioning for the sharded state-application pipeline: the
+// stateful analogue of core/validation.hpp's stateless verdicts.
+//
+// A block (or batch) of transactions is partitioned into disjoint conflict
+// groups by the state keys each item reads or writes: UTXO outpoints and
+// account ids for the chain, account heads / block hashes / send links for
+// the lattice, approved sites and spend keys for the tangle. Two items
+// sharing any key land in the same group; groups therefore never exchange
+// state, so each can be checked concurrently against a frozen pre-block
+// snapshot plus a group-local overlay while the serial join commits
+// mutations in exact item order.
+//
+// Determinism contract: the partition is a pure function of the key
+// sequence fed in on the simulation thread — groups, their order and the
+// demotion decision derived from them are identical at every worker count.
+// Canonical form: a group's id is its smallest member index, members stay
+// in ascending (input) order, and groups() lists groups by ascending id.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "support/bytes.hpp"
+
+namespace dlt::core {
+
+class ConflictPartitioner {
+ public:
+  explicit ConflictPartitioner(std::size_t items) : parent_(items) {
+    for (std::size_t i = 0; i < items; ++i) parent_[i] = i;
+  }
+
+  std::size_t item_count() const { return parent_.size(); }
+
+  /// Declares that `item` touches `key`, uniting it with every earlier
+  /// item that touched the same key. Duplicate (item, key) pairs are
+  /// harmless; keys may repeat within one item.
+  void add_key(std::size_t item, const Hash256& key) {
+    auto [it, inserted] = key_owner_.emplace(key, item);
+    if (!inserted) unite(it->second, item);
+  }
+
+  /// Canonical group id of `item`: the smallest index in its group.
+  std::size_t group_of(std::size_t item) { return find(item); }
+
+  /// Number of disjoint groups (1 for a fully-conflicting input, N for a
+  /// fully-disjoint one).
+  std::size_t group_count() {
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < parent_.size(); ++i)
+      if (find(i) == i) ++n;
+    return n;
+  }
+
+  /// All groups, ordered by ascending group id; members ascending. The
+  /// layout is independent of key insertion multiplicity and of any
+  /// worker count — it depends only on the (item, key) sequence.
+  std::vector<std::vector<std::size_t>> groups() {
+    std::unordered_map<std::size_t, std::size_t> slot;  // root -> index
+    std::vector<std::vector<std::size_t>> out;
+    for (std::size_t i = 0; i < parent_.size(); ++i) {
+      const std::size_t root = find(i);
+      auto [it, inserted] = slot.emplace(root, out.size());
+      if (inserted) out.emplace_back();
+      out[it->second].push_back(i);
+    }
+    // Roots are minimal members, and items are scanned ascending, so a
+    // group is created exactly when its smallest member is visited: the
+    // vector is already ordered by ascending group id.
+    return out;
+  }
+
+ private:
+  std::size_t find(std::size_t i) {
+    while (parent_[i] != i) {
+      parent_[i] = parent_[parent_[i]];  // path halving
+      i = parent_[i];
+    }
+    return i;
+  }
+
+  /// Union keeping the smaller root as representative, so group ids are
+  /// canonical (smallest member) regardless of union order.
+  void unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (b < a) std::swap(a, b);
+    parent_[b] = a;
+  }
+
+  std::vector<std::size_t> parent_;
+  std::unordered_map<Hash256, std::size_t> key_owner_;
+};
+
+}  // namespace dlt::core

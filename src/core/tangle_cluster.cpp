@@ -38,6 +38,7 @@ void TangleTraits::build_nodes(Engine& e) {
     tangle::TangleNodeConfig nc;
     nc.verify_pool = crypto.verify_pool;
     nc.parallel_validation = config.crypto.parallel_validation;
+    nc.parallel_state = config.crypto.parallel_state;
     nc.probe = e.node_probe(i);
     e.add_node(std::make_unique<tangle::TangleNode>(
         e.network(), config.params, nc, e.rng().fork()));
@@ -63,6 +64,11 @@ Status TangleTraits::submit_payment(Engine& e, std::size_t from,
 void TangleTraits::set_parallel_validation(Engine& e, bool on) {
   for (std::size_t i = 0; i < e.node_count(); ++i)
     e.node(i).tangle().set_parallel_validation(on);
+}
+
+void TangleTraits::set_parallel_state(Engine& e, bool on) {
+  for (std::size_t i = 0; i < e.node_count(); ++i)
+    e.node(i).tangle().set_parallel_state(on);
 }
 
 void TangleTraits::fill_metrics(const Engine& e, RunMetrics& m) {

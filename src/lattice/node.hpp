@@ -51,6 +51,10 @@ struct LatticeNodeConfig {
   /// serial apply phase. Needs the pool; simulation output is
   /// byte-identical either way for a given seed.
   bool parallel_validation = false;
+  /// Shard the stateful phase of batched block application by conflict
+  /// groups (Ledger::process_batch). Needs the pool; simulation output is
+  /// byte-identical either way for a given seed.
+  bool parallel_state = false;
   /// Observability hookup (cluster-owned registry + tracer). A default
   /// probe is inert; see obs/probe.hpp.
   obs::Probe probe;

@@ -19,9 +19,11 @@ TangleNode::TangleNode(net::Network& network, const TangleParams& params,
   tangle_.set_trace_node(id_);
   tangle_.set_verify_pool(config_.verify_pool);
   tangle_.set_parallel_validation(config_.parallel_validation);
+  tangle_.set_parallel_state(config_.parallel_state);
   if (config_.probe) {
     obs_issued_ = config_.probe.counter("tangle.txs_issued");
     obs_received_ = config_.probe.counter("tangle.txs_received");
+    obs_gap_parked_ = config_.probe.counter("tangle.gap.parked");
   }
   net_.set_handler(id_, [this](const net::Message& msg) {
     handle_message(msg);
@@ -64,10 +66,12 @@ void TangleNode::process_tx(const TangleTx& tx) {
   // check on a transaction that cannot attach yet.
   if (!tangle_.contains(tx.trunk)) {
     gap_pool_[tx.trunk].push_back(tx);
+    obs::inc(obs_gap_parked_);
     return;
   }
   if (!tangle_.contains(tx.branch)) {
     gap_pool_[tx.branch].push_back(tx);
+    obs::inc(obs_gap_parked_);
     return;
   }
   if (tangle_.attach(tx).ok()) {
@@ -89,10 +93,12 @@ void TangleNode::retry_gaps(const TxHash& now_available) {
       if (tangle_.contains(tx.hash())) continue;
       if (!tangle_.contains(tx.trunk)) {
         gap_pool_[tx.trunk].push_back(tx);
+        obs::inc(obs_gap_parked_);
         continue;
       }
       if (!tangle_.contains(tx.branch)) {
         gap_pool_[tx.branch].push_back(tx);
+        obs::inc(obs_gap_parked_);
         continue;
       }
       if (tangle_.attach(tx).ok()) {

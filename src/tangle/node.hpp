@@ -29,6 +29,10 @@ struct TangleNodeConfig {
   /// across `verify_pool` before the serial cone phase. Needs the pool;
   /// attach outcomes are byte-identical either way for a given seed.
   bool parallel_validation = false;
+  /// Shard the stateful phase of batched attaches by conflict groups
+  /// (Tangle::attach_batch). Needs the pool; outcomes are byte-identical
+  /// either way for a given seed.
+  bool parallel_state = false;
   /// Observability hookup (cluster-owned registry + tracer). A default
   /// probe is inert; see obs/probe.hpp.
   obs::Probe probe;
@@ -74,6 +78,7 @@ class TangleNode {
   // Cached registry metrics (null when no probe is attached).
   obs::Counter* obs_issued_ = nullptr;
   obs::Counter* obs_received_ = nullptr;
+  obs::Counter* obs_gap_parked_ = nullptr;
 };
 
 }  // namespace dlt::tangle

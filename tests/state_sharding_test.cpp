@@ -1,0 +1,1207 @@
+// Differential harness for the sharded state-application pipeline (ISSUE
+// 5): with `parallel_state` on, blocks and batches are partitioned into
+// disjoint conflict groups (core/partition.hpp), the groups are checked
+// concurrently against frozen pre-batch state, and mutations are committed
+// serially in item order. The serial path is the oracle: every seed run
+// serially and at worker counts {1, 2, 4, 8} must produce byte-identical
+// traces, equal RunMetrics, identical rejection codes, and converged final
+// state — and the `parallel.state.*` work accounting (batches, groups,
+// demotions, txs) must be a pure function of the input, independent of the
+// worker count.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "chain_test_util.hpp"
+#include "core/chain_cluster.hpp"
+#include "core/lattice_cluster.hpp"
+#include "core/partition.hpp"
+#include "lattice_test_util.hpp"
+#include "support/thread_pool.hpp"
+#include "tangle/tangle.hpp"
+
+namespace dlt {
+namespace {
+
+/// One sharding mode of the differential matrix. `threads == 0` is the
+/// serial reference; otherwise state application shards onto a pool of
+/// `threads` (1 = inline on the caller, still exercising partition,
+/// overlay and commit phases).
+struct Mode {
+  const char* name;
+  std::size_t threads;
+};
+
+constexpr Mode kShardModes[] = {{"w1", 1}, {"w2", 2}, {"w4", 4}, {"w8", 8}};
+
+void apply_mode(core::CryptoConfig& crypto, const Mode& mode) {
+  crypto.verify_threads = mode.threads;
+  crypto.parallel_state = mode.threads > 0;
+}
+
+std::shared_ptr<support::ThreadPool> make_pool(std::size_t threads) {
+  return std::make_shared<support::ThreadPool>(threads);
+}
+
+void expect_run_metrics_eq(const core::RunMetrics& a,
+                           const core::RunMetrics& b, const char* mode) {
+  SCOPED_TRACE(mode);
+  EXPECT_EQ(a.system, b.system);
+  EXPECT_DOUBLE_EQ(a.sim_duration, b.sim_duration);
+  EXPECT_EQ(a.submitted, b.submitted);
+  EXPECT_EQ(a.rejected, b.rejected);
+  EXPECT_EQ(a.included, b.included);
+  EXPECT_EQ(a.confirmed, b.confirmed);
+  EXPECT_EQ(a.pending_end, b.pending_end);
+  EXPECT_EQ(a.reorgs, b.reorgs);
+  EXPECT_EQ(a.orphaned_blocks, b.orphaned_blocks);
+  EXPECT_EQ(a.max_reorg_depth, b.max_reorg_depth);
+  EXPECT_EQ(a.blocks_produced, b.blocks_produced);
+  EXPECT_EQ(a.stored_bytes, b.stored_bytes);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.message_bytes, b.message_bytes);
+  EXPECT_EQ(a.inclusion_latency.count(), b.inclusion_latency.count());
+  EXPECT_EQ(a.confirmation_latency.count(), b.confirmation_latency.count());
+}
+
+/// The `parallel.state.*` work accounting read back from a registry.
+struct ShardStats {
+  std::uint64_t batches = 0;
+  std::uint64_t groups = 0;
+  std::uint64_t demotions = 0;
+  std::uint64_t txs = 0;
+
+  static ShardStats read(const obs::MetricsRegistry& reg) {
+    ShardStats s;
+    auto get = [&](const char* name) -> std::uint64_t {
+      const obs::Counter* c = reg.find_counter(name);
+      return c ? c->value() : 0;
+    };
+    s.batches = get("parallel.state.batches");
+    s.groups = get("parallel.state.groups");
+    s.demotions = get("parallel.state.demotions");
+    s.txs = get("parallel.state.txs");
+    return s;
+  }
+  bool operator==(const ShardStats& o) const {
+    return batches == o.batches && groups == o.groups &&
+           demotions == o.demotions && txs == o.txs;
+  }
+};
+
+// ----------------------------------------------- registry JSON filtering
+
+bool volatile_metric(const std::string& key) {
+  return key.find("profile.") != std::string::npos ||
+         key.find("_us") != std::string::npos ||
+         key.find(".workers") != std::string::npos;
+}
+
+/// Rebuilds the registry's canonical JSON without wall-clock and
+/// topology-dependent members: any metric whose name contains "profile."
+/// (scoped timings), "_us" (latency histograms) or ".workers" (pool-size
+/// gauges). The registry's encoder emits no whitespace, keys carry no
+/// escapes, and every value is either a number or a balanced object, so a
+/// linear scan suffices. Everything that survives the filter must be
+/// byte-identical across worker counts.
+std::string filter_registry_json(const std::string& obj) {
+  std::string out = "{";
+  bool first = true;
+  std::size_t i = 1;  // past the opening '{'
+  while (i + 1 < obj.size()) {
+    if (obj[i] == ',') {
+      ++i;
+      continue;
+    }
+    const std::size_t key_end = obj.find('"', i + 1);
+    const std::string key = obj.substr(i + 1, key_end - i - 1);
+    i = key_end + 2;  // past closing quote and ':'
+    const std::size_t value_start = i;
+    if (obj[i] == '{') {
+      int depth = 0;
+      do {
+        if (obj[i] == '{') ++depth;
+        if (obj[i] == '}') --depth;
+        ++i;
+      } while (depth > 0);
+    } else {
+      while (i + 1 < obj.size() && obj[i] != ',') ++i;
+    }
+    std::string value = obj.substr(value_start, i - value_start);
+    if (volatile_metric(key)) continue;
+    if (!value.empty() && value[0] == '{') value = filter_registry_json(value);
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += key;
+    out += "\":";
+    out += value;
+  }
+  out += '}';
+  return out;
+}
+
+TEST(StateShardingFilter, DropsVolatileMembersKeepsTheRest) {
+  obs::MetricsRegistry reg;
+  reg.counter("parallel.state.batches").inc(3);
+  reg.gauge("parallel.state.workers").set(8);
+  reg.counter("blocks.connected").inc(12);
+  reg.histogram("parallel.state.join_us").observe(17.0);
+  reg.histogram("profile.connect").observe(4.0);
+  const std::string filtered = filter_registry_json(reg.to_json().to_string());
+  EXPECT_NE(filtered.find("parallel.state.batches"), std::string::npos);
+  EXPECT_NE(filtered.find("blocks.connected"), std::string::npos);
+  EXPECT_EQ(filtered.find("workers"), std::string::npos);
+  EXPECT_EQ(filtered.find("join_us"), std::string::npos);
+  EXPECT_EQ(filtered.find("profile."), std::string::npos);
+}
+
+// ------------------------------------------------- partitioner unit tests
+
+Hash256 key_of(std::uint8_t b) {
+  Hash256 k{};
+  k[0] = b;
+  return k;
+}
+
+TEST(ConflictPartitioner, EmptyAndSingleton) {
+  core::ConflictPartitioner empty(0);
+  EXPECT_EQ(empty.item_count(), 0u);
+  EXPECT_EQ(empty.group_count(), 0u);
+  EXPECT_TRUE(empty.groups().empty());
+
+  core::ConflictPartitioner one(1);
+  one.add_key(0, key_of(1));
+  EXPECT_EQ(one.group_count(), 1u);
+  EXPECT_EQ(one.group_of(0), 0u);
+  const auto groups = one.groups();
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0], std::vector<std::size_t>{0});
+}
+
+TEST(ConflictPartitioner, DisjointKeysFormSingletons) {
+  core::ConflictPartitioner p(4);
+  for (std::size_t i = 0; i < 4; ++i)
+    p.add_key(i, key_of(static_cast<std::uint8_t>(i)));
+  EXPECT_EQ(p.group_count(), 4u);
+  const auto groups = p.groups();
+  ASSERT_EQ(groups.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(groups[i], std::vector<std::size_t>{i});
+    EXPECT_EQ(p.group_of(i), i);
+  }
+}
+
+TEST(ConflictPartitioner, SharedKeysMergeTransitively) {
+  // 0-1 share key a, 1-2 share key b: {0,1,2} is one group. 3 is alone.
+  core::ConflictPartitioner p(4);
+  p.add_key(0, key_of(0xa));
+  p.add_key(1, key_of(0xa));
+  p.add_key(1, key_of(0xb));
+  p.add_key(2, key_of(0xb));
+  p.add_key(3, key_of(0xc));
+  EXPECT_EQ(p.group_count(), 2u);
+  const auto groups = p.groups();
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0], (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(groups[1], std::vector<std::size_t>{3});
+  EXPECT_EQ(p.group_of(2), 0u);  // canonical id = smallest member
+}
+
+TEST(ConflictPartitioner, DuplicateKeysAreHarmless) {
+  core::ConflictPartitioner p(3);
+  p.add_key(0, key_of(1));
+  p.add_key(0, key_of(1));  // repeated within one item
+  p.add_key(1, key_of(2));
+  p.add_key(1, key_of(2));
+  p.add_key(2, key_of(1));  // joins item 0
+  p.add_key(2, key_of(1));  // repeated (item, key) pair
+  EXPECT_EQ(p.group_count(), 2u);
+  const auto groups = p.groups();
+  EXPECT_EQ(groups[0], (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(groups[1], std::vector<std::size_t>{1});
+}
+
+TEST(ConflictPartitioner, CanonicalLayoutSurvivesMergeOrder) {
+  // Merging high indices first must still yield smallest-member group ids
+  // and ascending layout: {0,2,4} via key a (added 4, 2, 0) and {1,3} via
+  // key b (added 3, 1).
+  core::ConflictPartitioner p(5);
+  p.add_key(4, key_of(0xa));
+  p.add_key(2, key_of(0xa));
+  p.add_key(3, key_of(0xb));
+  p.add_key(1, key_of(0xb));
+  p.add_key(0, key_of(0xa));
+  EXPECT_EQ(p.group_count(), 2u);
+  const auto groups = p.groups();
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0], (std::vector<std::size_t>{0, 2, 4}));
+  EXPECT_EQ(groups[1], (std::vector<std::size_t>{1, 3}));
+  EXPECT_EQ(p.group_of(4), 0u);
+  EXPECT_EQ(p.group_of(3), 1u);
+}
+
+// ------------------------------------------------------- chain (clusters)
+
+struct ChainOutcome {
+  std::string trace;
+  core::RunMetrics metrics;
+  chain::BlockHash tip;
+  bool converged = false;
+  ShardStats shard;
+  std::string registry_json;  // filtered: no timings, no worker gauges
+  std::vector<chain::Amount> balances;  // account model only
+};
+
+core::ChainClusterConfig chain_base_config(chain::ChainParams params) {
+  core::ChainClusterConfig cfg;
+  cfg.params = std::move(params);
+  cfg.params.verify_pow = false;
+  cfg.params.initial_difficulty = 1e6;
+  cfg.params.block_interval = 5.0;
+  cfg.params.retarget_window = 0;
+  cfg.node_count = 4;
+  cfg.miner_count = 3;
+  cfg.total_hashrate = 1e6 / 5.0;
+  cfg.account_count = 8;
+  cfg.link = net::LinkParams{1.0, 0.3, 1e7};  // delay → forks + reorgs
+  cfg.seed = 11;
+  cfg.obs.trace_capacity = 1u << 16;
+  return cfg;
+}
+
+ChainOutcome run_chain(core::ChainClusterConfig cfg) {
+  core::ChainCluster cluster(cfg);
+  cluster.start();
+  Rng wl_rng(7);
+  core::WorkloadConfig wl;
+  wl.account_count = cfg.account_count;
+  wl.tx_rate = 0.5;
+  wl.duration = 300.0;
+  cluster.schedule_workload(core::generate_payments(wl, wl_rng));
+  cluster.run_for(400.0);
+
+  ChainOutcome out;
+  out.trace = cluster.tracer().to_jsonl();
+  out.metrics = cluster.metrics();
+  out.tip = cluster.node(0).chain().tip_hash();
+  out.converged = cluster.converged();
+  out.shard = ShardStats::read(cluster.metrics_registry());
+  out.registry_json =
+      filter_registry_json(cluster.metrics_registry().to_json().to_string());
+  if (cfg.params.tx_model == chain::TxModel::kAccount) {
+    const chain::WorldState& state = cluster.node(0).chain().world_state();
+    for (std::size_t i = 0; i < cfg.account_count; ++i)
+      out.balances.push_back(state.balance_of(cluster.account(i).account_id()));
+  }
+  return out;
+}
+
+TEST(StateShardingChain, UtxoClusterMatchesSerialAtAllWorkerCounts) {
+  core::ChainClusterConfig serial = chain_base_config(chain::bitcoin_like());
+  const ChainOutcome base = run_chain(serial);
+  EXPECT_TRUE(base.converged);
+  EXPECT_GT(base.metrics.included, 0u);
+  EXPECT_EQ(base.shard.batches, 0u);  // serial reference never shards
+
+  ChainOutcome prev{};
+  bool have_prev = false;
+  for (const Mode& mode : kShardModes) {
+    core::ChainClusterConfig cfg = chain_base_config(chain::bitcoin_like());
+    apply_mode(cfg.crypto, mode);
+    const ChainOutcome got = run_chain(cfg);
+    SCOPED_TRACE(mode.name);
+    EXPECT_EQ(got.trace, base.trace);
+    expect_run_metrics_eq(got.metrics, base.metrics, mode.name);
+    EXPECT_EQ(got.tip, base.tip);
+    EXPECT_TRUE(got.converged);
+    EXPECT_GT(got.shard.batches, 0u);
+    EXPECT_GT(got.shard.txs, 0u);
+    // Partitioning is a pure function of block content: batch, group,
+    // demotion and applied-tx counts — and every other non-timing metric
+    // in the registry — agree at every worker count.
+    if (have_prev) {
+      EXPECT_TRUE(got.shard == prev.shard);
+      EXPECT_EQ(got.registry_json, prev.registry_json);
+    }
+    prev = got;
+    have_prev = true;
+  }
+}
+
+TEST(StateShardingChain, AccountClusterMatchesSerialAtAllWorkerCounts) {
+  core::ChainClusterConfig serial = chain_base_config(chain::ethereum_like());
+  const ChainOutcome base = run_chain(serial);
+  EXPECT_TRUE(base.converged);
+  EXPECT_GT(base.metrics.included, 0u);
+
+  ChainOutcome prev{};
+  bool have_prev = false;
+  for (const Mode& mode : kShardModes) {
+    core::ChainClusterConfig cfg = chain_base_config(chain::ethereum_like());
+    apply_mode(cfg.crypto, mode);
+    const ChainOutcome got = run_chain(cfg);
+    SCOPED_TRACE(mode.name);
+    EXPECT_EQ(got.trace, base.trace);
+    expect_run_metrics_eq(got.metrics, base.metrics, mode.name);
+    EXPECT_EQ(got.tip, base.tip);
+    EXPECT_EQ(got.balances, base.balances);
+    EXPECT_TRUE(got.converged);
+    EXPECT_GT(got.shard.batches, 0u);
+    if (have_prev) {
+      EXPECT_TRUE(got.shard == prev.shard);
+      EXPECT_EQ(got.registry_json, prev.registry_json);
+    }
+    prev = got;
+    have_prev = true;
+  }
+}
+
+TEST(StateShardingChain, ComposesWithParallelValidation) {
+  // Both pipelines on at once: stateless verdict sharding feeds the
+  // stateful group check; the trace must still match the serial oracle.
+  core::ChainClusterConfig serial = chain_base_config(chain::bitcoin_like());
+  const ChainOutcome base = run_chain(serial);
+
+  core::ChainClusterConfig cfg = chain_base_config(chain::bitcoin_like());
+  cfg.crypto.verify_threads = 4;
+  cfg.crypto.parallel_validation = true;
+  cfg.crypto.parallel_state = true;
+  const ChainOutcome got = run_chain(cfg);
+  EXPECT_EQ(got.trace, base.trace);
+  expect_run_metrics_eq(got.metrics, base.metrics, "pv+ps");
+  EXPECT_EQ(got.tip, base.tip);
+  EXPECT_TRUE(got.converged);
+  EXPECT_GT(got.shard.batches, 0u);
+}
+
+// --------------------------------------------- chain (direct, rejections)
+
+/// Re-solves a block whose body was edited after sealing (merkle root and
+/// header hash change; the PoW payload is re-derived from scratch).
+void reseal(chain::Block& b) {
+  b.header.merkle_root = b.compute_merkle_root();
+  b.header.invalidate_digests();
+  for (std::uint64_t nonce = 0;; ++nonce) {
+    b.header.nonce = nonce;
+    if (chain::meets_target(b.header.pow_digest(), b.header.difficulty)) break;
+  }
+}
+
+/// A fresh chain with state sharding enabled on `threads` workers
+/// (0 = plain serial chain).
+std::unique_ptr<chain::Blockchain> make_chain(const chain::ChainParams& params,
+                                              const chain::GenesisSpec& genesis,
+                                              std::size_t threads,
+                                              obs::MetricsRegistry* reg) {
+  auto c = std::make_unique<chain::Blockchain>(params, genesis);
+  if (reg) c->set_metrics(reg);
+  if (threads > 0) {
+    c->set_sigcache(std::make_shared<crypto::SignatureCache>(1u << 12));
+    c->set_verify_pool(make_pool(threads));
+    c->set_parallel_state(true);
+  }
+  return c;
+}
+
+TEST(StateShardingChain, UtxoTamperedSignatureRejectsIdentically) {
+  const auto keys = chain::testutil::make_keys(2);
+  const chain::GenesisSpec genesis = chain::testutil::fund_all(keys, 1'000'000);
+  const crypto::AccountId miner = keys[0].account_id();
+  Rng rng(5);
+
+  chain::Blockchain ref(chain::testutil::cheap_pow_utxo(), genesis);
+
+  chain::Outpoint coin;
+  chain::Amount coin_value = 0;
+  ref.utxo_set().for_each_owned(
+      keys[0].account_id(),
+      [&](const chain::Outpoint& op, const chain::TxOut& out) {
+        coin = op;
+        coin_value = out.value;
+        return false;
+      });
+  ASSERT_GT(coin_value, 0u);
+
+  chain::UtxoTransaction spend;
+  spend.inputs.push_back(chain::TxIn{coin, keys[0].public_key(), {}});
+  spend.outputs.push_back(chain::TxOut{coin_value, keys[1].account_id()});
+  spend.sign_all({keys[0]}, rng);
+
+  const chain::Block good = chain::testutil::seal_block(
+      ref, ref.tip_hash(),
+      chain::UtxoTxList{
+          chain::UtxoTransaction::coinbase(miner, ref.params().block_reward, 1),
+          spend},
+      miner);
+  ASSERT_TRUE(ref.submit(good));
+
+  chain::Outpoint coin2;
+  chain::Amount coin2_value = 0;
+  ref.utxo_set().for_each_owned(
+      keys[1].account_id(),
+      [&](const chain::Outpoint& op, const chain::TxOut& out) {
+        coin2 = op;
+        coin2_value = out.value;
+        return false;
+      });
+  ASSERT_GT(coin2_value, 0u);
+
+  chain::UtxoTransaction spend2;
+  spend2.inputs.push_back(chain::TxIn{coin2, keys[1].public_key(), {}});
+  spend2.outputs.push_back(chain::TxOut{coin2_value, keys[0].account_id()});
+  spend2.sign_all({keys[1]}, rng);
+
+  chain::Block bad = chain::testutil::seal_block(
+      ref, ref.tip_hash(),
+      chain::UtxoTxList{
+          chain::UtxoTransaction::coinbase(miner, ref.params().block_reward, 2),
+          spend2},
+      miner);
+  std::get<chain::UtxoTxList>(bad.txs)[1].inputs[0].signature.s ^= 1;
+  std::get<chain::UtxoTxList>(bad.txs)[1].invalidate_digests();
+  reseal(bad);
+
+  auto run_mode = [&](std::size_t threads) {
+    auto chain =
+        make_chain(chain::testutil::cheap_pow_utxo(), genesis, threads, nullptr);
+    EXPECT_TRUE(chain->submit(good)) << "threads=" << threads;
+    auto rejected = chain->submit(bad);
+    EXPECT_FALSE(rejected);
+    return std::pair{rejected ? std::string{} : rejected.error().code,
+                     chain->tip_hash()};
+  };
+
+  const auto [serial_code, serial_tip] = run_mode(0);
+  EXPECT_EQ(serial_code, "bad-signature");
+  for (const Mode& mode : kShardModes) {
+    SCOPED_TRACE(mode.name);
+    const auto [code, tip] = run_mode(mode.threads);
+    EXPECT_EQ(code, serial_code);
+    EXPECT_EQ(tip, serial_tip);
+  }
+}
+
+TEST(StateShardingChain, AccountTamperedSignatureRejectsIdentically) {
+  const auto keys = chain::testutil::make_keys(2);
+  const chain::GenesisSpec genesis = chain::testutil::fund_all(keys, 1'000'000);
+  const crypto::AccountId proposer = keys[0].account_id();
+  Rng rng(6);
+
+  chain::Blockchain ref(chain::testutil::cheap_pow_account(), genesis);
+
+  auto make_payment = [&](std::uint64_t nonce) {
+    chain::AccountTransaction tx;
+    tx.to = keys[1].account_id();
+    tx.value = 500;
+    tx.nonce = nonce;
+    tx.gas_limit = tx.intrinsic_gas();
+    tx.gas_price = 1;
+    tx.sign(keys[0], rng);
+    return tx;
+  };
+
+  const chain::Block good = chain::testutil::seal_account_tip(
+      ref, chain::AccountTxList{make_payment(0)}, proposer);
+  ASSERT_TRUE(ref.submit(good));
+  const chain::Block next = chain::testutil::seal_account_tip(
+      ref, chain::AccountTxList{make_payment(1)}, proposer);
+
+  chain::Block bad = next;
+  std::get<chain::AccountTxList>(bad.txs)[0].signature.s ^= 1;
+  std::get<chain::AccountTxList>(bad.txs)[0].invalidate_digests();
+  reseal(bad);
+
+  auto run_mode = [&](std::size_t threads) {
+    auto chain = make_chain(chain::testutil::cheap_pow_account(), genesis,
+                            threads, nullptr);
+    EXPECT_TRUE(chain->submit(good));
+    auto rejected = chain->submit(bad);
+    EXPECT_FALSE(rejected);
+    return std::pair{rejected ? std::string{} : rejected.error().code,
+                     chain->tip_hash()};
+  };
+
+  const auto [serial_code, serial_tip] = run_mode(0);
+  EXPECT_EQ(serial_code, "bad-signature");
+  for (const Mode& mode : kShardModes) {
+    SCOPED_TRACE(mode.name);
+    const auto [code, tip] = run_mode(mode.threads);
+    EXPECT_EQ(code, serial_code);
+    EXPECT_EQ(tip, serial_tip);
+  }
+}
+
+TEST(StateShardingChain, InBlockDoubleSpendRejectsIdentically) {
+  // Two payments spending the same outpoint share a conflict key, so they
+  // land in one group whose check fails; the block demotes to the serial
+  // path and must report the exact serial error at every worker count.
+  const auto keys = chain::testutil::make_keys(3);
+  const chain::GenesisSpec genesis = chain::testutil::fund_all(keys, 1'000'000);
+  const crypto::AccountId miner = keys[0].account_id();
+  Rng rng(8);
+
+  chain::Blockchain ref(chain::testutil::cheap_pow_utxo(), genesis);
+  auto coin_of = [&](std::size_t k) {
+    chain::Outpoint coin;
+    chain::Amount value = 0;
+    ref.utxo_set().for_each_owned(
+        keys[k].account_id(),
+        [&](const chain::Outpoint& op, const chain::TxOut& out) {
+          coin = op;
+          value = out.value;
+          return false;
+        });
+    EXPECT_GT(value, 0u);
+    return std::pair{coin, value};
+  };
+
+  const auto [coin0, value0] = coin_of(0);
+  const auto [coin1, value1] = coin_of(1);
+
+  auto spend_to = [&](const chain::Outpoint& coin, chain::Amount value,
+                      const crypto::KeyPair& owner, std::size_t to) {
+    chain::UtxoTransaction tx;
+    tx.inputs.push_back(chain::TxIn{coin, owner.public_key(), {}});
+    tx.outputs.push_back(chain::TxOut{value, keys[to].account_id()});
+    tx.sign_all({owner}, rng);
+    return tx;
+  };
+
+  // First and second payment double-spend coin0 (conflicting group); the
+  // third spends coin1 (disjoint group), so the partition genuinely forms
+  // multiple groups before the conflicting one fails.
+  const chain::Block bad = chain::testutil::seal_block(
+      ref, ref.tip_hash(),
+      chain::UtxoTxList{
+          chain::UtxoTransaction::coinbase(miner, ref.params().block_reward, 1),
+          spend_to(coin0, value0, keys[0], 1),
+          spend_to(coin0, value0, keys[0], 2),
+          spend_to(coin1, value1, keys[1], 2)},
+      miner);
+
+  auto run_mode = [&](std::size_t threads, obs::MetricsRegistry* reg) {
+    auto chain =
+        make_chain(chain::testutil::cheap_pow_utxo(), genesis, threads, reg);
+    auto rejected = chain->submit(bad);
+    EXPECT_FALSE(rejected);
+    return std::pair{rejected ? std::string{} : rejected.error().code,
+                     chain->tip_hash()};
+  };
+
+  const auto [serial_code, serial_tip] = run_mode(0, nullptr);
+  EXPECT_FALSE(serial_code.empty());
+  for (const Mode& mode : kShardModes) {
+    SCOPED_TRACE(mode.name);
+    obs::MetricsRegistry reg;
+    const auto [code, tip] = run_mode(mode.threads, &reg);
+    EXPECT_EQ(code, serial_code);
+    EXPECT_EQ(tip, serial_tip);
+    const ShardStats s = ShardStats::read(reg);
+    EXPECT_EQ(s.batches, 1u);
+    EXPECT_EQ(s.demotions, 1u);  // group-check failure demotes
+    EXPECT_EQ(s.txs, 0u);        // nothing applied via the sharded commit
+  }
+}
+
+TEST(StateShardingChain, FullyConflictingBlockDemotes) {
+  // A payment chain inside one block (tx N spends tx N-1's output) shares
+  // the created-outpoint key between neighbours: one spanning group, so
+  // the block demotes to the serial path — and still connects.
+  const auto keys = chain::testutil::make_keys(3);
+  const chain::GenesisSpec genesis = chain::testutil::fund_all(keys, 1'000'000);
+  const crypto::AccountId miner = keys[0].account_id();
+  Rng rng(4);
+
+  chain::Blockchain ref(chain::testutil::cheap_pow_utxo(), genesis);
+  chain::Outpoint coin;
+  chain::Amount value = 0;
+  ref.utxo_set().for_each_owned(
+      keys[0].account_id(),
+      [&](const chain::Outpoint& op, const chain::TxOut& out) {
+        coin = op;
+        value = out.value;
+        return false;
+      });
+  ASSERT_GT(value, 0u);
+
+  chain::UtxoTransaction hop1;
+  hop1.inputs.push_back(chain::TxIn{coin, keys[0].public_key(), {}});
+  hop1.outputs.push_back(chain::TxOut{value, keys[1].account_id()});
+  hop1.sign_all({keys[0]}, rng);
+
+  chain::UtxoTransaction hop2;
+  hop2.inputs.push_back(
+      chain::TxIn{chain::Outpoint{hop1.id(), 0}, keys[1].public_key(), {}});
+  hop2.outputs.push_back(chain::TxOut{value, keys[2].account_id()});
+  hop2.sign_all({keys[1]}, rng);
+
+  const chain::Block block = chain::testutil::seal_block(
+      ref, ref.tip_hash(),
+      chain::UtxoTxList{
+          chain::UtxoTransaction::coinbase(miner, ref.params().block_reward, 1),
+          hop1, hop2},
+      miner);
+  ASSERT_TRUE(ref.submit(block));
+
+  for (const Mode& mode : kShardModes) {
+    SCOPED_TRACE(mode.name);
+    obs::MetricsRegistry reg;
+    auto chain = make_chain(chain::testutil::cheap_pow_utxo(), genesis,
+                            mode.threads, &reg);
+    ASSERT_TRUE(chain->submit(block));
+    EXPECT_EQ(chain->tip_hash(), ref.tip_hash());
+    const ShardStats s = ShardStats::read(reg);
+    EXPECT_EQ(s.batches, 1u);
+    EXPECT_EQ(s.groups, 1u);  // one spanning group
+    EXPECT_EQ(s.demotions, 1u);
+    EXPECT_EQ(s.txs, 0u);
+  }
+}
+
+TEST(StateShardingChain, DisjointBlockFormsSingletonGroups) {
+  // Six payments spending six unrelated genesis coins to six distinct
+  // owners: the partition must form exactly six singleton groups and the
+  // sharded commit applies all of them.
+  constexpr std::size_t kPayments = 6;
+  const auto keys = chain::testutil::make_keys(2 * kPayments);
+  const chain::GenesisSpec genesis = chain::testutil::fund_all(keys, 1'000'000);
+  const crypto::AccountId miner = keys[0].account_id();
+  Rng rng(12);
+
+  chain::Blockchain ref(chain::testutil::cheap_pow_utxo(), genesis);
+  chain::UtxoTxList txs{
+      chain::UtxoTransaction::coinbase(miner, ref.params().block_reward, 1)};
+  for (std::size_t i = 0; i < kPayments; ++i) {
+    chain::Outpoint coin;
+    chain::Amount value = 0;
+    ref.utxo_set().for_each_owned(
+        keys[i].account_id(),
+        [&](const chain::Outpoint& op, const chain::TxOut& out) {
+          coin = op;
+          value = out.value;
+          return false;
+        });
+    ASSERT_GT(value, 0u);
+    chain::UtxoTransaction tx;
+    tx.inputs.push_back(chain::TxIn{coin, keys[i].public_key(), {}});
+    tx.outputs.push_back(
+        chain::TxOut{value, keys[kPayments + i].account_id()});
+    tx.sign_all({keys[i]}, rng);
+    txs.push_back(std::move(tx));
+  }
+  const chain::Block block = chain::testutil::seal_block(
+      ref, ref.tip_hash(), std::move(txs), miner);
+  ASSERT_TRUE(ref.submit(block));
+
+  for (const Mode& mode : kShardModes) {
+    SCOPED_TRACE(mode.name);
+    obs::MetricsRegistry reg;
+    auto chain = make_chain(chain::testutil::cheap_pow_utxo(), genesis,
+                            mode.threads, &reg);
+    ASSERT_TRUE(chain->submit(block));
+    EXPECT_EQ(chain->tip_hash(), ref.tip_hash());
+    const ShardStats s = ShardStats::read(reg);
+    EXPECT_EQ(s.batches, 1u);
+    EXPECT_EQ(s.groups, kPayments);
+    EXPECT_EQ(s.demotions, 0u);
+    EXPECT_EQ(s.txs, kPayments);
+  }
+}
+
+// ------------------------------------------------------------------ lattice
+
+struct LatticeOutcome {
+  std::string trace;
+  core::RunMetrics metrics;
+  bool converged = false;
+  bool conserves = false;
+  std::vector<lattice::Amount> balances;
+};
+
+LatticeOutcome run_lattice_cluster(const Mode& mode, bool enable) {
+  core::LatticeClusterConfig cfg;
+  cfg.node_count = 3;
+  cfg.representative_count = 2;
+  cfg.account_count = 6;
+  cfg.params.work_bits = 2;
+  cfg.seed = 99;
+  cfg.obs.trace_capacity = 1u << 16;
+  if (enable) apply_mode(cfg.crypto, mode);
+  core::LatticeCluster cluster(cfg);
+  cluster.fund_accounts();
+  Rng wl_rng(42);
+  core::WorkloadConfig wl;
+  wl.account_count = 6;
+  wl.tx_rate = 1.0;
+  wl.duration = 30.0;
+  wl.max_amount = 1000;
+  cluster.schedule_workload(core::generate_payments(wl, wl_rng));
+  cluster.run_for(60.0);
+
+  LatticeOutcome out;
+  out.trace = cluster.tracer().to_jsonl();
+  out.metrics = cluster.metrics();
+  out.converged = cluster.converged();
+  const lattice::Ledger& ledger = cluster.node(0).ledger();
+  out.conserves = ledger.conserves_value();
+  for (std::size_t i = 0; i < cfg.account_count; ++i)
+    out.balances.push_back(ledger.balance_of(cluster.account(i).account_id()));
+  return out;
+}
+
+TEST(StateShardingLattice, ClusterTogglesAreTraceNeutral) {
+  // Lattice nodes apply gossip one block at a time, so the cluster never
+  // forms a multi-item batch — the toggle must be an exact no-op on the
+  // trace, not merely equivalent.
+  const LatticeOutcome base = run_lattice_cluster(Mode{"serial", 0}, false);
+  EXPECT_TRUE(base.converged);
+  EXPECT_TRUE(base.conserves);
+  EXPECT_GT(base.metrics.included, 0u);
+
+  for (const Mode& mode : kShardModes) {
+    const LatticeOutcome got = run_lattice_cluster(mode, true);
+    SCOPED_TRACE(mode.name);
+    EXPECT_EQ(got.trace, base.trace);
+    expect_run_metrics_eq(got.metrics, base.metrics, mode.name);
+    EXPECT_TRUE(got.converged);
+    EXPECT_TRUE(got.conserves);
+    EXPECT_EQ(got.balances, base.balances);
+  }
+}
+
+/// Snapshot of a ledger's externally observable state for the batch
+/// differential: balances and head hashes per account plus the global
+/// conservation invariant.
+struct LatticeSnapshot {
+  std::vector<lattice::Amount> balances;
+  std::vector<lattice::BlockHash> heads;
+  std::uint64_t block_count = 0;
+  bool conserves = false;
+
+  static LatticeSnapshot of(const lattice::Ledger& ledger,
+                            const std::vector<crypto::KeyPair>& accounts) {
+    LatticeSnapshot s;
+    for (const crypto::KeyPair& k : accounts) {
+      s.balances.push_back(ledger.balance_of(k.account_id()));
+      const lattice::AccountInfo* info = ledger.account(k.account_id());
+      s.heads.push_back(info ? info->head().hash() : lattice::BlockHash{});
+    }
+    s.block_count = ledger.block_count();
+    s.conserves = ledger.conserves_value();
+    return s;
+  }
+  bool operator==(const LatticeSnapshot& o) const {
+    return balances == o.balances && heads == o.heads &&
+           block_count == o.block_count && conserves == o.conserves;
+  }
+};
+
+TEST(StateShardingLattice, BatchMatchesSerialLoopAtAllWorkerCounts) {
+  const lattice::LatticeParams params = lattice::testutil::cheap_params();
+  const crypto::KeyPair genesis_key = crypto::KeyPair::from_seed(1);
+  constexpr lattice::Amount kSupply = 1'000'000;
+  const auto accounts = chain::testutil::make_keys(4, 0x200);
+
+  // Construct every block once against a scratch ledger; each mode then
+  // replays identical bytes.
+  lattice::Ledger scratch(params, genesis_key.account_id(),
+                          genesis_key.account_id(), kSupply);
+  Rng rng(9);
+  lattice::testutil::Builder build{scratch, rng, params.work_bits};
+
+  // Prefix (applied serially in every mode): fund and open each account.
+  std::vector<lattice::LatticeBlock> prefix;
+  for (const crypto::KeyPair& k : accounts) {
+    lattice::LatticeBlock send =
+        build.send(genesis_key, k.account_id(), 10'000);
+    ASSERT_TRUE(scratch.process(send).ok());
+    lattice::LatticeBlock open =
+        build.open(k, send.hash(), 10'000, genesis_key.account_id());
+    ASSERT_TRUE(scratch.process(open).ok());
+    prefix.push_back(std::move(send));
+    prefix.push_back(std::move(open));
+  }
+
+  // Batch 1 — fully disjoint: each account sends to a fresh external
+  // address, so no keys (account, head, link) are shared.
+  std::vector<lattice::LatticeBlock> batch1;
+  for (std::size_t i = 0; i < accounts.size(); ++i) {
+    batch1.push_back(build.send(
+        accounts[i], crypto::KeyPair::from_seed(0x900 + i).account_id(),
+        100 + static_cast<lattice::Amount>(i)));
+  }
+  for (const lattice::LatticeBlock& b : batch1)
+    ASSERT_TRUE(scratch.process(b).ok());
+
+  // Batch 2 — mixed: an in-batch chain on account 0 (shared account key),
+  // an independent send, a tampered signature, a resubmitted prefix block
+  // and a dangling predecessor.
+  std::vector<lattice::LatticeBlock> batch2;
+  batch2.push_back(build.send(
+      accounts[0], crypto::KeyPair::from_seed(0x910).account_id(), 11));
+  ASSERT_TRUE(scratch.process(batch2.back()).ok());
+  batch2.push_back(build.send(
+      accounts[0], crypto::KeyPair::from_seed(0x911).account_id(), 12));
+  ASSERT_TRUE(scratch.process(batch2.back()).ok());
+  batch2.push_back(build.send(
+      accounts[1], crypto::KeyPair::from_seed(0x912).account_id(), 13));
+  ASSERT_TRUE(scratch.process(batch2.back()).ok());
+
+  lattice::LatticeBlock tampered = build.send(
+      accounts[2], crypto::KeyPair::from_seed(0x913).account_id(), 14);
+  tampered.signature.s ^= 1;
+  batch2.push_back(tampered);
+
+  batch2.push_back(prefix[1]);  // duplicate of account 0's open block
+
+  lattice::LatticeBlock gap;
+  gap.type = lattice::BlockType::kSend;
+  gap.account = accounts[3].account_id();
+  gap.previous = crypto::Sha256::digest(as_bytes("no-such-block"));
+  gap.balance = 1;
+  gap.link = crypto::KeyPair::from_seed(0x914).account_id();
+  gap.representative = genesis_key.account_id();
+  batch2.push_back(build.finish(std::move(gap), accounts[3]));
+
+  auto run_mode = [&](std::size_t threads, obs::MetricsRegistry* reg) {
+    lattice::Ledger ledger(params, genesis_key.account_id(),
+                           genesis_key.account_id(), kSupply);
+    if (reg) ledger.set_metrics(reg);
+    if (threads > 0) {
+      ledger.set_verify_pool(make_pool(threads));
+      ledger.set_parallel_state(true);
+    }
+    std::vector<std::string> codes;
+    auto push = [&](const Status& st) {
+      codes.push_back(st.ok() ? "ok" : st.error().code);
+    };
+    for (const lattice::LatticeBlock& b : prefix) push(ledger.process(b));
+    if (threads > 0) {
+      for (const Status& st : ledger.process_batch(batch1)) push(st);
+      for (const Status& st : ledger.process_batch(batch2)) push(st);
+    } else {
+      for (const lattice::LatticeBlock& b : batch1) push(ledger.process(b));
+      for (const lattice::LatticeBlock& b : batch2) push(ledger.process(b));
+    }
+    return std::pair{codes, LatticeSnapshot::of(ledger, accounts)};
+  };
+
+  const auto [serial_codes, serial_state] = run_mode(0, nullptr);
+  EXPECT_TRUE(serial_state.conserves);
+  // The mixed batch's tail: tampered, duplicate, dangling predecessor.
+  ASSERT_GE(serial_codes.size(), 3u);
+  EXPECT_EQ(serial_codes[serial_codes.size() - 3], "bad-signature");
+  EXPECT_EQ(serial_codes[serial_codes.size() - 2], "duplicate");
+  EXPECT_EQ(serial_codes[serial_codes.size() - 1], "gap-previous");
+
+  ShardStats prev{};
+  bool have_prev = false;
+  for (const Mode& mode : kShardModes) {
+    SCOPED_TRACE(mode.name);
+    obs::MetricsRegistry reg;
+    const auto [codes, state] = run_mode(mode.threads, &reg);
+    EXPECT_EQ(codes, serial_codes);
+    EXPECT_TRUE(state == serial_state);
+    const ShardStats s = ShardStats::read(reg);
+    EXPECT_EQ(s.batches, 2u);
+    EXPECT_EQ(s.demotions, 0u);  // both batches form >= 2 groups
+    if (have_prev) {
+      EXPECT_TRUE(s == prev);
+    }
+    prev = s;
+    have_prev = true;
+  }
+}
+
+TEST(StateShardingLattice, ChainedBatchDemotesToSerial) {
+  const lattice::LatticeParams params = lattice::testutil::cheap_params();
+  const crypto::KeyPair genesis_key = crypto::KeyPair::from_seed(1);
+  const crypto::KeyPair alice = crypto::KeyPair::from_seed(0x300);
+  constexpr lattice::Amount kSupply = 1'000'000;
+
+  lattice::Ledger scratch(params, genesis_key.account_id(),
+                          genesis_key.account_id(), kSupply);
+  Rng rng(3);
+  lattice::testutil::Builder build{scratch, rng, params.work_bits};
+  const lattice::LatticeBlock fund =
+      build.send(genesis_key, alice.account_id(), 5'000);
+  ASSERT_TRUE(scratch.process(fund).ok());
+  const lattice::LatticeBlock open =
+      build.open(alice, fund.hash(), 5'000, genesis_key.account_id());
+  ASSERT_TRUE(scratch.process(open).ok());
+
+  // Two consecutive sends from one account: the shared account key forms
+  // a single spanning group, so the batch demotes to the serial loop.
+  std::vector<lattice::LatticeBlock> batch;
+  batch.push_back(build.send(
+      alice, crypto::KeyPair::from_seed(0x920).account_id(), 10));
+  ASSERT_TRUE(scratch.process(batch.back()).ok());
+  batch.push_back(build.send(
+      alice, crypto::KeyPair::from_seed(0x921).account_id(), 20));
+  ASSERT_TRUE(scratch.process(batch.back()).ok());
+
+  for (const Mode& mode : kShardModes) {
+    SCOPED_TRACE(mode.name);
+    obs::MetricsRegistry reg;
+    lattice::Ledger ledger(params, genesis_key.account_id(),
+                           genesis_key.account_id(), kSupply);
+    ledger.set_metrics(&reg);
+    ledger.set_verify_pool(make_pool(mode.threads));
+    ledger.set_parallel_state(true);
+    ASSERT_TRUE(ledger.process(fund).ok());
+    ASSERT_TRUE(ledger.process(open).ok());
+    for (const Status& st : ledger.process_batch(batch))
+      EXPECT_TRUE(st.ok());
+    EXPECT_EQ(ledger.head_of(alice.account_id()),
+              scratch.head_of(alice.account_id()));
+    const ShardStats s = ShardStats::read(reg);
+    EXPECT_EQ(s.batches, 1u);
+    EXPECT_EQ(s.groups, 1u);
+    EXPECT_EQ(s.demotions, 1u);
+    EXPECT_EQ(s.txs, 0u);
+  }
+}
+
+// ------------------------------------------------------------------ tangle
+
+TEST(StateShardingTangle, BatchMatchesSerialAttachLoop) {
+  tangle::TangleParams params;
+  params.work_bits = 2;
+  const crypto::KeyPair issuer = crypto::KeyPair::from_seed(1);
+
+  // Build all transactions once against a reference tangle. The prefix is
+  // attached serially everywhere; the two batches replay through
+  // attach_batch (serial oracle: one attach() per item in order).
+  std::vector<tangle::TangleTx> prefix;
+  std::vector<tangle::TangleTx> batch1;
+  std::vector<tangle::TangleTx> batch2;
+  {
+    tangle::Tangle ref(params);
+    Rng rng(3);
+    for (int i = 0; i < 10; ++i) {
+      const tangle::TxHash trunk = ref.select_tip(rng);
+      const tangle::TxHash branch = ref.select_tip(rng);
+      tangle::TangleTx tx = tangle::make_tx(
+          ref, issuer, trunk, branch,
+          crypto::Sha256::digest(as_bytes("ss-prefix" + std::to_string(i))),
+          i, rng);
+      ASSERT_TRUE(ref.attach(tx).ok());
+      prefix.push_back(tx);
+    }
+
+    // Batch 1 — disjoint: each tx approves its own prefix site (trunk ==
+    // branch), so the only shared structure is the long-settled past cone.
+    for (int i = 0; i < 6; ++i) {
+      batch1.push_back(tangle::make_tx(
+          ref, issuer, prefix[i].hash(), prefix[i].hash(),
+          crypto::Sha256::digest(as_bytes("ss-b1-" + std::to_string(i))),
+          20.0 + i, rng));
+    }
+    for (const tangle::TangleTx& tx : batch1) ASSERT_TRUE(ref.attach(tx).ok());
+
+    // Batch 2 — mixed: an in-batch parent chain, a forward reference
+    // (child ordered before its parent — both serial and sharded reject
+    // the child), a tampered signature, a duplicate, and an in-batch
+    // double spend (child re-spends a key already spent in its own cone).
+    tangle::TangleTx chain_a = tangle::make_tx(
+        ref, issuer, batch1[0].hash(), batch1[0].hash(),
+        crypto::Sha256::digest(as_bytes("ss-b2-chain-a")), 30.0, rng);
+    tangle::TangleTx chain_b = tangle::make_tx(
+        ref, issuer, chain_a.hash(), chain_a.hash(),
+        crypto::Sha256::digest(as_bytes("ss-b2-chain-b")), 31.0, rng);
+    tangle::TangleTx orphan_parent = tangle::make_tx(
+        ref, issuer, batch1[1].hash(), batch1[1].hash(),
+        crypto::Sha256::digest(as_bytes("ss-b2-late-parent")), 32.0, rng);
+    tangle::TangleTx forward_child = tangle::make_tx(
+        ref, issuer, orphan_parent.hash(), orphan_parent.hash(),
+        crypto::Sha256::digest(as_bytes("ss-b2-early-child")), 33.0, rng);
+    tangle::TangleTx tampered = tangle::make_tx(
+        ref, issuer, batch1[2].hash(), batch1[2].hash(),
+        crypto::Sha256::digest(as_bytes("ss-b2-tampered")), 34.0, rng);
+    tampered.payload.v[0] ^= 1;  // breaks the signature
+    const Hash256 spend_key =
+        crypto::Sha256::digest(as_bytes("ss-spend-key"));
+    tangle::TangleTx spender = tangle::make_tx(
+        ref, issuer, batch1[3].hash(), batch1[3].hash(),
+        crypto::Sha256::digest(as_bytes("ss-b2-spender")), 35.0, rng,
+        spend_key);
+    tangle::TangleTx respender = tangle::make_tx(
+        ref, issuer, spender.hash(), spender.hash(),
+        crypto::Sha256::digest(as_bytes("ss-b2-respender")), 36.0, rng,
+        spend_key);
+
+    batch2 = {chain_a,  chain_b,  forward_child, orphan_parent,
+              tampered, prefix[5], spender,      respender};
+  }
+
+  struct Outcome {
+    std::vector<std::string> codes;
+    std::size_t size = 0;
+    std::vector<tangle::TxHash> tips;
+    std::size_t genesis_weight = 0;
+    std::string trace;
+    ShardStats shard;
+  };
+  auto run_mode = [&](std::size_t threads) {
+    obs::MetricsRegistry reg;
+    obs::Tracer tracer;
+    tracer.enable(1u << 12);
+    tangle::Tangle tangle(params);
+    tangle.set_probe(obs::Probe{&reg, &tracer, {}});
+    if (threads > 0) {
+      tangle.set_verify_pool(make_pool(threads));
+      tangle.set_parallel_state(true);
+    }
+    Outcome out;
+    auto push = [&](const Status& st) {
+      out.codes.push_back(st.ok() ? "ok" : st.error().code);
+    };
+    for (const tangle::TangleTx& tx : prefix) push(tangle.attach(tx));
+    if (threads > 0) {
+      for (const Status& st : tangle.attach_batch(batch1)) push(st);
+      for (const Status& st : tangle.attach_batch(batch2)) push(st);
+    } else {
+      for (const tangle::TangleTx& tx : batch1) push(tangle.attach(tx));
+      for (const tangle::TangleTx& tx : batch2) push(tangle.attach(tx));
+    }
+    out.size = tangle.size();
+    out.tips = tangle.tips();
+    out.genesis_weight = tangle.cumulative_weight(tangle.genesis());
+    out.trace = tracer.to_jsonl();
+    out.shard = ShardStats::read(reg);
+    return out;
+  };
+
+  const Outcome base = run_mode(0);
+  // batch2 tail: forward child before its parent, then the parent lands;
+  // tampered sig, duplicate, double-spend in own cone.
+  const std::size_t n = base.codes.size();
+  EXPECT_EQ(base.codes[n - 6], "unknown-trunk");  // forward_child
+  EXPECT_EQ(base.codes[n - 5], "ok");             // orphan_parent
+  EXPECT_EQ(base.codes[n - 4], "bad-signature");  // tampered
+  EXPECT_EQ(base.codes[n - 3], "duplicate");      // prefix[5] again
+  EXPECT_EQ(base.codes[n - 2], "ok");             // spender
+  EXPECT_EQ(base.codes[n - 1], "double-spend");   // respender
+  EXPECT_EQ(base.shard.batches, 0u);
+
+  ShardStats prev{};
+  bool have_prev = false;
+  for (const Mode& mode : kShardModes) {
+    SCOPED_TRACE(mode.name);
+    const Outcome got = run_mode(mode.threads);
+    EXPECT_EQ(got.codes, base.codes);
+    EXPECT_EQ(got.size, base.size);
+    EXPECT_EQ(got.tips, base.tips);
+    EXPECT_EQ(got.genesis_weight, base.genesis_weight);
+    EXPECT_EQ(got.trace, base.trace);  // commit replays events in order
+    EXPECT_EQ(got.shard.batches, 2u);
+    if (have_prev) {
+      EXPECT_TRUE(got.shard == prev);
+    }
+    prev = got.shard;
+    have_prev = true;
+  }
+}
+
+TEST(StateShardingTangle, DisjointBatchFormsSingletonGroups) {
+  tangle::TangleParams params;
+  params.work_bits = 2;
+  const crypto::KeyPair issuer = crypto::KeyPair::from_seed(2);
+  constexpr std::size_t kBatch = 5;
+
+  std::vector<tangle::TangleTx> prefix;
+  std::vector<tangle::TangleTx> batch;
+  {
+    tangle::Tangle ref(params);
+    Rng rng(7);
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      const tangle::TxHash trunk = ref.select_tip(rng);
+      const tangle::TxHash branch = ref.select_tip(rng);
+      tangle::TangleTx tx = tangle::make_tx(
+          ref, issuer, trunk, branch,
+          crypto::Sha256::digest(as_bytes("ssd-p" + std::to_string(i))),
+          static_cast<double>(i), rng);
+      ASSERT_TRUE(ref.attach(tx).ok());
+      prefix.push_back(tx);
+    }
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      batch.push_back(tangle::make_tx(
+          ref, issuer, prefix[i].hash(), prefix[i].hash(),
+          crypto::Sha256::digest(as_bytes("ssd-b" + std::to_string(i))),
+          10.0 + static_cast<double>(i), rng));
+    }
+  }
+
+  for (const Mode& mode : kShardModes) {
+    SCOPED_TRACE(mode.name);
+    obs::MetricsRegistry reg;
+    tangle::Tangle tangle(params);
+    tangle.set_probe(obs::Probe{&reg, nullptr, {}});
+    tangle.set_verify_pool(make_pool(mode.threads));
+    tangle.set_parallel_state(true);
+    for (const tangle::TangleTx& tx : prefix)
+      ASSERT_TRUE(tangle.attach(tx).ok());
+    for (const Status& st : tangle.attach_batch(batch))
+      EXPECT_TRUE(st.ok());
+    const ShardStats s = ShardStats::read(reg);
+    EXPECT_EQ(s.batches, 1u);
+    EXPECT_EQ(s.groups, kBatch);
+    EXPECT_EQ(s.demotions, 0u);
+    EXPECT_EQ(s.txs, kBatch);
+  }
+}
+
+TEST(StateShardingTangle, ChainedBatchDemotesToSerial) {
+  tangle::TangleParams params;
+  params.work_bits = 2;
+  const crypto::KeyPair issuer = crypto::KeyPair::from_seed(3);
+
+  std::vector<tangle::TangleTx> batch;
+  std::size_t ref_size = 0;
+  std::vector<tangle::TxHash> ref_tips;
+  {
+    tangle::Tangle ref(params);
+    Rng rng(5);
+    // Every tx approves the previous one: hash keys chain the whole batch
+    // into a single spanning group.
+    tangle::TxHash parent = ref.genesis();
+    for (int i = 0; i < 4; ++i) {
+      tangle::TangleTx tx = tangle::make_tx(
+          ref, issuer, parent, parent,
+          crypto::Sha256::digest(as_bytes("ssc-" + std::to_string(i))),
+          static_cast<double>(i), rng);
+      parent = tx.hash();
+      ASSERT_TRUE(ref.attach(tx).ok());
+      batch.push_back(tx);
+    }
+    ref_size = ref.size();
+    ref_tips = ref.tips();
+  }
+
+  for (const Mode& mode : kShardModes) {
+    SCOPED_TRACE(mode.name);
+    obs::MetricsRegistry reg;
+    tangle::Tangle tangle(params);
+    tangle.set_probe(obs::Probe{&reg, nullptr, {}});
+    tangle.set_verify_pool(make_pool(mode.threads));
+    tangle.set_parallel_state(true);
+    for (const Status& st : tangle.attach_batch(batch))
+      EXPECT_TRUE(st.ok());
+    EXPECT_EQ(tangle.size(), ref_size);
+    EXPECT_EQ(tangle.tips(), ref_tips);
+    const ShardStats s = ShardStats::read(reg);
+    EXPECT_EQ(s.batches, 1u);
+    EXPECT_EQ(s.groups, 1u);
+    EXPECT_EQ(s.demotions, 1u);
+    EXPECT_EQ(s.txs, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace dlt

@@ -4,16 +4,22 @@
 #
 #   tools/check.sh                # tier-1 + asan + ubsan
 #   tools/check.sh --fast         # tier-1 only
-#   tools/check.sh --determinism  # tier-1 + parallel-validation gate
+#   tools/check.sh --determinism  # tier-1 + parallel-pipeline gates
 #   tools/check.sh --tsan         # tier-1 + ThreadSanitizer pass
+#
+# Flags combine: `tools/check.sh --determinism --tsan` runs the tier-1
+# suite once, then both extra passes in one invocation. Any extra flag
+# implies --fast (the asan/ubsan pair stays opt-out via the plain run).
 #
 # Each pass uses its own build directory so sanitizer flags never leak
 # into the primary build/ tree. --determinism replays the same seed at
-# two worker counts and requires identical metrics + byte-identical
-# traces (tools/determinism_gate.sh). --tsan exercises the verify-pool
-# data paths (sharded validation, batch verification) under
-# ThreadSanitizer; it is split from the default run because TSan is an
-# order of magnitude slower than the tier-1 suite.
+# two worker counts — for both the stateless validation pipeline and the
+# conflict-group state sharding (DLT_PARALLEL_STATE=1) — and requires
+# identical metrics + byte-identical traces (tools/determinism_gate.sh).
+# --tsan exercises the verify-pool data paths (sharded validation, batch
+# verification, sharded state application) under ThreadSanitizer; it is
+# split from the default run because TSan is an order of magnitude
+# slower than the tier-1 suite.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -22,13 +28,17 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 FAST=0
 DETERMINISM=0
 TSAN=0
-case "${1:-}" in
-  --fast) FAST=1 ;;
-  --determinism) FAST=1; DETERMINISM=1 ;;
-  --tsan) FAST=1; TSAN=1 ;;
-  "") ;;
-  *) echo "usage: tools/check.sh [--fast|--determinism|--tsan]" >&2; exit 2 ;;
-esac
+for arg in "$@"; do
+  case "$arg" in
+    --fast) FAST=1 ;;
+    --determinism) FAST=1; DETERMINISM=1 ;;
+    --tsan) FAST=1; TSAN=1 ;;
+    *)
+      echo "usage: tools/check.sh [--fast] [--determinism] [--tsan]" >&2
+      exit 2
+      ;;
+  esac
+done
 
 run_pass() {
   local label="$1" dir="$2"
@@ -45,7 +55,8 @@ run_pass() {
 run_pass tier-1 build
 
 if [[ "$DETERMINISM" == "1" ]]; then
-  cmake --build build -j "$JOBS" --target bench_throughput_chain bench_throughput_tangle
+  cmake --build build -j "$JOBS" --target bench_throughput_chain \
+    bench_throughput_dag bench_throughput_tangle
   tools/determinism_gate.sh build
 fi
 

@@ -1,12 +1,16 @@
 #!/usr/bin/env bash
-# Determinism gate for the parallel validation pipeline: the same seed run
-# at two different worker counts must emit byte-identical event traces and
-# an identical BENCH_*.json metrics section. Only wall-clock histograms
+# Determinism gate for the parallel pipelines: the same seed run at two
+# different worker counts must emit byte-identical event traces and an
+# identical BENCH_*.json metrics section. Only wall-clock histograms
 # (profile.*, *_us) and the deliberately run-dependent
-# parallel.validate.workers gauge are exempt.
+# parallel.*.workers gauges are exempt.
 #
-# Covers both ledger-paradigm drivers of the unified cluster engine:
-# bench_throughput_chain (block-based) and bench_throughput_tangle (DAG).
+# Two legs per paradigm:
+#   validation — DLT_VERIFY_THREADS alone (stateless verdict sharding),
+#                on the two drivers with crypto checks in the hot path.
+#   state      — DLT_PARALLEL_STATE=1 on top (conflict-group sharding of
+#                stateful application, ISSUE 5), on all three throughput
+#                benches: chain (block), dag (lattice), tangle.
 #
 #   tools/determinism_gate.sh [build-dir]   # default: build
 #
@@ -20,15 +24,26 @@ BUILD="${1:-build}"
 [[ "$BUILD" = /* ]] || BUILD="$(pwd)/$BUILD"
 DIFF="$(pwd)/tools/bench_diff.py"
 
-# gate <bench-name>: run the bench at 2 and 4 verify workers, then demand
-# identical metrics and byte-identical traces.
+# gate <bench-name> [state]: run the bench at 2 and 4 verify workers,
+# then demand identical metrics and byte-identical traces. With the
+# "state" leg, DLT_PARALLEL_STATE=1 shards stateful application by
+# conflict groups as well, and the parallel.state.workers gauge joins
+# the exemption list (its counters stay under exact compare).
 gate() {
   local bench="$1"
+  local leg="${2:-validation}"
   local bin="$BUILD/bench/$bench"
 
   if [[ ! -x "$bin" ]]; then
     echo "determinism gate: $bin not built (build the bench targets first)" >&2
     exit 2
+  fi
+
+  local -a env_extra=()
+  local -a ignore=(--ignore metrics.gauges.parallel.validate.workers)
+  if [[ "$leg" == "state" ]]; then
+    env_extra=(DLT_PARALLEL_STATE=1)
+    ignore+=(--ignore metrics.gauges.parallel.state.workers)
   fi
 
   local work
@@ -39,17 +54,18 @@ gate() {
   for threads in 2 4; do
     local dir="$work/w$threads"
     mkdir -p "$dir"
-    echo "=== [determinism] $bench @ DLT_VERIFY_THREADS=$threads ==="
-    (cd "$dir" && DLT_VERIFY_THREADS="$threads" DLT_TRACE=1 "$bin" >/dev/null)
+    echo "=== [determinism/$leg] $bench @ DLT_VERIFY_THREADS=$threads ==="
+    (cd "$dir" &&
+     env "${env_extra[@]}" DLT_VERIFY_THREADS="$threads" DLT_TRACE=1 \
+       "$bin" >/dev/null)
   done
 
-  echo "=== [determinism] $bench metrics: exact diff (wall-clock + worker gauge exempt) ==="
-  python3 "$DIFF" --exact --quiet \
-    --ignore metrics.gauges.parallel.validate.workers \
+  echo "=== [determinism/$leg] $bench metrics: exact diff (wall-clock + worker gauges exempt) ==="
+  python3 "$DIFF" --exact --quiet "${ignore[@]}" \
     "$work/w2/BENCH_${bench#bench_}.json" \
     "$work/w4/BENCH_${bench#bench_}.json"
 
-  echo "=== [determinism] $bench trace: byte compare ==="
+  echo "=== [determinism/$leg] $bench trace: byte compare ==="
   cmp "$work/w2/TRACE_${bench#bench_}.jsonl" \
       "$work/w4/TRACE_${bench#bench_}.jsonl"
   echo "traces byte-identical"
@@ -57,4 +73,7 @@ gate() {
 
 gate bench_throughput_chain
 gate bench_throughput_tangle
+gate bench_throughput_chain state
+gate bench_throughput_dag state
+gate bench_throughput_tangle state
 echo "=== [determinism] OK ==="
