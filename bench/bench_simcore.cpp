@@ -1,0 +1,371 @@
+// Discrete-event core microbenchmarks.
+//
+// The slab scheduler rewrite (sim/simulation) claims two things: the fire
+// order is exactly the historical contract (time order, equal timestamps
+// FIFO by sequence, cancellation honored), and schedule/fire got at least
+// 2x faster by dropping the per-event hash-map insert/erase and the
+// heap-allocated std::function. Both claims are checked here:
+//
+//  1. A verbatim copy of the historical priority_queue + fns_ hash map +
+//     cancelled_ set scheduler runs the same mixed schedule/cancel
+//     workload; the (time, tag) fire sequences must hash identically.
+//  2. schedule/fire and schedule/cancel microbenches time both engines;
+//     the gossip-flood bench times the integrated sim+net stack.
+//
+// BENCH_simcore.json splits into a `deterministic` section (checksums,
+// counts — byte-stable across runs; tools/determinism_gate.sh replays the
+// bench and diffs it) and a `perf` section (wall-clock rates, excluded
+// from exact gating). Exits nonzero if the engines diverge.
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/json_report.hpp"
+#include "core/table.hpp"
+#include "net/network.hpp"
+#include "sim/simulation.hpp"
+#include "support/rng.hpp"
+
+using namespace dlt;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// --------------------------------------------------------------------------
+// The pre-slab scheduler, verbatim: priority_queue of (at, seq, id) with a
+// side hash map for callbacks and a tombstone set for cancellations. Kept
+// here as the differential baseline and the denominator of the speedup.
+
+class LegacySimulation {
+ public:
+  using Time = double;
+  using EventId = std::uint64_t;
+
+  Time now() const { return now_; }
+
+  EventId schedule_at(Time at, std::function<void()> fn) {
+    if (at < now_) at = now_;
+    const EventId id = next_seq_;
+    heap_.push(Event{at, next_seq_, id});
+    fns_.emplace(id, std::move(fn));
+    ++next_seq_;
+    return id;
+  }
+  EventId schedule_in(Time delay, std::function<void()> fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  bool cancel(EventId id) {
+    auto it = fns_.find(id);
+    if (it == fns_.end()) return false;
+    fns_.erase(it);
+    cancelled_.insert(id);
+    return true;
+  }
+
+  bool step() {
+    while (!heap_.empty()) {
+      Event ev = heap_.top();
+      heap_.pop();
+      auto c = cancelled_.find(ev.id);
+      if (c != cancelled_.end()) {
+        cancelled_.erase(c);
+        continue;
+      }
+      auto it = fns_.find(ev.id);
+      std::function<void()> fn = std::move(it->second);
+      fns_.erase(it);
+      now_ = ev.at;
+      ++fired_;
+      fn();
+      return true;
+    }
+    return false;
+  }
+
+  std::uint64_t run() {
+    std::uint64_t n = 0;
+    while (step()) ++n;
+    return n;
+  }
+
+  std::uint64_t events_fired() const { return fired_; }
+
+ private:
+  struct Event {
+    Time at;
+    std::uint64_t seq;
+    EventId id;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t fired_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::unordered_map<EventId, std::function<void()>> fns_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+// --------------------------------------------------------------------------
+// Differential: a mixed schedule/cancel workload driven identically on both
+// engines, hashing the (time, tag) fire sequence.
+
+std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v;
+  return h * 1099511628211ull;
+}
+
+// Deterministic scenario: `chains` self-rescheduling chains with staggered
+// periods (producing many equal-timestamp collisions), plus every 4th step
+// scheduling a side event and every 8th cancelling the previous side event.
+template <typename Sim>
+std::uint64_t run_differential(Sim& sim, std::uint64_t total_events) {
+  struct State {
+    std::uint64_t hash = 14695981039346656037ull;
+    std::uint64_t fired = 0;
+    std::uint64_t side_tag = 0;
+  };
+  auto state = std::make_shared<State>();
+  constexpr int kChains = 16;
+
+  for (int c = 0; c < kChains; ++c) {
+    auto chain = std::make_shared<std::function<void(int)>>();
+    *chain = [state, &sim, chain, total_events](int id) {
+      state->hash = fnv_mix(state->hash, static_cast<std::uint64_t>(id));
+      state->hash =
+          fnv_mix(state->hash, static_cast<std::uint64_t>(sim.now() * 16.0));
+      if (++state->fired >= total_events) return;
+      // Integer-valued delays on a coarse grid force timestamp ties
+      // across chains; FIFO tiebreak order is what the hash pins down.
+      const double delay = 0.25 * (1 + (id + state->fired) % 8);
+      sim.schedule_in(delay, [chain, id] { (*chain)(id); });
+      if (state->fired % 4 == 0) {
+        const auto side = sim.schedule_in(
+            delay, [state] { state->hash = fnv_mix(state->hash, 77); });
+        if (state->fired % 8 == 0) sim.cancel(side);
+        state->side_tag = static_cast<std::uint64_t>(side);
+      }
+    };
+    sim.schedule_at(0.5 * (c % 4), [chain, c] { (*chain)(c); });
+  }
+  sim.run();
+  return state->hash;
+}
+
+// --------------------------------------------------------------------------
+// Perf legs.
+
+// Self-rescheduling chains: the steady-state pattern of every cluster run
+// (each fired event schedules its successor). The callable is 56 bytes —
+// the size of net::Network's delivery closure, the dominant event in every
+// cluster run — which the legacy std::function boxes per event and
+// InplaceFunction stores inline.
+template <typename Sim>
+struct ChainTask {
+  Sim* sim;
+  std::uint64_t* remaining;
+  double period;
+  std::uint64_t payload[4] = {0, 0, 0, 0};  // pads to delivery-closure size
+  void operator()() {
+    if (*remaining == 0 || --*remaining == 0) return;
+    ++payload[0];
+    sim->schedule_in(period, ChainTask{*this});
+  }
+};
+
+template <typename Sim>
+double bench_schedule_fire(Sim& sim, std::uint64_t total_events) {
+  static_assert(sizeof(ChainTask<Sim>) == 56);
+  const auto t0 = std::chrono::steady_clock::now();
+  // Pending-set depth in the same regime as real cluster runs (chain bench
+  // heap_peak is ~257, lattice/tangle lower).
+  constexpr int kChains = 64;
+  std::uint64_t remaining = total_events;
+  for (int c = 0; c < kChains; ++c) {
+    const double period = 0.001 * (c + 1);
+    sim.schedule_in(period, ChainTask<Sim>{&sim, &remaining, period});
+  }
+  sim.run();
+  return seconds_since(t0);
+}
+
+// Schedule a burst, cancel every other event, fire the rest — the miner
+// retarget pattern (chain::Node cancels its mining event on every new tip).
+template <typename Sim>
+double bench_schedule_cancel(Sim& sim, std::uint64_t rounds,
+                             std::uint64_t burst) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<decltype(sim.schedule_at(0.0, [] {}))> ids;
+  ids.reserve(burst);
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    ids.clear();
+    for (std::uint64_t i = 0; i < burst; ++i)
+      ids.push_back(sim.schedule_in(0.001 * (i % 7 + 1), [] {}));
+    for (std::uint64_t i = 0; i < burst; i += 2) sim.cancel(ids[i]);
+    sim.run();
+  }
+  return seconds_since(t0);
+}
+
+struct GossipResult {
+  double wall = 0.0;
+  std::uint64_t events = 0;
+  std::uint64_t messages = 0;
+};
+
+// Integrated stack: flood `floods` payloads through a 32-node small world,
+// timing the sim+net hot path end to end.
+GossipResult bench_gossip_flood(std::uint64_t floods) {
+  sim::Simulation sim;
+  net::Network net(sim, Rng(0x51c0));
+  std::vector<net::NodeId> ids;
+  for (int i = 0; i < 32; ++i) ids.push_back(net.add_node());
+  Rng topo_rng(1234);
+  net::build_small_world(net, ids, 6, 0.1, topo_rng);
+  auto count = std::make_shared<std::uint64_t>(0);
+  for (net::NodeId id : ids)
+    net.set_handler(id, [count](const net::Message&) { ++*count; });
+
+  const net::MsgType kFlood = net::msg_type("simcore-flood");
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t f = 0; f < floods; ++f) {
+    sim.schedule_at(0.01 * f, [&net, &ids, f, kFlood] {
+      net.gossip(ids[f % ids.size()],
+                 net::make_message(kFlood, f, 256));
+    });
+  }
+  sim.run();
+  GossipResult r;
+  r.wall = seconds_since(t0);
+  r.events = sim.events_fired();
+  r.messages = net.traffic().messages;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== sim core microbench: slab scheduler vs legacy ===\n\n";
+
+  // ---- differential: fire order must be bit-identical ----
+  const std::uint64_t kDiffEvents = 200'000;
+  LegacySimulation legacy_diff;
+  sim::Simulation slab_diff;
+  const std::uint64_t legacy_hash = run_differential(legacy_diff, kDiffEvents);
+  const std::uint64_t slab_hash = run_differential(slab_diff, kDiffEvents);
+  const bool order_identical = legacy_hash == slab_hash;
+  std::cout << "fire-order hash  legacy=" << legacy_hash
+            << "  slab=" << slab_hash
+            << (order_identical ? "  [identical]\n" : "  [DIVERGED]\n");
+
+  // ---- schedule/fire ----
+  // Best of three alternating passes per engine (after a short warmup):
+  // the host is a single busy core, and one stolen timeslice would
+  // otherwise decide the ratio.
+  const std::uint64_t kFireEvents = 2'000'000;
+  double legacy_wall = 1e300, slab_wall = 1e300;
+  std::size_t slab_capacity = 0, heap_peak = 0;
+  {
+    sim::Simulation warmup;
+    bench_schedule_fire(warmup, kFireEvents / 10);
+  }
+  for (int pass = 0; pass < 3; ++pass) {
+    LegacySimulation legacy_fire;
+    sim::Simulation slab_fire;
+    legacy_wall =
+        std::min(legacy_wall, bench_schedule_fire(legacy_fire, kFireEvents));
+    slab_wall =
+        std::min(slab_wall, bench_schedule_fire(slab_fire, kFireEvents));
+    slab_capacity = slab_fire.slab_capacity();
+    heap_peak = slab_fire.heap_peak();
+  }
+  const double legacy_rate = static_cast<double>(kFireEvents) / legacy_wall;
+  const double slab_rate = static_cast<double>(kFireEvents) / slab_wall;
+  const double speedup = legacy_wall / slab_wall;
+
+  // ---- schedule/cancel ----
+  const std::uint64_t kRounds = 200, kBurst = 4096;
+  double legacy_cancel_wall = 1e300, slab_cancel_wall = 1e300;
+  for (int pass = 0; pass < 3; ++pass) {
+    LegacySimulation legacy_cancel;
+    sim::Simulation slab_cancel;
+    legacy_cancel_wall = std::min(
+        legacy_cancel_wall, bench_schedule_cancel(legacy_cancel, kRounds, kBurst));
+    slab_cancel_wall = std::min(
+        slab_cancel_wall, bench_schedule_cancel(slab_cancel, kRounds, kBurst));
+  }
+  const double cancel_ops = static_cast<double>(kRounds * kBurst);
+
+  // ---- gossip flood (integrated sim+net) ----
+  const GossipResult gossip = bench_gossip_flood(2'000);
+
+  core::Table table({"bench", "legacy ev/s", "slab ev/s", "speedup"});
+  table.row({"schedule/fire", core::fmt(legacy_rate, 0),
+             core::fmt(slab_rate, 0), core::fmt(speedup, 2)});
+  table.row({"schedule/cancel", core::fmt(cancel_ops / legacy_cancel_wall, 0),
+             core::fmt(cancel_ops / slab_cancel_wall, 0),
+             core::fmt(legacy_cancel_wall / slab_cancel_wall, 2)});
+  table.row({"gossip-flood", "-",
+             core::fmt(static_cast<double>(gossip.events) / gossip.wall, 0),
+             "-"});
+  table.print();
+  std::cout << "\nslab slab_capacity=" << slab_capacity
+            << " heap_peak=" << heap_peak << "\n";
+
+  core::JsonObject deterministic;
+  deterministic.put("fire_order_hash_legacy", legacy_hash);
+  deterministic.put("fire_order_hash_slab", slab_hash);
+  deterministic.put("fire_order_identical", order_identical);
+  deterministic.put("differential_events", kDiffEvents);
+  deterministic.put("schedule_fire_events", kFireEvents);
+  deterministic.put("schedule_fire_slab_capacity",
+                    static_cast<std::uint64_t>(slab_capacity));
+  deterministic.put("schedule_fire_heap_peak",
+                    static_cast<std::uint64_t>(heap_peak));
+  deterministic.put("gossip_floods", std::uint64_t{2'000});
+  deterministic.put("gossip_events", gossip.events);
+  deterministic.put("gossip_messages", gossip.messages);
+
+  core::JsonObject perf;
+  perf.put("schedule_fire_events_per_sec_legacy", legacy_rate);
+  perf.put("schedule_fire_events_per_sec", slab_rate);
+  perf.put("speedup_vs_legacy", speedup);
+  perf.put("schedule_cancel_ops_per_sec_legacy",
+           cancel_ops / legacy_cancel_wall);
+  perf.put("schedule_cancel_ops_per_sec", cancel_ops / slab_cancel_wall);
+  perf.put("schedule_cancel_speedup_vs_legacy",
+           legacy_cancel_wall / slab_cancel_wall);
+  perf.put("gossip_events_per_sec",
+           static_cast<double>(gossip.events) / gossip.wall);
+  perf.put("wall_seconds_schedule_fire_slab", slab_wall);
+  perf.put("wall_seconds_schedule_fire_legacy", legacy_wall);
+
+  core::JsonObject report;
+  report.put("bench", "simcore");
+  report.put_raw("deterministic", deterministic.to_string());
+  report.put_raw("perf", perf.to_string());
+  core::write_bench_report("simcore", report);
+
+  if (!order_identical) {
+    std::cerr << "FAIL: slab scheduler fire order diverges from legacy\n";
+    return 1;
+  }
+  return 0;
+}

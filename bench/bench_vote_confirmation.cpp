@@ -89,8 +89,8 @@ VoteRun run(std::size_t reps, double link_delay, bool inject_conflicts) {
       conf.time_to_confirm.count() ? conf.time_to_confirm.median() : 0;
   out.confirm_p95 =
       conf.time_to_confirm.count() ? conf.time_to_confirm.p95() : 0;
-  auto votes = cluster.network().traffic_by_type().find("lat-vote");
-  if (votes != cluster.network().traffic_by_type().end())
+  const auto traffic = cluster.network().traffic_by_type();
+  if (auto votes = traffic.find("lat-vote"); votes != traffic.end())
     out.vote_messages = votes->second.messages;
   out.metrics_json = cluster.metrics_json().to_string();
   return out;

@@ -16,25 +16,20 @@ Status UtxoMempool::add(const UtxoTransaction& tx, const UtxoSet& utxo,
   auto fee = utxo.check_transaction(tx, height, sigcache);
   if (!fee) return fee.error();
 
-  Entry entry{tx, *fee, tx.serialized_size()};
+  Entry entry{tx, *fee, tx.serialized_size(), next_seq_++};
   pending_bytes_ += entry.bytes;
   for (const TxIn& in : tx.inputs) claimed_[in.prevout] = id;
-  pool_.emplace(id, std::move(entry));
+  auto [it, inserted] = pool_.emplace(id, std::move(entry));
+  by_rate_.emplace(SelKey{it->second.fee_rate(), it->second.seq},
+                   &it->second);
   return Status::success();
 }
 
 std::vector<UtxoTransaction> UtxoMempool::select(
     std::uint64_t max_bytes) const {
-  std::vector<const Entry*> order;
-  order.reserve(pool_.size());
-  for (const auto& [id, entry] : pool_) order.push_back(&entry);
-  std::sort(order.begin(), order.end(), [](const Entry* a, const Entry* b) {
-    return a->fee_rate() > b->fee_rate();
-  });
-
   std::vector<UtxoTransaction> out;
   std::uint64_t used = 0;
-  for (const Entry* e : order) {
+  for (const auto& [key, e] : by_rate_) {
     if (max_bytes > 0 && used + e->bytes > max_bytes) continue;
     out.push_back(e->tx);
     used += e->bytes;
@@ -42,24 +37,25 @@ std::vector<UtxoTransaction> UtxoMempool::select(
   return out;
 }
 
+void UtxoMempool::drop_entry(std::unordered_map<TxId, Entry>::iterator it) {
+  const Entry& entry = it->second;
+  pending_bytes_ -= entry.bytes;
+  by_rate_.erase(SelKey{entry.fee_rate(), entry.seq});
+  for (const TxIn& in : entry.tx.inputs) claimed_.erase(in.prevout);
+  pool_.erase(it);
+}
+
 void UtxoMempool::remove_included(const std::vector<UtxoTransaction>& txs) {
   // Inputs spent by the block invalidate any pool entry claiming them.
   for (const UtxoTransaction& tx : txs) {
     auto it = pool_.find(tx.id());
-    if (it != pool_.end()) {
-      pending_bytes_ -= it->second.bytes;
-      for (const TxIn& in : it->second.tx.inputs) claimed_.erase(in.prevout);
-      pool_.erase(it);
-    }
+    if (it != pool_.end()) drop_entry(it);
     for (const TxIn& in : tx.inputs) {
       auto claim = claimed_.find(in.prevout);
       if (claim == claimed_.end()) continue;
       auto conflict = pool_.find(claim->second);
       if (conflict != pool_.end()) {
-        pending_bytes_ -= conflict->second.bytes;
-        for (const TxIn& cin : conflict->second.tx.inputs)
-          claimed_.erase(cin.prevout);
-        pool_.erase(conflict);
+        drop_entry(conflict);
       } else {
         claimed_.erase(claim);
       }
@@ -99,33 +95,50 @@ Status AccountMempool::add(const AccountTransaction& tx,
 
 std::vector<AccountTransaction> AccountMempool::select(
     std::uint64_t gas_limit, const WorldState& state) const {
-  // Per-sender cursors; repeatedly take the best-priced executable head.
+  // Per-sender cursors in a max-heap keyed by the head transaction's gas
+  // price (ties: smaller sender id first, a deterministic canonical
+  // order). Each pick is O(log senders); nonce order is preserved because
+  // only the head of each sender's queue is ever eligible.
   struct Cursor {
     std::map<std::uint64_t, AccountTransaction>::const_iterator it, end;
+    crypto::AccountId sender;
   };
-  std::vector<Cursor> cursors;
+  // std::push_heap keeps the *greatest* element first, so "less" means
+  // lower price, or equal price with a larger sender id.
+  const auto worse = [](const Cursor& a, const Cursor& b) {
+    const std::uint64_t pa = a.it->second.gas_price;
+    const std::uint64_t pb = b.it->second.gas_price;
+    if (pa != pb) return pa < pb;
+    return b.sender < a.sender;
+  };
+
+  std::vector<Cursor> heap;
   for (const auto& [sender, queue] : by_sender_) {
     auto account = state.get(sender);
     const std::uint64_t next_nonce = account ? account->nonce : 0;
     auto it = queue.find(next_nonce);
-    if (it != queue.end()) cursors.push_back({it, queue.end()});
+    if (it != queue.end()) heap.push_back({it, queue.end(), sender});
   }
+  std::make_heap(heap.begin(), heap.end(), worse);
 
   std::vector<AccountTransaction> out;
   std::uint64_t gas_used = 0;
-  for (;;) {
-    Cursor* best = nullptr;
-    for (Cursor& c : cursors) {
-      if (c.it == c.end) continue;
-      if (gas_limit > 0 && gas_used + c.it->second.gas_used() > gas_limit)
-        continue;
-      if (!best || c.it->second.gas_price > best->it->second.gas_price)
-        best = &c;
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), worse);
+    Cursor c = heap.back();
+    heap.pop_back();
+    const AccountTransaction& tx = c.it->second;
+    if (gas_limit > 0 && gas_used + tx.gas_used() > gas_limit) {
+      // Head does not fit; gas_used only grows, so this sender is done
+      // (its later nonces cannot be picked before the head).
+      continue;
     }
-    if (!best) break;
-    out.push_back(best->it->second);
-    gas_used += best->it->second.gas_used();
-    ++best->it;
+    out.push_back(tx);
+    gas_used += tx.gas_used();
+    if (++c.it != c.end) {
+      heap.push_back(c);
+      std::push_heap(heap.begin(), heap.end(), worse);
+    }
   }
   return out;
 }

@@ -31,6 +31,9 @@ class UtxoMempool {
              std::uint32_t height, crypto::SignatureCache* sigcache = nullptr);
 
   /// Greedy selection by fee rate under a byte budget (block building).
+  /// Walks the incrementally maintained fee-rate index — no per-call sort.
+  /// Equal fee rates break ties by admission order (FIFO), a canonical
+  /// order the old sort-the-whole-pool implementation left unspecified.
   std::vector<UtxoTransaction> select(std::uint64_t max_bytes) const;
 
   /// Drops transactions included in a connected block, plus any pool
@@ -53,12 +56,31 @@ class UtxoMempool {
     UtxoTransaction tx;
     Amount fee = 0;
     std::size_t bytes = 0;
+    std::uint64_t seq = 0;  // admission order, the fee-rate tiebreak
     double fee_rate() const {
       return static_cast<double>(fee) / static_cast<double>(bytes);
     }
   };
+  // Selection order: fee rate descending, admission sequence ascending.
+  struct SelKey {
+    double rate;
+    std::uint64_t seq;
+  };
+  struct SelOrder {
+    bool operator()(const SelKey& a, const SelKey& b) const {
+      if (a.rate != b.rate) return a.rate > b.rate;
+      return a.seq < b.seq;
+    }
+  };
+
+  void drop_entry(std::unordered_map<TxId, Entry>::iterator it);
+
   std::unordered_map<TxId, Entry> pool_;
   std::unordered_map<Outpoint, TxId> claimed_;  // input -> claiming tx
+  // Fee-rate-ordered view of pool_ (pointees are stable: pool_ is
+  // node-based), kept in sync by add/drop_entry.
+  std::map<SelKey, const Entry*, SelOrder> by_rate_;
+  std::uint64_t next_seq_ = 0;
   std::uint64_t pending_bytes_ = 0;
 };
 
@@ -71,7 +93,10 @@ class AccountMempool {
              crypto::SignatureCache* sigcache = nullptr);
 
   /// Selects highest-gas-price executable transactions under the block gas
-  /// limit, never violating per-sender nonce order.
+  /// limit, never violating per-sender nonce order. Candidate heads are
+  /// kept in a heap keyed (gas price descending, sender id ascending) —
+  /// O(log senders) per pick instead of a full cursor scan, with a
+  /// canonical tie order the old scan left to hash-map iteration.
   std::vector<AccountTransaction> select(std::uint64_t gas_limit,
                                          const WorldState& state) const;
 

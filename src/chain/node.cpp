@@ -10,11 +10,12 @@
 namespace dlt::chain {
 namespace {
 
-constexpr const char* kMsgBlock = "block";
-constexpr const char* kMsgUtxoTx = "tx-utxo";
-constexpr const char* kMsgAccountTx = "tx-acct";
-constexpr const char* kMsgVote = "ffg-vote";
-constexpr const char* kMsgGetBlock = "get-block";
+// Interned once at static init; per-message paths compare/copy uint32 ids.
+const net::MsgType kMsgBlock = net::msg_type("block");
+const net::MsgType kMsgUtxoTx = net::msg_type("tx-utxo");
+const net::MsgType kMsgAccountTx = net::msg_type("tx-acct");
+const net::MsgType kMsgVote = net::msg_type("ffg-vote");
+const net::MsgType kMsgGetBlock = net::msg_type("get-block");
 constexpr std::size_t kGetBlockBytes = 40;  // request: type tag + hash
 
 }  // namespace

@@ -96,6 +96,17 @@ void ClusterObs::capture_sim(const sim::Simulation& sim) {
       .set(static_cast<double>(sim.events_cancelled()));
   metrics.gauge("sim.pending").set(static_cast<double>(sim.pending()));
   metrics.gauge("sim.now").set(sim.now());
+  // Scheduler memory behaviour (slab high-water marks) and the wall-clock
+  // events/sec trajectory. events_per_sec and wall_seconds are wall-clock
+  // measurements — bench_diff.py treats them as profile noise, never as a
+  // determinism surface.
+  metrics.gauge("sim.heap_peak").set(static_cast<double>(sim.heap_peak()));
+  metrics.gauge("sim.slab_capacity")
+      .set(static_cast<double>(sim.slab_capacity()));
+  metrics.gauge("sim.wall_seconds").set(sim.wall_seconds());
+  if (sim.wall_seconds() > 0.0)
+    metrics.gauge("sim.events_per_sec")
+        .set(static_cast<double>(sim.events_fired()) / sim.wall_seconds());
 }
 
 std::vector<crypto::KeyPair> make_workload_accounts(std::size_t count) {

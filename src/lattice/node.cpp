@@ -9,11 +9,12 @@
 namespace dlt::lattice {
 namespace {
 
-constexpr const char* kMsgBlock = "lat-block";
-constexpr const char* kMsgVote = "lat-vote";
-constexpr const char* kMsgGetBlock = "lat-get-block";
+// Interned once at static init; per-message paths compare/copy uint32 ids.
+const net::MsgType kMsgBlock = net::msg_type("lat-block");
+const net::MsgType kMsgVote = net::msg_type("lat-vote");
+const net::MsgType kMsgGetBlock = net::msg_type("lat-get-block");
 constexpr std::size_t kGetBlockBytes = 40;
-constexpr const char* kMsgFrontier = "lat-frontier";
+const net::MsgType kMsgFrontier = net::msg_type("lat-frontier");
 
 using FrontierList = std::vector<std::pair<crypto::AccountId, BlockHash>>;
 

@@ -55,9 +55,48 @@ void Network::set_probe(obs::Probe probe) {
   obs_messages_ = probe_.counter("net.messages");
   obs_bytes_ = probe_.counter("net.bytes");
   obs_dropped_ = probe_.counter("net.dropped");
+  obs_dedup_evictions_ = probe_.counter("net.gossip.dedup_evictions");
+}
+
+void Network::set_gossip_dedup_window(std::size_t window) {
+  gossip_window_ = std::max<std::size_t>(window, 2);
+}
+
+std::size_t Network::gossip_dedup_entries(NodeId node) const {
+  assert(node < nodes_.size());
+  const GossipDedup& d = nodes_[node].seen_gossip;
+  return d.cur.size() + d.prev.size();
+}
+
+TrafficStats& Network::traffic_slot(MsgType type) {
+  if (type >= by_type_.size()) by_type_.resize(type + 1);
+  return by_type_[type];
+}
+
+std::map<std::string, TrafficStats> Network::traffic_by_type() const {
+  std::map<std::string, TrafficStats> out;
+  for (MsgType id = 0; id < by_type_.size(); ++id) {
+    const TrafficStats& t = by_type_[id];
+    if (t.messages == 0 && t.bytes == 0) continue;
+    out.emplace(msg_type_name(id), t);
+  }
+  return out;
+}
+
+std::uint64_t Network::trace_kind(MsgType type) {
+  if (type >= trace_kinds_.size()) trace_kinds_.resize(type + 1, kNoKind);
+  std::uint64_t& kind = trace_kinds_[type];
+  if (kind == kNoKind) {
+    kind = next_trace_kind_++;
+    if (probe_.metrics)
+      probe_.metrics->gauge("net.kind." + msg_type_name(type))
+          .set(static_cast<double>(kind));
+  }
+  return kind;
 }
 
 void Network::send(NodeId from, NodeId to, Message msg) {
+  assert(msg.type != kNoMsgType && "message type not set");
   Link* link = find_link(from, to);
   if (link == nullptr || partitioned(from, to)) return;
   if (loss_rate_ > 0.0 && rng_.chance(loss_rate_)) {
@@ -82,19 +121,15 @@ void Network::send(NodeId from, NodeId to, Message msg) {
 
   total_traffic_.messages += 1;
   total_traffic_.bytes += msg.bytes;
-  auto& t = by_type_[msg.type];
+  TrafficStats& t = traffic_slot(msg.type);
   t.messages += 1;
   t.bytes += msg.bytes;
 
   obs::inc(obs_messages_);
   obs::inc(obs_bytes_, msg.bytes);
   if (probe_.tracer && probe_.tracer->enabled()) {
-    auto [it, inserted] = type_ids_.emplace(msg.type, type_ids_.size());
-    if (inserted && probe_.metrics)
-      probe_.metrics->gauge("net.kind." + msg.type)
-          .set(static_cast<double>(it->second));
-    probe_.tracer->record(now, obs::EventType::kMessageSent, from, it->second,
-                          msg.bytes);
+    probe_.tracer->record(now, obs::EventType::kMessageSent, from,
+                          trace_kind(msg.type), msg.bytes);
   }
 
   sim_.schedule_at(arrive, [this, to, msg = std::move(msg), now] {
@@ -103,11 +138,24 @@ void Network::send(NodeId from, NodeId to, Message msg) {
   });
 }
 
+bool Network::note_gossip(NodeState& node, std::uint64_t id) {
+  GossipDedup& d = node.seen_gossip;
+  if (d.prev.count(id) != 0) return false;
+  if (!d.cur.insert(id).second) return false;
+  if (d.cur.size() >= gossip_window_ / 2) {
+    dedup_evictions_ += d.prev.size();
+    obs::inc(obs_dedup_evictions_, d.prev.size());
+    d.prev = std::move(d.cur);
+    d.cur.clear();
+  }
+  return true;
+}
+
 void Network::deliver(NodeId /*from*/, NodeId to, const Message& msg) {
   assert(to < nodes_.size());
   NodeState& node = nodes_[to];
   if (msg.gossip_id != 0) {
-    if (!node.seen_gossip.insert(msg.gossip_id).second) return;  // duplicate
+    if (!note_gossip(node, msg.gossip_id)) return;  // duplicate
     relay_gossip(to, msg);
   }
   if (node.handler) node.handler(msg);
@@ -124,7 +172,7 @@ void Network::relay_gossip(NodeId at, const Message& msg) {
 std::uint64_t Network::gossip(NodeId origin, Message msg) {
   assert(origin < nodes_.size());
   msg.gossip_id = next_gossip_id_++;
-  nodes_[origin].seen_gossip.insert(msg.gossip_id);
+  note_gossip(nodes_[origin], msg.gossip_id);
   msg.from = origin;
   relay_gossip(origin, msg);
   return msg.gossip_id;

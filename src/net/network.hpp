@@ -5,19 +5,26 @@
 // delay is the root cause of the paper's Fig. 4 soft forks ("due to network
 // delays, some nodes will receive one block over the other") and of the
 // real-world throughput ceilings §VI attributes to "network conditions".
+//
+// Hot-path representation: message types are interned MsgType ids
+// (net/msg_type.hpp) and payloads are single-allocation PayloadRef handles
+// (net/payload.hpp), so send/relay/deliver copies a Message with one atomic
+// increment and no string or std::any traffic. Strings survive only at the
+// reporting edge (traffic_by_type(), net.kind.* gauges).
 #pragma once
 
-#include <any>
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "net/msg_type.hpp"
+#include "net/payload.hpp"
 #include "obs/probe.hpp"
 #include "sim/simulation.hpp"
 #include "support/bytes.hpp"
@@ -28,14 +35,15 @@ namespace dlt::net {
 
 using NodeId = std::uint32_t;
 constexpr NodeId kNoNode = ~0u;
+constexpr MsgType kNoMsgType = ~0u;
 
 /// A delivered message. `payload` carries an arbitrary protocol object
 /// (shared, immutable); `bytes` is its modelled wire size, which drives
 /// bandwidth queueing and traffic accounting.
 struct Message {
   NodeId from = kNoNode;
-  std::string type;
-  std::shared_ptr<const std::any> payload;
+  MsgType type = kNoMsgType;
+  PayloadRef payload;
   std::size_t bytes = 0;
   std::uint64_t gossip_id = 0;  // nonzero when part of a gossip flood
 };
@@ -83,10 +91,20 @@ class Network {
   /// Drop probability applied to every delivery (message loss).
   void set_loss_rate(double p) { loss_rate_ = p; }
 
+  /// Caps per-node gossip dedup memory at ~`window` flood ids (two exact
+  /// half-windows rotated deterministically; a duplicate is always detected
+  /// while fewer than window/2 newer floods have been recorded at that
+  /// node). Evictions are counted in net.gossip.dedup_evictions.
+  void set_gossip_dedup_window(std::size_t window);
+  /// Flood ids currently remembered by `node` (test/diagnostic accessor).
+  std::size_t gossip_dedup_entries(NodeId node) const;
+  std::uint64_t gossip_dedup_evictions() const { return dedup_evictions_; }
+
   const TrafficStats& traffic() const { return total_traffic_; }
-  const std::map<std::string, TrafficStats>& traffic_by_type() const {
-    return by_type_;
-  }
+  /// Per-type traffic, rendered name-keyed for reports. Built on demand
+  /// from the flat per-id table — call once and keep the result, not in a
+  /// loop.
+  std::map<std::string, TrafficStats> traffic_by_type() const;
   Summary& delivery_delay() { return delivery_delay_; }
 
   /// Attaches the observability probe: net.messages / net.bytes /
@@ -104,10 +122,17 @@ class Network {
     LinkParams params;
     double busy_until = 0.0;  // serialization queue per direction
   };
+  // Two-generation exact dedup window: inserts go to `cur`; when `cur`
+  // reaches half the window the older generation is dropped. Rotation
+  // order depends only on the insertion sequence, so it is deterministic.
+  struct GossipDedup {
+    std::unordered_set<std::uint64_t> cur;
+    std::unordered_set<std::uint64_t> prev;
+  };
   struct NodeState {
     std::function<void(const Message&)> handler;
     std::vector<NodeId> neighbors;
-    std::unordered_set<std::uint64_t> seen_gossip;
+    GossipDedup seen_gossip;
     int partition_group = 0;
   };
 
@@ -115,6 +140,10 @@ class Network {
   Link* find_link(NodeId from, NodeId to);
   void deliver(NodeId from, NodeId to, const Message& msg);
   void relay_gossip(NodeId at, const Message& msg);
+  /// Records `id` at `node`; returns false if it was already known.
+  bool note_gossip(NodeState& node, std::uint64_t id);
+  TrafficStats& traffic_slot(MsgType type);
+  std::uint64_t trace_kind(MsgType type);
 
   sim::Simulation& sim_;
   Rng rng_;
@@ -123,16 +152,23 @@ class Network {
   std::unordered_map<std::uint64_t, Link> links_;
   std::uint64_t next_gossip_id_ = 1;
   double loss_rate_ = 0.0;
+  std::size_t gossip_window_ = 1u << 20;
+  std::uint64_t dedup_evictions_ = 0;
 
   TrafficStats total_traffic_;
-  std::map<std::string, TrafficStats> by_type_;
+  std::vector<TrafficStats> by_type_;  // indexed by MsgType id
   Summary delivery_delay_;
 
   obs::Probe probe_;
   obs::Counter* obs_messages_ = nullptr;
   obs::Counter* obs_bytes_ = nullptr;
   obs::Counter* obs_dropped_ = nullptr;
-  std::map<std::string, std::uint64_t> type_ids_;  // message_sent `kind`
+  obs::Counter* obs_dedup_evictions_ = nullptr;
+  // message_sent `kind` per MsgType, assigned in first-send order so trace
+  // bytes are independent of global MsgType registration order.
+  static constexpr std::uint64_t kNoKind = ~0ull;
+  std::vector<std::uint64_t> trace_kinds_;
+  std::uint64_t next_trace_kind_ = 0;
 };
 
 /// Topology builders (return the network for chaining-free use).
@@ -149,20 +185,32 @@ void build_small_world(Network& net, const std::vector<NodeId>& nodes,
                        std::size_t k, double beta, Rng& rng,
                        LinkParams params = {});
 
-/// Convenience for constructing a typed message.
+/// Convenience for constructing a typed message (hot overload: the type is
+/// already interned, typically a namespace-scope constant).
 template <typename T>
-Message make_message(std::string type, T payload, std::size_t bytes) {
+Message make_message(MsgType type, T payload, std::size_t bytes) {
   Message m;
-  m.type = std::move(type);
-  m.payload = std::make_shared<const std::any>(std::move(payload));
+  m.type = type;
+  m.payload = PayloadRef::make<T>(std::move(payload));
   m.bytes = bytes;
   return m;
+}
+
+/// Convenience overload that interns the type name first (tests, one-off
+/// sends; not for per-message hot paths).
+template <typename T>
+Message make_message(std::string_view type, T payload, std::size_t bytes) {
+  return make_message(msg_type(type), std::move(payload), bytes);
+}
+template <typename T>
+Message make_message(const char* type, T payload, std::size_t bytes) {
+  return make_message(msg_type(type), std::move(payload), bytes);
 }
 
 /// Extracts a typed payload (asserts on type mismatch in debug builds).
 template <typename T>
 const T& payload_as(const Message& msg) {
-  return *std::any_cast<T>(msg.payload.get());
+  return msg.payload.as<T>();
 }
 
 }  // namespace dlt::net

@@ -1,61 +1,99 @@
 #include "sim/simulation.hpp"
 
-#include <cassert>
+#include <chrono>
 
 namespace dlt::sim {
+namespace {
 
-EventId Simulation::schedule_at(Time at, std::function<void()> fn) {
-  assert(at >= now_ && "cannot schedule into the past");
-  if (at < now_) at = now_;
-  const EventId id = next_seq_;
-  heap_.push(Event{at, next_seq_, id});
-  fns_.emplace(id, std::move(fn));
-  ++next_seq_;
-  return id;
+constexpr std::uint32_t slot_of(EventId id) {
+  return static_cast<std::uint32_t>(id & 0xffffffffu) - 1;
+}
+constexpr std::uint32_t generation_of(EventId id) {
+  return static_cast<std::uint32_t>(id >> 32);
+}
+
+// RAII accumulator so every exit path of run()/run_until() books its
+// wall-clock into the events/sec trajectory.
+class WallTimer {
+ public:
+  explicit WallTimer(double& acc)
+      : acc_(acc), start_(std::chrono::steady_clock::now()) {}
+  ~WallTimer() {
+    acc_ += std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start_)
+                .count();
+  }
+
+ private:
+  double& acc_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
+
+void Simulation::release_slot(std::uint32_t index) {
+  Slot& slot = slot_at(index);
+  slot.fn.reset();
+  slot.occupied = false;
+  ++slot.generation;  // invalidates every outstanding EventId for this slot
+  free_.push_back(index);
+  --live_;
 }
 
 bool Simulation::cancel(EventId id) {
-  auto it = fns_.find(id);
-  if (it == fns_.end()) return false;
-  fns_.erase(it);
-  cancelled_.insert(id);
+  if (id == kInvalidEvent) return false;
+  const std::uint32_t index = slot_of(id);
+  if (index >= slot_count_) return false;
+  Slot& slot = slot_at(index);
+  if (!slot.occupied || slot.generation != generation_of(id)) return false;
+  release_slot(index);  // the heap entry goes stale and is dropped on pop
   ++cancelled_total_;
+  ++stale_in_heap_;
   return true;
 }
 
-bool Simulation::step() {
+void Simulation::drop_stale_tops_slow() {
   while (!heap_.empty()) {
-    Event ev = heap_.top();
-    heap_.pop();
-    auto c = cancelled_.find(ev.id);
-    if (c != cancelled_.end()) {
-      cancelled_.erase(c);
-      continue;
-    }
-    auto it = fns_.find(ev.id);
-    assert(it != fns_.end());
-    std::function<void()> fn = std::move(it->second);
-    fns_.erase(it);
-    now_ = ev.at;
-    ++fired_;
-    fn();
-    return true;
+    const HeapEntry& top = heap_.front();
+    const Slot& slot = slot_at(static_cast<std::uint32_t>(top.key & kSlotMask));
+    if (slot.occupied && slot.key == top.key) return;
+    heap_pop_front();
+    --stale_in_heap_;
+    if (stale_in_heap_ == 0) return;
   }
-  return false;
+}
+
+bool Simulation::step() {
+  drop_stale_tops();
+  if (heap_.empty()) return false;
+  const HeapEntry top = heap_.front();
+  heap_pop_front();
+  // Invalidate the event's id before invoking (cancel-after-fire and
+  // cancel-from-within return false, as the hash-map scheduler's did), but
+  // keep the slot off the free list until the callback returns: chunk
+  // addresses are stable, so the callback can run in place even while it
+  // schedules new events into fresh slots.
+  const std::uint32_t index = static_cast<std::uint32_t>(top.key & kSlotMask);
+  Slot& slot = slot_at(index);
+  slot.occupied = false;
+  ++slot.generation;
+  --live_;
+  now_ = std::bit_cast<Time>(top.at_bits);
+  ++fired_;
+  slot.fn();
+  slot.fn.reset();
+  free_.push_back(index);
+  return true;
 }
 
 std::uint64_t Simulation::run_until(Time horizon) {
+  WallTimer timer(wall_seconds_);
   std::uint64_t n = 0;
   stop_requested_ = false;
-  while (!heap_.empty() && !stop_requested_) {
-    // Peek past cancelled entries without firing.
-    Event top = heap_.top();
-    if (cancelled_.count(top.id)) {
-      heap_.pop();
-      cancelled_.erase(top.id);
-      continue;
-    }
-    if (top.at > horizon) break;
+  while (!stop_requested_) {
+    drop_stale_tops();
+    if (heap_.empty() || std::bit_cast<Time>(heap_.front().at_bits) > horizon)
+      break;
     if (step()) ++n;
   }
   if (now_ < horizon) now_ = horizon;
@@ -63,6 +101,7 @@ std::uint64_t Simulation::run_until(Time horizon) {
 }
 
 std::uint64_t Simulation::run() {
+  WallTimer timer(wall_seconds_);
   std::uint64_t n = 0;
   stop_requested_ = false;
   while (!stop_requested_ && step()) ++n;

@@ -5,25 +5,47 @@
 // Determinism contract: given identical seeds and identical schedule calls,
 // a run is bit-for-bit reproducible (events at equal timestamps fire in
 // scheduling order).
+//
+// Implementation: an indexed slab scheduler. Events live in a free-list
+// slab of fixed-size chunks (stable addresses, so a firing callback runs
+// in place while it schedules more events); callbacks are stored inline in
+// the slot via support::InplaceFunction, and the time-ordered binary heap
+// holds only POD entries (time, FIFO sequence, slot, generation).
+// Scheduling, cancelling and firing touch no hash table and — once the
+// slab and heap have grown to the run's high-water mark — no allocator.
+// Cancellation marks the slot free and bumps its generation; the stale
+// heap entry is discarded lazily when it surfaces. EventId packs
+// (generation, slot); a reused slot invalidates old ids by generation
+// mismatch, so cancel-after-fire and double-cancel return false exactly as
+// the historical hash-map scheduler did.
 #pragma once
 
+#include <algorithm>
+#include <bit>
+#include <cassert>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
-#include <unordered_set>
+#include <memory>
+#include <type_traits>
+#include <utility>
 #include <vector>
+
+#include "support/inplace_function.hpp"
 
 namespace dlt::sim {
 
 /// Simulated time in seconds.
 using Time = double;
 
+/// Packed (generation << 32 | slot + 1) handle; 0 is never issued.
 using EventId = std::uint64_t;
 constexpr EventId kInvalidEvent = 0;
 
 class Simulation {
  public:
+  /// 64 bytes covers every scheduler lambda in the tree (the largest is
+  /// the network delivery closure); bigger callables heap-box transparently.
+  using Callback = support::InplaceFunction<void(), 64>;
+
   Simulation() = default;
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
@@ -32,11 +54,29 @@ class Simulation {
 
   /// Schedules `fn` at absolute time `at` (>= now). Returns a handle that
   /// can be cancelled until it fires.
-  EventId schedule_at(Time at, std::function<void()> fn);
+  EventId schedule_at(Time at, Callback fn) {
+    const std::uint32_t index = open_slot(at);
+    Slot& slot = slot_at(index);
+    slot.fn = std::move(fn);
+    return pack(index, slot.generation);
+  }
+
+  /// Hot-path overload: constructs the callback directly in its slot (one
+  /// copy of the callable instead of temporary-then-move).
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, Callback>>>
+  EventId schedule_at(Time at, F&& fn) {
+    const std::uint32_t index = open_slot(at);
+    Slot& slot = slot_at(index);
+    slot.fn.emplace(std::forward<F>(fn));
+    return pack(index, slot.generation);
+  }
 
   /// Schedules `fn` after `delay` seconds.
-  EventId schedule_in(Time delay, std::function<void()> fn) {
-    return schedule_at(now_ + delay, std::move(fn));
+  template <typename F>
+  EventId schedule_in(Time delay, F&& fn) {
+    return schedule_at(now_ + delay, std::forward<F>(fn));
   }
 
   /// Cancels a pending event. Returns false if it already fired or was
@@ -56,34 +96,174 @@ class Simulation {
   /// Asks run()/run_until() to return after the current event.
   void request_stop() { stop_requested_ = true; }
 
-  std::size_t pending() const { return heap_.size() - cancelled_.size(); }
+  std::size_t pending() const { return live_; }
   std::uint64_t events_fired() const { return fired_; }
   /// Scheduler counters exported by the observability layer (sim.* gauges).
   std::uint64_t events_scheduled() const { return next_seq_ - 1; }
   std::uint64_t events_cancelled() const { return cancelled_total_; }
+  /// High-water mark of the time-ordered heap (live + stale entries).
+  std::size_t heap_peak() const { return heap_peak_; }
+  /// Slots ever allocated in the slab (its memory footprint).
+  std::size_t slab_capacity() const { return slot_count_; }
+  /// Wall-clock seconds spent inside run()/run_until(), accumulated across
+  /// calls; events_fired() / wall_seconds() is the engine's events/sec.
+  double wall_seconds() const { return wall_seconds_; }
 
  private:
-  struct Event {
-    Time at;
-    std::uint64_t seq;  // tiebreak: FIFO among equal timestamps
-    EventId id;
-    // fn lives in fns_ (heap nodes must be copyable for priority_queue).
+  struct Slot {
+    Callback fn;
+    std::uint64_t key = 0;  // packed (seq, slot) of the current booking
+    std::uint32_t generation = 0;
+    bool occupied = false;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
+  // 16-byte POD heap node, min-ordered by (at, key). Time is stored as its
+  // IEEE-754 bit pattern: simulated time is never negative, so the uint64
+  // comparison is order-preserving and the sift loops run on integer
+  // compares with no FP latency. The key packs the global FIFO sequence
+  // into the high 40 bits and the slot index into the low 24, so comparing
+  // keys compares sequences (seqs are unique; the slot bits never decide).
+  // A node is stale when its key no longer matches its slot's current
+  // booking.
+  struct HeapEntry {
+    std::uint64_t at_bits;
+    std::uint64_t key;
+  };
+  static constexpr std::uint32_t kSlotBits = 24;
+  static constexpr std::uint64_t kSlotMask = (1ull << kSlotBits) - 1;
+  static constexpr std::uint64_t pack_key(std::uint64_t seq,
+                                          std::uint32_t slot) {
+    return (seq << kSlotBits) | slot;
+  }
+  // Branchless ordering: sift loops compare quasi-random timestamps, so a
+  // short-circuit comparator mispredicts ~50% per level. Bitwise | and &
+  // force setcc arithmetic instead of branches.
+  static bool earlier(const HeapEntry& a, const HeapEntry& b) {
+    return (a.at_bits < b.at_bits) |
+           ((a.at_bits == b.at_bits) & (a.key < b.key));
+  }
+
+  // 4-ary heap: the pop sift is a serial dependency chain (each level's
+  // load address depends on the previous level's pick), so halving the
+  // number of levels vs a binary heap halves the chain; the min-of-four
+  // pick is a branchless compare tree. Measured on the self-rescheduling
+  // workload this is the difference between the heap being ~90% of
+  // per-event cost and ~2x legacy throughput overall.
+  void heap_push(const HeapEntry& e) {
+    heap_.push_back(e);
+    HeapEntry* h = heap_.data();
+    std::size_t hole = heap_.size() - 1;
+    // Newly scheduled events usually carry the latest timestamp, so this
+    // loop exits on the first compare in steady state.
+    while (hole > 0) {
+      const std::size_t parent = (hole - 1) >> 2;
+      if (!earlier(e, h[parent])) break;
+      h[hole] = h[parent];
+      hole = parent;
     }
-  };
+    h[hole] = e;
+  }
+
+  void heap_pop_front() {
+    const std::size_t n = heap_.size() - 1;
+    HeapEntry* h = heap_.data();
+    const HeapEntry last = h[n];
+    heap_.pop_back();
+    if (n == 0) return;
+    std::size_t hole = 0;
+    for (;;) {
+      const std::size_t c0 = 4 * hole + 1;
+      if (c0 >= n) break;
+      std::size_t m;
+      if (c0 + 4 <= n) {
+        // Branchless min of the four children (compare tree, cmov picks).
+        const std::size_t a =
+            c0 + static_cast<std::size_t>(earlier(h[c0 + 1], h[c0]));
+        const std::size_t b =
+            c0 + 2 + static_cast<std::size_t>(earlier(h[c0 + 3], h[c0 + 2]));
+        m = earlier(h[b], h[a]) ? b : a;
+      } else {
+        m = c0;  // partial quad at the frontier (at most once per pop)
+        for (std::size_t c = c0 + 1; c < n; ++c)
+          if (earlier(h[c], h[m])) m = c;
+      }
+      // `last` is a leaf value, so this exit is rarely taken before the
+      // bottom — the branch stays predictable.
+      if (!earlier(h[m], last)) break;
+      h[hole] = h[m];
+      hole = m;
+    }
+    h[hole] = last;
+  }
+
+  static constexpr EventId pack(std::uint32_t slot, std::uint32_t generation) {
+    return (static_cast<EventId>(generation) << 32) |
+           (static_cast<EventId>(slot) + 1);
+  }
+
+  // Chunked slab: slot addresses never move, so step() can run a callback
+  // in place while it schedules (and thereby grows the slab).
+  static constexpr std::uint32_t kChunkShift = 8;
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+  Slot& slot_at(std::uint32_t index) {
+    return chunks_[index >> kChunkShift][index & (kChunkSize - 1)];
+  }
+  const Slot& slot_at(std::uint32_t index) const {
+    return chunks_[index >> kChunkShift][index & (kChunkSize - 1)];
+  }
+
+  std::uint32_t acquire_slot() {
+    if (!free_.empty()) {
+      const std::uint32_t index = free_.back();
+      free_.pop_back();
+      return index;
+    }
+    if ((slot_count_ & (kChunkSize - 1)) == 0)
+      chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));
+    assert(slot_count_ < (1u << kSlotBits) && "slab slot index overflow");
+    return slot_count_++;
+  }
+  void release_slot(std::uint32_t index);
+  /// Books an empty occupied slot at time `at` (heap entry pushed, counters
+  /// bumped); the caller fills in the callback.
+  std::uint32_t open_slot(Time at) {
+    assert(at >= now_ && "cannot schedule into the past");
+    if (at < now_) at = now_;
+    at += 0.0;  // canonicalize -0.0: its bit pattern would sort after +inf
+    const std::uint32_t index = acquire_slot();
+    Slot& slot = slot_at(index);
+    slot.occupied = true;
+    slot.key = pack_key(next_seq_, index);
+    heap_push(HeapEntry{std::bit_cast<std::uint64_t>(at), slot.key});
+    if (heap_.size() > heap_peak_) heap_peak_ = heap_.size();
+    ++live_;
+    ++next_seq_;
+    assert(next_seq_ < (1ull << 40) && "event sequence overflow");
+    return index;
+  }
+  /// Pops stale heap tops; afterwards the front (if any) is live. Only
+  /// cancel() makes heap entries go stale (step() pops before it
+  /// invalidates), so with no cancellations outstanding this is one
+  /// counter compare — no slot probe per event.
+  void drop_stale_tops() {
+    if (stale_in_heap_ == 0) return;
+    drop_stale_tops_slow();
+  }
+  void drop_stale_tops_slow();
 
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t fired_ = 0;
   std::uint64_t cancelled_total_ = 0;
   bool stop_requested_ = false;
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
-  std::unordered_set<EventId> cancelled_;
-  std::unordered_map<EventId, std::function<void()>> fns_;
+
+  std::vector<HeapEntry> heap_;  // 4-ary min-heap (heap_push/heap_pop_front)
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  std::uint32_t slot_count_ = 0;
+  std::vector<std::uint32_t> free_;  // LIFO free list (deterministic reuse)
+  std::size_t stale_in_heap_ = 0;    // cancelled entries not yet popped
+  std::size_t live_ = 0;
+  std::size_t heap_peak_ = 0;
+  double wall_seconds_ = 0.0;
 };
 
 }  // namespace dlt::sim

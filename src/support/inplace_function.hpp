@@ -1,0 +1,148 @@
+// InplaceFunction: a move-only callable wrapper with small-buffer storage.
+//
+// std::function heap-allocates most capturing lambdas and drags in copyable
+// semantics the scheduler never needs. The slab scheduler (sim/simulation)
+// stores one callback per event slot; keeping the callable inline means
+// schedule/cancel/fire touch no allocator in the common case. Callables
+// larger than the buffer fall back to a single heap box, so capacity is a
+// fast path, not a correctness limit.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace dlt::support {
+
+template <typename Signature, std::size_t Capacity = 48>
+class InplaceFunction;  // only the R(Args...) specialization exists
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InplaceFunction<R(Args...), Capacity> {
+ public:
+  InplaceFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<
+                std::decay_t<F>, InplaceFunction>>>
+  InplaceFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    emplace_any(std::forward<F>(f));
+  }
+
+  InplaceFunction(InplaceFunction&& other) noexcept { take(other); }
+
+  InplaceFunction& operator=(InplaceFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      take(other);
+    }
+    return *this;
+  }
+
+  InplaceFunction(const InplaceFunction&) = delete;
+  InplaceFunction& operator=(const InplaceFunction&) = delete;
+
+  ~InplaceFunction() { reset(); }
+
+  /// Drops the held callable (destroying its captures immediately).
+  /// Trivial callables have no manager, so this is two pointer writes.
+  void reset() {
+    if (manage_) manage_(buf_, nullptr, Op::kDestroy);
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+  /// Replaces the held callable, constructing the new one in place — one
+  /// copy/move of `f`, vs two for `*this = InplaceFunction(f)`.
+  template <typename F>
+  void emplace(F&& f) {
+    reset();
+    emplace_any(std::forward<F>(f));
+  }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  R operator()(Args... args) {
+    assert(invoke_ && "calling an empty InplaceFunction");
+    return invoke_(buf_, std::forward<Args>(args)...);
+  }
+
+ private:
+  enum class Op { kMove, kDestroy };
+  using Invoke = R (*)(void*, Args&&...);
+  using Manage = void (*)(void* self, void* dst, Op);
+
+  template <typename F>
+  static F* as(void* p) {
+    return std::launder(reinterpret_cast<F*>(p));
+  }
+
+  template <typename F>
+  static constexpr bool fits() {
+    return sizeof(F) <= Capacity && alignof(F) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<F>;
+  }
+
+  template <typename F, typename Src>
+  void emplace_inline(Src&& f) {
+    ::new (static_cast<void*>(buf_)) F(std::forward<Src>(f));
+    invoke_ = [](void* p, Args&&... args) -> R {
+      return (*as<F>(p))(std::forward<Args>(args)...);
+    };
+    if constexpr (std::is_trivially_copyable_v<F> &&
+                  std::is_trivially_destructible_v<F>) {
+      // The buffer bytes ARE the callable's whole state: no destroy call
+      // on reset and a plain memcpy on move. This is the scheduler's fast
+      // path — most event callbacks capture only pointers and PODs.
+      manage_ = nullptr;
+    } else {
+      manage_ = [](void* self, void* dst, Op op) {
+        F* held = as<F>(self);
+        if (op == Op::kMove) ::new (dst) F(std::move(*held));
+        held->~F();
+      };
+    }
+  }
+
+  template <typename F>
+  void emplace_any(F&& f) {
+    using Held = std::decay_t<F>;
+    if constexpr (fits<Held>()) {
+      emplace_inline<Held>(std::forward<F>(f));
+    } else {
+      // Oversized callable: box it behind one allocation. The box (a
+      // unique_ptr) always fits, so the wrapper machinery stays uniform.
+      struct Boxed {
+        std::unique_ptr<Held> held;
+        R operator()(Args&&... args) {
+          return (*held)(std::forward<Args>(args)...);
+        }
+      };
+      emplace_inline<Boxed>(Boxed{std::make_unique<Held>(std::forward<F>(f))});
+    }
+  }
+
+  void take(InplaceFunction& other) {
+    if (other.manage_) {
+      other.manage_(other.buf_, buf_, Op::kMove);  // move-construct + destroy
+    } else if (other.invoke_) {
+      std::memcpy(buf_, other.buf_, Capacity);  // trivial: bytes are state
+    } else {
+      return;
+    }
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[Capacity];
+  Invoke invoke_ = nullptr;
+  Manage manage_ = nullptr;
+};
+
+}  // namespace dlt::support

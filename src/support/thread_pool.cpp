@@ -39,8 +39,12 @@ void ThreadPool::parallel_for(std::size_t n,
   work_cv_.notify_all();
   run_indices(&fn, n);  // the caller is a worker too
   std::unique_lock<std::mutex> lock(mutex_);
+  // Wait for the work AND for every worker to leave run_indices: a worker
+  // that just consumed the batch's last index still probes next_ once more
+  // before returning, and resetting next_ for the following batch while it
+  // does so would hand it a fresh index paired with this batch's dead fn.
   done_cv_.wait(lock, [this] {
-    return remaining_.load(std::memory_order_acquire) == 0;
+    return remaining_.load(std::memory_order_acquire) == 0 && active_ == 0;
   });
   // Clear the batch so a late-waking worker from this generation sees an
   // exhausted index range and never dereferences a dead fn.
@@ -64,8 +68,13 @@ void ThreadPool::worker_loop() {
       seen = generation_;
       fn = fn_;
       n = n_;
+      if (fn != nullptr) ++active_;
     }
-    if (fn != nullptr) run_indices(fn, n);
+    if (fn != nullptr) {
+      run_indices(fn, n);
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--active_ == 0) done_cv_.notify_all();
+    }
   }
 }
 

@@ -57,6 +57,7 @@ class ThreadPool {
   const std::function<void(std::size_t)>* fn_ = nullptr;  // guarded by mutex_
   std::size_t n_ = 0;                                     // guarded by mutex_
   std::uint64_t generation_ = 0;                          // guarded by mutex_
+  std::size_t active_ = 0;  // workers inside run_indices; guarded by mutex_
   bool stop_ = false;                                     // guarded by mutex_
   std::atomic<std::size_t> next_{0};
   std::atomic<std::size_t> remaining_{0};

@@ -5,7 +5,8 @@
 namespace dlt::tangle {
 
 namespace {
-constexpr const char* kTxMessage = "tangle-tx";
+// Interned once at static init; per-message paths compare/copy uint32 ids.
+const net::MsgType kTxMessage = net::msg_type("tangle-tx");
 }  // namespace
 
 TangleNode::TangleNode(net::Network& network, const TangleParams& params,

@@ -2,6 +2,10 @@
 // (paper §IV-A, §VI).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "chain/mempool.hpp"
 #include "chain_test_util.hpp"
 
@@ -196,6 +200,165 @@ TEST_F(AccountMempoolTest, BadSignatureRejected) {
   tx.value = 999;
   tx.invalidate_digests();  // direct field writes bypass the digest memo
   EXPECT_FALSE(pool.add(tx, state).ok());
+}
+
+// --- differential: incremental indexes vs the old full-scan greedy ------
+
+class MempoolDifferentialTest : public ::testing::Test {
+ protected:
+  MempoolDifferentialTest() : keys(make_keys(12)), rng(7) {
+    UtxoTransaction mint;
+    for (std::size_t i = 0; i < keys.size(); ++i)
+      mint.outputs.push_back(TxOut{1'000'000, keys[i].account_id()});
+    mint_id = mint.id();
+    utxo.apply_transaction(mint);
+  }
+
+  UtxoTransaction spend(std::size_t who, Amount out_value) {
+    UtxoTransaction tx;
+    tx.inputs.push_back(
+        TxIn{Outpoint{mint_id, static_cast<std::uint32_t>(who)}, 0, {}});
+    tx.outputs.push_back(TxOut{out_value, keys[(who + 1) % keys.size()].account_id()});
+    tx.sign_all({keys[who]}, rng);
+    return tx;
+  }
+
+  // The pre-index selection algorithm, reimplemented verbatim: snapshot
+  // the pool, sort by fee rate descending, greedy-pack skipping txs that
+  // bust the byte budget.
+  static std::vector<UtxoTransaction> legacy_select(
+      const std::vector<std::pair<UtxoTransaction, double>>& entries,
+      std::uint64_t max_bytes) {
+    auto sorted = entries;
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.second > b.second;
+                     });
+    std::vector<UtxoTransaction> out;
+    std::uint64_t used = 0;
+    for (const auto& [tx, rate] : sorted) {
+      const std::uint64_t sz = tx.serialized_size();
+      if (used + sz > max_bytes) continue;
+      used += sz;
+      out.push_back(tx);
+    }
+    return out;
+  }
+
+  std::vector<crypto::KeyPair> keys;
+  Rng rng;
+  UtxoSet utxo;
+  TxId mint_id;
+};
+
+TEST_F(MempoolDifferentialTest, UtxoSelectMatchesLegacyGreedy) {
+  // Distinct fee rates make the legacy order total, so the incremental
+  // index must reproduce it transaction for transaction at every budget.
+  UtxoMempool pool;
+  std::vector<std::pair<UtxoTransaction, double>> reference;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const Amount fee = 100 * (static_cast<Amount>(i * 7 % 12) + 1);
+    auto tx = spend(i, 1'000'000 - fee);
+    ASSERT_TRUE(pool.add(tx, utxo, 1).ok());
+    reference.emplace_back(
+        tx, static_cast<double>(fee) /
+                static_cast<double>(tx.serialized_size()));
+  }
+  const std::uint64_t one = reference[0].first.serialized_size();
+  for (std::uint64_t budget :
+       {one / 2, one, one * 3, one * 7, one * 12, one * 100}) {
+    const auto got = pool.select(budget);
+    const auto want = legacy_select(reference, budget);
+    ASSERT_EQ(got.size(), want.size()) << "budget " << budget;
+    for (std::size_t i = 0; i < got.size(); ++i)
+      EXPECT_EQ(got[i].id(), want[i].id()) << "budget " << budget << " pos " << i;
+  }
+}
+
+TEST_F(MempoolDifferentialTest, UtxoEqualRatesSelectFifo) {
+  // Equal fee rates: the index breaks ties by admission order (the old
+  // sort left this to container iteration order). FIFO is the documented
+  // canonical behavior.
+  UtxoMempool pool;
+  std::vector<TxId> admitted;
+  for (std::size_t i = 0; i < 6; ++i) {
+    auto tx = spend(i, 1'000'000 - 500);  // identical fee, identical size
+    ASSERT_TRUE(pool.add(tx, utxo, 1).ok());
+    admitted.push_back(tx.id());
+  }
+  const auto got = pool.select(1 << 20);
+  ASSERT_EQ(got.size(), admitted.size());
+  for (std::size_t i = 0; i < got.size(); ++i)
+    EXPECT_EQ(got[i].id(), admitted[i]) << i;
+}
+
+TEST_F(MempoolDifferentialTest, UtxoSelectTracksRemovals) {
+  // The incremental index must stay consistent through remove_included.
+  UtxoMempool pool;
+  std::vector<std::pair<UtxoTransaction, double>> reference;
+  for (std::size_t i = 0; i < 8; ++i) {
+    const Amount fee = 100 * (static_cast<Amount>(i) + 1);
+    auto tx = spend(i, 1'000'000 - fee);
+    ASSERT_TRUE(pool.add(tx, utxo, 1).ok());
+    reference.emplace_back(
+        tx, static_cast<double>(fee) /
+                static_cast<double>(tx.serialized_size()));
+  }
+  // Mine the two richest.
+  pool.remove_included({reference[7].first, reference[6].first});
+  reference.erase(reference.begin() + 6, reference.end());
+  const auto got = pool.select(1 << 20);
+  const auto want = legacy_select(reference, 1 << 20);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i)
+    EXPECT_EQ(got[i].id(), want[i].id()) << i;
+}
+
+TEST_F(AccountMempoolTest, SelectMatchesReferenceScan) {
+  // Heap-based pick vs the old O(senders) scan: with nonce chains per
+  // sender and distinct gas prices the order is total; outputs must agree
+  // at every gas budget.
+  ASSERT_TRUE(pool.add(tx_with(0, 0, 50), state).ok());
+  ASSERT_TRUE(pool.add(tx_with(0, 1, 90), state).ok());
+  ASSERT_TRUE(pool.add(tx_with(0, 2, 10), state).ok());
+  ASSERT_TRUE(pool.add(tx_with(1, 0, 70), state).ok());
+  ASSERT_TRUE(pool.add(tx_with(1, 1, 30), state).ok());
+
+  // Reference: repeatedly scan sender heads, take the highest-priced head
+  // that fits the remaining gas.
+  auto reference = [&](std::uint64_t gas_limit) {
+    struct Head { std::size_t who; std::vector<AccountTransaction> q; std::size_t i = 0; };
+    std::vector<Head> heads;
+    heads.push_back({0, {tx_with(0, 0, 50), tx_with(0, 1, 90), tx_with(0, 2, 10)}});
+    heads.push_back({1, {tx_with(1, 0, 70), tx_with(1, 1, 30)}});
+    std::vector<AccountTransaction> out;
+    std::uint64_t used = 0;
+    for (;;) {
+      Head* best = nullptr;
+      for (auto& h : heads) {
+        if (h.i >= h.q.size()) continue;
+        if (used + h.q[h.i].gas_limit > gas_limit) continue;
+        if (!best || h.q[h.i].gas_price > best->q[best->i].gas_price)
+          best = &h;
+      }
+      if (!best) break;
+      out.push_back(best->q[best->i]);
+      used += best->q[best->i].gas_limit;
+      ++best->i;
+    }
+    return out;
+  };
+
+  for (std::uint64_t budget : {21'000ull, 42'000ull, 63'000ull, 84'000ull,
+                               105'000ull, 1'000'000ull}) {
+    const auto got = pool.select(budget, state);
+    const auto want = reference(budget);
+    ASSERT_EQ(got.size(), want.size()) << "budget " << budget;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].nonce, want[i].nonce) << "budget " << budget;
+      EXPECT_EQ(got[i].gas_price, want[i].gas_price) << "budget " << budget;
+    }
+  }
 }
 
 }  // namespace

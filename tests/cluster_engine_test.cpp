@@ -39,7 +39,12 @@ namespace {
 /// byte-for-byte.
 std::string strip_profile(std::string json) {
   static const std::regex kProfile("\"profile\\.[^\"]*\":\\{[^{}]*\\},?");
-  return std::regex_replace(json, kProfile, "");
+  // sim.wall_seconds / sim.events_per_sec are wall-clock gauges — real
+  // measurements, not part of the determinism surface.
+  static const std::regex kWallClock(
+      "\"sim\\.(wall_seconds|events_per_sec)\":[^,}]*,?");
+  return std::regex_replace(std::regex_replace(json, kProfile, ""),
+                            kWallClock, "");
 }
 
 void expect_percentiles_equal(const Percentiles& a, const Percentiles& b) {

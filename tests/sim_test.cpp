@@ -115,5 +115,112 @@ TEST(Simulation, CancelledEventsNotCountedPending) {
   EXPECT_EQ(s.pending(), 1u);
 }
 
+// --- slab scheduler semantics -------------------------------------------
+
+TEST(Simulation, StaleIdDoesNotCancelSlotReuser) {
+  // After an event fires, its slab slot is recycled for the next schedule;
+  // the generation bump must make the old EventId inert rather than
+  // cancelling the new occupant.
+  Simulation s;
+  EventId first = s.schedule_at(1.0, [] {});
+  s.run();
+  bool second_fired = false;
+  s.schedule_at(2.0, [&] { second_fired = true; });
+  EXPECT_FALSE(s.cancel(first));  // stale id, same slot: must be a no-op
+  s.run();
+  EXPECT_TRUE(second_fired);
+}
+
+TEST(Simulation, CancelFromWithinOwnCallbackFails) {
+  // The firing event's id is invalidated before its callback runs.
+  Simulation s;
+  bool cancel_result = true;
+  EventId id = kInvalidEvent;
+  id = s.schedule_at(1.0, [&] { cancel_result = s.cancel(id); });
+  s.run();
+  EXPECT_FALSE(cancel_result);
+}
+
+TEST(Simulation, CancelOfInvalidEventFails) {
+  Simulation s;
+  EXPECT_FALSE(s.cancel(kInvalidEvent));
+  EXPECT_FALSE(s.cancel(12345));  // never-issued id
+}
+
+TEST(Simulation, FifoTiebreakAtScale) {
+  // 100k events at one timestamp (mixed with cancellations) must fire in
+  // exact scheduling order — the FIFO sequence in the heap key, not slot
+  // or slab order, decides ties.
+  Simulation s;
+  constexpr int kEvents = 100'000;
+  std::vector<int> order;
+  order.reserve(kEvents);
+  std::vector<EventId> ids;
+  ids.reserve(kEvents);
+  for (int i = 0; i < kEvents; ++i)
+    ids.push_back(s.schedule_at(7.0, [&order, i] { order.push_back(i); }));
+  for (int i = 0; i < kEvents; i += 3) s.cancel(ids[i]);
+  s.run();
+  int expect = 0;
+  for (int got : order) {
+    while (expect % 3 == 0) ++expect;  // cancelled every 3rd
+    EXPECT_EQ(got, expect);
+    if (got != expect) break;
+    ++expect;
+  }
+  EXPECT_EQ(order.size(), static_cast<std::size_t>(kEvents - 33334));
+}
+
+TEST(Simulation, SlabCapacityBoundedBySelfRescheduling) {
+  // A self-rescheduling chain reuses freed slots: the slab must stay at
+  // the concurrency high-water mark, not grow with total events.
+  Simulation s;
+  int remaining = 10'000;
+  std::function<void()> chain = [&] {
+    if (--remaining > 0) s.schedule_in(1.0, chain);
+  };
+  s.schedule_in(1.0, chain);
+  s.run();
+  EXPECT_EQ(s.events_fired(), 10'000u);
+  EXPECT_LE(s.slab_capacity(), 256u);  // one chunk, not 10k slots
+  EXPECT_LE(s.heap_peak(), 2u);
+}
+
+TEST(Simulation, SchedulerCounters) {
+  Simulation s;
+  EventId a = s.schedule_at(1.0, [] {});
+  s.schedule_at(2.0, [] {});
+  s.schedule_at(3.0, [] {});
+  s.cancel(a);
+  s.run();
+  EXPECT_EQ(s.events_scheduled(), 3u);
+  EXPECT_EQ(s.events_fired(), 2u);
+  EXPECT_EQ(s.events_cancelled(), 1u);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Simulation, NegativeZeroTimestampOrdersAsZero) {
+  // The heap compares IEEE bit patterns; -0.0 must not sort after +inf.
+  Simulation s;
+  std::vector<int> order;
+  s.schedule_at(-0.0, [&] { order.push_back(0); });
+  s.schedule_at(1.0, [&] { order.push_back(1); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(Simulation, PendingAccountsForFireCancelInterleave) {
+  Simulation s;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i)
+    ids.push_back(s.schedule_at(1.0 + i, [] {}));
+  for (int i = 0; i < 100; i += 2) s.cancel(ids[i]);
+  EXPECT_EQ(s.pending(), 50u);
+  s.run_until(50.5);  // fires the odd-indexed events scheduled <= 50.5
+  EXPECT_EQ(s.pending(), 25u);
+  s.run();
+  EXPECT_EQ(s.pending(), 0u);
+}
+
 }  // namespace
 }  // namespace dlt::sim

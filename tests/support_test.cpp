@@ -2,13 +2,18 @@
 // statistics.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <map>
+#include <memory>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "support/hex.hpp"
+#include "support/inplace_function.hpp"
 #include "support/result.hpp"
 #include "support/rng.hpp"
 #include "support/serialize.hpp"
@@ -330,6 +335,96 @@ TEST(ThreadPool, DestructionWithUnconsumedWorkJoinsCleanly) {
       pool.parallel_for(256, [&](std::size_t) { ran.fetch_add(1); });
   }
   EXPECT_EQ(ran.load(), 16 * 256);
+}
+
+// --- InplaceFunction -----------------------------------------------------
+
+TEST(InplaceFunction, EmptyAndBool) {
+  support::InplaceFunction<int()> f;
+  EXPECT_FALSE(f);
+  f = [] { return 7; };
+  EXPECT_TRUE(f);
+  EXPECT_EQ(f(), 7);
+  f.reset();
+  EXPECT_FALSE(f);
+}
+
+TEST(InplaceFunction, SmallCallableStaysInline) {
+  int hits = 0;
+  support::InplaceFunction<void()> f([&hits] { ++hits; });
+  f();
+  f();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InplaceFunction, MoveOnlyCallable) {
+  auto p = std::make_unique<int>(41);
+  support::InplaceFunction<int()> f([p = std::move(p)] { return *p + 1; });
+  EXPECT_EQ(f(), 42);
+}
+
+TEST(InplaceFunction, MoveTransfersState) {
+  int hits = 0;
+  support::InplaceFunction<void()> a([&hits] { ++hits; });
+  support::InplaceFunction<void()> b(std::move(a));
+  EXPECT_FALSE(a);  // NOLINT(bugprone-use-after-move): post-move empty
+  ASSERT_TRUE(b);
+  b();
+  EXPECT_EQ(hits, 1);
+  support::InplaceFunction<void()> c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InplaceFunction, OversizedCallableBoxes) {
+  // Capture larger than the 24-byte capacity: falls back to one heap box
+  // but behaves identically.
+  std::array<std::uint64_t, 16> big{};
+  big[0] = 5;
+  big[15] = 6;
+  support::InplaceFunction<std::uint64_t(), 24> f(
+      [big] { return big[0] + big[15]; });
+  EXPECT_EQ(f(), 11u);
+  auto moved = std::move(f);
+  EXPECT_EQ(moved(), 11u);
+}
+
+TEST(InplaceFunction, NonTrivialCapturesDestroyed) {
+  auto token = std::make_shared<int>(0);
+  EXPECT_EQ(token.use_count(), 1);
+  {
+    support::InplaceFunction<void()> f([token] {});
+    EXPECT_EQ(token.use_count(), 2);
+    f.reset();  // reset must run the capture's destructor immediately
+    EXPECT_EQ(token.use_count(), 1);
+    f = [token] {};
+    EXPECT_EQ(token.use_count(), 2);
+  }
+  EXPECT_EQ(token.use_count(), 1);  // wrapper destructor releases too
+}
+
+TEST(InplaceFunction, EmplaceReplacesHeldCallable) {
+  support::InplaceFunction<int()> f([] { return 1; });
+  f.emplace([] { return 2; });
+  EXPECT_EQ(f(), 2);
+}
+
+TEST(InplaceFunction, TrivialCallableMoveIsExact) {
+  // Trivially-copyable callables take the manager-free path (bytes are
+  // state); a moved-to wrapper must reproduce the captured values.
+  struct Pod {
+    std::uint64_t a, b, c;
+    std::uint64_t operator()() const { return a + b + c; }
+  };
+  support::InplaceFunction<std::uint64_t()> f(Pod{10, 20, 30});
+  auto g = std::move(f);
+  EXPECT_EQ(g(), 60u);
+}
+
+TEST(InplaceFunction, ArgumentsAndReturn) {
+  support::InplaceFunction<int(int, int)> f([](int a, int b) { return a * b; });
+  EXPECT_EQ(f(6, 7), 42);
 }
 
 }  // namespace

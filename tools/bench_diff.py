@@ -48,7 +48,7 @@ SMALLER_IS_BETTER = (
 )
 
 # Wall-clock metrics: noisy, excluded from the regression gate by default.
-PROFILE_MARKERS = ("profile.", "wall_seconds", "_ns", "_us")
+PROFILE_MARKERS = ("profile.", "wall_seconds", "events_per_sec", "_ns", "_us")
 
 
 def flatten(node, prefix=""):

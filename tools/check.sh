@@ -6,6 +6,7 @@
 #   tools/check.sh --fast         # tier-1 only
 #   tools/check.sh --determinism  # tier-1 + parallel-pipeline gates
 #   tools/check.sh --tsan         # tier-1 + ThreadSanitizer pass
+#   tools/check.sh --perf         # tier-1 + Release perf gate
 #
 # Flags combine: `tools/check.sh --determinism --tsan` runs the tier-1
 # suite once, then both extra passes in one invocation. Any extra flag
@@ -20,6 +21,9 @@
 # verification, sharded state application) under ThreadSanitizer; it is
 # split from the default run because TSan is an order of magnitude
 # slower than the tier-1 suite.
+# --perf builds bench_simcore and bench_hotpath in a Release tree
+# (build-perf) and gates on the recorded scheduler speedup: the slab
+# engine must hold >= 2x events/sec over the embedded legacy scheduler.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -28,13 +32,15 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 FAST=0
 DETERMINISM=0
 TSAN=0
+PERF=0
 for arg in "$@"; do
   case "$arg" in
     --fast) FAST=1 ;;
     --determinism) FAST=1; DETERMINISM=1 ;;
     --tsan) FAST=1; TSAN=1 ;;
+    --perf) FAST=1; PERF=1 ;;
     *)
-      echo "usage: tools/check.sh [--fast] [--determinism] [--tsan]" >&2
+      echo "usage: tools/check.sh [--fast] [--determinism] [--tsan] [--perf]" >&2
       exit 2
       ;;
   esac
@@ -58,6 +64,30 @@ if [[ "$DETERMINISM" == "1" ]]; then
   cmake --build build -j "$JOBS" --target bench_throughput_chain \
     bench_throughput_dag bench_throughput_tangle
   tools/determinism_gate.sh build
+fi
+
+if [[ "$PERF" == "1" ]]; then
+  echo "=== [perf] configure + build (Release) ==="
+  cmake -B build-perf -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build-perf -j "$JOBS" --target bench_simcore bench_hotpath
+  echo "=== [perf] bench_simcore (fire-order differential + speedup gate) ==="
+  perfdir="$(mktemp -d)"
+  (cd "$perfdir" && "$OLDPWD/build-perf/bench/bench_simcore")
+  echo "=== [perf] bench_hotpath ==="
+  (cd "$perfdir" && "$OLDPWD/build-perf/bench/bench_hotpath" >/dev/null)
+  python3 - "$perfdir/BENCH_simcore.json" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+speedup = report["perf"]["speedup_vs_legacy"]
+identical = report["deterministic"]["fire_order_identical"]
+print(f"slab scheduler: {speedup:.2f}x legacy, fire order identical: {identical}")
+if not identical:
+    sys.exit("FAIL: fire order diverged from the legacy scheduler")
+if speedup < 2.0:
+    sys.exit(f"FAIL: schedule/fire speedup {speedup:.2f}x below the 2.0x gate")
+EOF
+  rm -rf "$perfdir"
+  echo "=== [perf] OK ==="
 fi
 
 if [[ "$TSAN" == "1" ]]; then

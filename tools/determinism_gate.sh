@@ -71,9 +71,34 @@ gate() {
   echo "traces byte-identical"
 }
 
+# gate_simcore: the scheduler microbench embeds a fire-order differential
+# against the legacy engine (exits nonzero on divergence) and writes its
+# checksums into BENCH_simcore.json `deterministic`; two runs must agree
+# exactly there. The `perf` section is wall-clock and exempt.
+gate_simcore() {
+  local bin="$BUILD/bench/bench_simcore"
+  if [[ ! -x "$bin" ]]; then
+    echo "determinism gate: $bin not built (build the bench targets first)" >&2
+    exit 2
+  fi
+  local work
+  work="$(mktemp -d)"
+  # shellcheck disable=SC2064
+  trap "rm -rf '$work'" RETURN
+  for run in 1 2; do
+    mkdir -p "$work/r$run"
+    echo "=== [determinism/simcore] bench_simcore run $run ==="
+    (cd "$work/r$run" && "$bin" >/dev/null)
+  done
+  echo "=== [determinism/simcore] metrics: exact diff (perf section exempt) ==="
+  python3 "$DIFF" --exact --quiet --ignore perf. \
+    "$work/r1/BENCH_simcore.json" "$work/r2/BENCH_simcore.json"
+}
+
 gate bench_throughput_chain
 gate bench_throughput_tangle
 gate bench_throughput_chain state
 gate bench_throughput_dag state
 gate bench_throughput_tangle state
+gate_simcore
 echo "=== [determinism] OK ==="
