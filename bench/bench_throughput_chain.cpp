@@ -27,6 +27,7 @@ struct TpRun {
   std::uint64_t blocks = 0;
   std::string metrics_json;
   std::string trace_summary_json;
+  std::string latency_line;
 };
 
 /// Saturating run: offered load is well above capacity; the measured
@@ -70,7 +71,11 @@ TpRun run(chain::ChainParams params, double offered_tps, double duration,
   wl.min_amount = 1;
   wl.max_amount = 100;
   cluster.schedule_workload(generate_payments(wl, wl_rng));
-  cluster.run_for(duration);
+  // Run past the workload window (like the dag/tangle benches) so the
+  // depth-k rule has room to confirm: a bitcoin-like run stopped dead at
+  // `duration` seals ~6 blocks and nothing is ever 6 deep.
+  cluster.run_for(duration + cfg.params.block_interval *
+                                 (cfg.params.confirmation_depth + 2.0));
 
   RunMetrics m = cluster.metrics();
   TpRun out;
@@ -90,6 +95,7 @@ TpRun run(chain::ChainParams params, double offered_tps, double duration,
   out.blocks = cluster.node(0).chain().height();
   out.metrics_json = cluster.metrics_json().to_string();
   out.trace_summary_json = cluster.trace_summary_json().to_string();
+  out.latency_line = latency_summary_line(cluster.metrics_registry());
   if (!trace_path.empty() && cluster.tracer().enabled() &&
       !cluster.tracer().events().empty()) {  // sink-only mode has no ring
     if (cluster.tracer().export_jsonl(trace_path))
@@ -134,6 +140,8 @@ int main() {
     TpRun r = run(btc, 14.0, 3600.0, 60, "TRACE_throughput_chain.jsonl");
     metrics_section = r.metrics_json;       // reference run: bitcoin-like
     trace_section = r.trace_summary_json;
+    if (!r.latency_line.empty())
+      std::cout << r.latency_line << " (bitcoin-like reference run)\n";
     const double norm = r.tps_included * (146.0 / 400.0);
     t.row({"bitcoin-like", "600 s", "1 MB", fmt(r.tps_included, 2),
            fmt(norm, 2), std::to_string(r.pending), fmt(r.incl_median, 0),

@@ -30,6 +30,7 @@ struct TangleRun {
   bool converged = false;
   std::string metrics_json;
   std::string trace_summary_json;
+  std::string latency_line;
 };
 
 /// When `trace_path` is non-empty and DLT_TRACE is set, the run's event
@@ -72,6 +73,7 @@ TangleRun run(double offered_tps, double bandwidth, int work_bits,
   out.converged = cluster.converged();
   out.metrics_json = cluster.metrics_json().to_string();
   out.trace_summary_json = cluster.trace_summary_json().to_string();
+  out.latency_line = latency_summary_line(cluster.metrics_registry());
   if (!trace_path.empty() && cluster.tracer().enabled() &&
       !cluster.tracer().events().empty()) {  // sink-only mode has no ring
     if (cluster.tracer().export_jsonl(trace_path))
@@ -109,6 +111,8 @@ int main() {
     if (reference) {
       metrics_section = r.metrics_json;
       trace_section = r.trace_summary_json;
+      if (!r.latency_line.empty())
+        std::cout << r.latency_line << " (reference run)\n";
     }
     t1.row({fmt(r.offered, 0), fmt(r.achieved_tps, 1),
             fmt(r.confirmed_tps, 1), std::to_string(r.tips_end),

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "crypto/hashcash.hpp"
+#include "obs/latency.hpp"
 #include "obs/profile.hpp"
 #include "support/log.hpp"
 
@@ -364,15 +365,22 @@ void ChainNode::on_block_connected(const Block& block) {
   else
     account_pool_.remove_included(block.account_txs());
 
-  // Inclusion latency for our own transactions.
+  // Inclusion latency for our own transactions. Engine-tracked
+  // transactions stamp through the lifecycle tracker (which emits the
+  // same tx_included event); directly-submitted ones (tests, attack
+  // harnesses) keep the historical emission.
   auto record_inclusion = [&](const Hash256& id) {
     auto it = submit_time_.find(id);
     if (it == submit_time_.end()) return;
     if (!include_time_.count(id)) {
       include_time_[id] = now;
       timings_.inclusion_latency.add(now - it->second);
-      config_.probe.trace(now, obs::EventType::kTxIncluded, id_,
-                          obs::trace_id(id), block.header.height);
+      const std::uint64_t id64 = obs::trace_id(id);
+      if (!config_.lifecycle ||
+          !config_.lifecycle->on_include(id64, now, id_,
+                                         block.header.height))
+        config_.probe.trace(now, obs::EventType::kTxIncluded, id_, id64,
+                            block.header.height);
     }
   };
   if (block.is_utxo())
@@ -393,8 +401,11 @@ void ChainNode::on_block_connected(const Block& block) {
         timings_.confirmation_latency.add(now - it->second);
         submit_time_.erase(it);
         include_time_.erase(id);
-        config_.probe.trace(now, obs::EventType::kTxConfirmed, id_,
-                            obs::trace_id(id), confirmed_h);
+        const std::uint64_t id64 = obs::trace_id(id);
+        if (!config_.lifecycle ||
+            !config_.lifecycle->on_confirm(id64, now, id_, confirmed_h))
+          config_.probe.trace(now, obs::EventType::kTxConfirmed, id_, id64,
+                              confirmed_h);
       };
       if (confirmed->is_utxo())
         for (const auto& tx : confirmed->utxo_txs()) record_confirm(tx.id());
@@ -416,7 +427,10 @@ void ChainNode::on_block_disconnected(const Block& block) {
                            config_.sigcache.get());
 
   // Their inclusion no longer stands.
-  auto unrecord = [&](const Hash256& id) { include_time_.erase(id); };
+  auto unrecord = [&](const Hash256& id) {
+    if (include_time_.erase(id) && config_.lifecycle)
+      config_.lifecycle->on_uninclude(obs::trace_id(id));
+  };
   if (block.is_utxo())
     for (const auto& tx : block.utxo_txs()) unrecord(tx.id());
   else

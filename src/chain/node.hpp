@@ -15,6 +15,10 @@
 #include "obs/probe.hpp"
 #include "support/stats.hpp"
 
+namespace dlt::obs {
+class LatencyTracker;
+}
+
 namespace dlt::chain {
 
 /// Stake ledger entry shared by all nodes at startup (the "deposit
@@ -50,6 +54,11 @@ struct NodeConfig {
   /// Observability hookup (cluster-owned registry + tracer). A default
   /// probe is inert; see obs/probe.hpp.
   obs::Probe probe;
+  /// Cluster-owned transaction-lifecycle tracker (obs/latency.hpp); the
+  /// node stamps include/confirm for engine-submitted transactions it
+  /// tracks locally. Null = emit the historical tx_included/tx_confirmed
+  /// trace events directly instead.
+  obs::LatencyTracker* lifecycle = nullptr;
 };
 
 /// Latency metrics a node records about its own submitted transactions.

@@ -8,8 +8,8 @@ namespace {
 
 using Engine = ClusterEngine<ChainTraits>;
 
-Status submit_utxo_payment(Engine& e, std::size_t from, std::size_t to,
-                           chain::Amount amount) {
+SubmitOutcome submit_utxo_payment(Engine& e, std::size_t from,
+                                  std::size_t to, chain::Amount amount) {
   chain::ChainNode& node = e.node(0);
   ChainTraits::State& state = e.state();
   const crypto::KeyPair& key = e.account(from);
@@ -30,7 +30,8 @@ Status submit_utxo_payment(Engine& e, std::size_t from, std::size_t to,
         return gathered < amount + fee;
       });
   if (gathered < amount + fee)
-    return make_error("insufficient-funds", "wallet cannot cover amount+fee");
+    return SubmitOutcome{
+        make_error("insufficient-funds", "wallet cannot cover amount+fee")};
 
   chain::UtxoTransaction tx;
   for (const auto& [op, out] : selected)
@@ -56,11 +57,15 @@ Status submit_utxo_payment(Engine& e, std::size_t from, std::size_t to,
     state.reserved_compact_at =
         std::max<std::size_t>(8192, state.reserved.size() * 2);
   }
-  return st;
+  SubmitOutcome out{st};
+  out.tx_id = obs::trace_id(tx.id());
+  out.node = node.id();
+  out.admitted = st.ok();  // pool add succeeded; inclusion comes later
+  return out;
 }
 
-Status submit_account_payment(Engine& e, std::size_t from, std::size_t to,
-                              chain::Amount amount) {
+SubmitOutcome submit_account_payment(Engine& e, std::size_t from,
+                                     std::size_t to, chain::Amount amount) {
   chain::ChainNode& node = e.node(0);
   ChainTraits::State& state = e.state();
   const crypto::KeyPair& key = e.account(from);
@@ -78,7 +83,11 @@ Status submit_account_payment(Engine& e, std::size_t from, std::size_t to,
 
   Status st = node.submit_transaction(tx);
   if (st.ok()) ++state.next_nonce[from];
-  return st;
+  SubmitOutcome out{st};
+  out.tx_id = obs::trace_id(tx.id());
+  out.node = node.id();
+  out.admitted = st.ok();
+  return out;
 }
 
 }  // namespace
@@ -137,6 +146,7 @@ void ChainTraits::build_nodes(Engine& e) {
     nc.parallel_validation = config.crypto.parallel_validation;
     nc.parallel_state = config.crypto.parallel_state;
     nc.probe = e.node_probe(i);
+    nc.lifecycle = e.lifecycle_tracker();
     e.add_node(std::make_unique<chain::ChainNode>(
         e.network(), config.params, genesis, nc, e.rng().fork(), stakes));
   }
@@ -144,12 +154,16 @@ void ChainTraits::build_nodes(Engine& e) {
 
 void ChainTraits::after_topology(Engine&) {}
 
+// Chain confirmation (depth-k) is detected by ChainNode's block-connect
+// hook, which calls the tracker directly; nothing extra to install.
+void ChainTraits::wire_lifecycle(Engine&) {}
+
 void ChainTraits::start(Engine& e) {
   for (std::size_t i = 0; i < e.node_count(); ++i) e.node(i).start();
 }
 
-Status ChainTraits::submit_payment(Engine& e, std::size_t from,
-                                   std::size_t to, Amount amount) {
+SubmitOutcome ChainTraits::submit_payment(Engine& e, std::size_t from,
+                                          std::size_t to, Amount amount) {
   return e.config().params.tx_model == chain::TxModel::kUtxo
              ? submit_utxo_payment(e, from, to, amount)
              : submit_account_payment(e, from, to, amount);

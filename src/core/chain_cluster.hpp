@@ -67,10 +67,11 @@ struct ChainTraits {
   static std::string system_name(const Config& config);
   static void build_nodes(ClusterEngine<ChainTraits>& e);
   static void after_topology(ClusterEngine<ChainTraits>& e);
+  static void wire_lifecycle(ClusterEngine<ChainTraits>& e);
   static void start(ClusterEngine<ChainTraits>& e);
-  static Status submit_payment(ClusterEngine<ChainTraits>& e,
-                               std::size_t from, std::size_t to,
-                               Amount amount);
+  static SubmitOutcome submit_payment(ClusterEngine<ChainTraits>& e,
+                                      std::size_t from, std::size_t to,
+                                      Amount amount);
   static void set_parallel_validation(ClusterEngine<ChainTraits>& e, bool on);
   static void set_parallel_state(ClusterEngine<ChainTraits>& e, bool on);
   static void fill_metrics(const ClusterEngine<ChainTraits>& e,

@@ -107,6 +107,7 @@ void ClusterObs::capture_sim(const sim::Simulation& sim) {
   if (sim.wall_seconds() > 0.0)
     metrics.gauge("sim.events_per_sec")
         .set(static_cast<double>(sim.events_fired()) / sim.wall_seconds());
+  lifecycle.capture();
 }
 
 std::vector<crypto::KeyPair> make_workload_accounts(std::size_t count) {

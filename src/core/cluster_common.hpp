@@ -12,6 +12,7 @@
 #include "crypto/keys.hpp"
 #include "crypto/sigcache.hpp"
 #include "net/network.hpp"
+#include "obs/latency.hpp"
 #include "obs/metrics.hpp"
 #include "obs/probe.hpp"
 #include "obs/trace.hpp"
@@ -87,6 +88,15 @@ struct ObsConfig {
   /// ClusterObs::probe_for), making cross-node skew measurable. Off by
   /// default: aggregated counters keep their historical names/bytes.
   bool per_node_metrics = false;
+  /// Track per-transaction lifecycle latency (obs::LatencyTracker): each
+  /// engine-submitted payment is stamped at submit/admit/include/confirm
+  /// in sim time, feeding the latency.* histograms and tx_* trace events.
+  /// On by default (cheap: one hash-map entry per in-flight payment);
+  /// turn off to reproduce pre-lifecycle registry/trace bytes exactly.
+  bool track_latency = true;
+  /// Per-histogram percentile sample cap for the latency.* histograms
+  /// (deterministic reservoir above it; 0 = exact, unbounded).
+  std::size_t latency_sample_cap = 1u << 16;
 };
 
 /// Cluster-owned observability state. Nodes and the network hold
@@ -95,12 +105,15 @@ struct ObsConfig {
 struct ClusterObs {
   obs::MetricsRegistry metrics;
   obs::Tracer tracer;
+  obs::LatencyTracker lifecycle;
   bool per_node_metrics = false;
 
   explicit ClusterObs(const ObsConfig& config)
       : per_node_metrics(config.per_node_metrics) {
     if (config.trace_capacity > 0) tracer.enable(config.trace_capacity);
     if (!config.trace_sink.empty()) tracer.stream_to(config.trace_sink);
+    if (config.track_latency)
+      lifecycle.enable(probe(), config.latency_sample_cap);
   }
   obs::Probe probe() { return obs::Probe{&metrics, &tracer, {}}; }
   /// Probe for node `i`: identical to probe() unless per_node_metrics is
@@ -111,7 +124,8 @@ struct ClusterObs {
     return p;
   }
 
-  /// Copies scheduler counters into sim.* gauges (call before export).
+  /// Copies scheduler counters into sim.* gauges and refreshes the
+  /// latency.in_flight gauge (call before export).
   void capture_sim(const sim::Simulation& sim);
 };
 

@@ -35,6 +35,21 @@
 
 namespace dlt::core {
 
+/// What Traits::submit_payment reports back to the engine: the status the
+/// caller sees, plus what the lifecycle tracker needs — the transaction's
+/// trace id, the submission node, and which lifecycle stages completed
+/// synchronously inside the call (the lattice applies a send locally
+/// before returning, so admit and include coincide with submit; the chain
+/// only admits to the mempool; async stages are stamped later by the
+/// node-side hooks).
+struct SubmitOutcome {
+  Status status = Status::success();
+  std::uint64_t tx_id = 0;   // obs::trace_id of the tx/block hash
+  std::uint32_t node = 0;    // node that took the submission
+  bool admitted = false;     // admitted into mempool/ledger during submit
+  bool included = false;     // included on the reference replica already
+};
+
 /// Generic cluster driver parameterized by a ledger policy. `Traits` must
 /// provide (see ChainTraits / LatticeTraits / TangleTraits):
 ///
@@ -48,13 +63,21 @@ namespace dlt::core {
 ///   static std::string system_name(const Config&);
 ///   static void build_nodes(ClusterEngine&);    // forks rng per node
 ///   static void after_topology(ClusterEngine&); // e.g. auto-start
+///   static void wire_lifecycle(ClusterEngine&); // confirmation events
 ///   static void start(ClusterEngine&);
-///   static Status submit_payment(ClusterEngine&, std::size_t from,
-///                                std::size_t to, Amount);
+///   static SubmitOutcome submit_payment(ClusterEngine&, std::size_t from,
+///                                       std::size_t to, Amount);
 ///   static void set_parallel_validation(ClusterEngine&, bool);
 ///   static void set_parallel_state(ClusterEngine&, bool);
 ///   static void fill_metrics(const ClusterEngine&, RunMetrics&);
 ///   static bool converged(const ClusterEngine&);
+///
+/// wire_lifecycle is the confirmation-event trait hook (ISSUE 7): called
+/// once after topology when lifecycle tracking is enabled, it installs
+/// whatever per-ledger machinery turns "confirmed" into
+/// LatencyTracker::on_confirm calls (the chain and lattice confirm from
+/// existing node hooks, so theirs are no-ops; the tangle schedules a
+/// recurring tip-cone coverage sweep).
 template <typename Traits>
 class ClusterEngine {
  public:
@@ -88,6 +111,8 @@ class ClusterEngine {
                    config_.random_degree, rng_);
 
     Traits::after_topology(*this);
+
+    if (obs_.lifecycle.enabled()) Traits::wire_lifecycle(*this);
   }
 
   // ---- Generic driver surface (identical across ledger kinds) -----------
@@ -106,14 +131,25 @@ class ClusterEngine {
   void start() { Traits::start(*this); }
 
   /// Builds, signs and submits one payment between workload accounts,
-  /// tallying cluster.submitted / cluster.rejected.
+  /// tallying cluster.submitted / cluster.rejected and registering the
+  /// transaction with the lifecycle tracker (submit stamp, plus whatever
+  /// stages the ledger completed synchronously inside the call — all at
+  /// the same sim instant, so stamp order within it is immaterial).
   Status submit_payment(std::size_t from, std::size_t to, Amount amount) {
-    Status st = Traits::submit_payment(*this, from, to, amount);
-    if (st.ok())
+    SubmitOutcome out = Traits::submit_payment(*this, from, to, amount);
+    if (out.status.ok()) {
       submitted_->inc();
-    else
+      if (obs_.lifecycle.enabled()) {
+        const double now = sim_.now();
+        obs_.lifecycle.on_submit(out.tx_id, now, out.node);
+        if (out.admitted) obs_.lifecycle.on_admit(out.tx_id, now, out.node);
+        if (out.included)
+          obs_.lifecycle.on_include(out.tx_id, now, out.node);
+      }
+    } else {
       rejected_->inc();
-    return st;
+    }
+    return out.status;
   }
 
   /// Schedules an entire workload into the simulation.
@@ -170,6 +206,13 @@ class ClusterEngine {
   }
   obs::Tracer& tracer() { return obs_.tracer; }
   const obs::Tracer& tracer() const { return obs_.tracer; }
+  /// The transaction-lifecycle tracker; nullptr while tracking is off
+  /// (obs.track_latency=false), so node hooks fall back to their
+  /// historical trace emission with a single pointer check.
+  obs::LatencyTracker* lifecycle_tracker() {
+    return obs_.lifecycle.enabled() ? &obs_.lifecycle : nullptr;
+  }
+  const obs::LatencyTracker& lifecycle() const { return obs_.lifecycle; }
   /// Registry JSON with sim.* gauges refreshed — the bench `metrics`
   /// section.
   support::JsonObject metrics_json() {

@@ -1,5 +1,7 @@
 #include "core/json_report.hpp"
 
+#include <sstream>
+
 namespace dlt::core {
 
 namespace {
@@ -10,6 +12,7 @@ JsonObject percentiles_json(const Percentiles& p) {
   o.put("median", p.median());
   o.put("p95", p.p95());
   o.put("p99", p.p99());
+  o.put("p999", p.p999());
   return o;
 }
 
@@ -38,6 +41,18 @@ JsonObject run_metrics_json(const RunMetrics& m) {
   o.put("messages", m.messages);
   o.put("message_bytes", m.message_bytes);
   return o;
+}
+
+std::string latency_summary_line(const obs::MetricsRegistry& registry) {
+  const obs::Histogram* h =
+      registry.find_histogram("latency.submit_to_confirm");
+  if (!h || h->count() == 0) return {};
+  const Percentiles& p = h->percentiles();
+  std::ostringstream os;
+  os << "Lifecycle submit->confirm: p50 " << json_number(p.median())
+     << "s, p99 " << json_number(p.p99()) << "s over " << h->count()
+     << " confirmed txs";
+  return os.str();
 }
 
 }  // namespace dlt::core

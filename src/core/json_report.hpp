@@ -11,7 +11,10 @@
 // eyeballing tables.
 #pragma once
 
+#include <string>
+
 #include "core/metrics.hpp"
+#include "obs/metrics.hpp"
 #include "support/json.hpp"
 
 namespace dlt::core {
@@ -25,5 +28,10 @@ using support::write_bench_report;
 /// Serializes a RunMetrics aggregate (counts, tps, latency percentiles,
 /// fork dynamics, storage, traffic) as a JsonObject for bench reports.
 JsonObject run_metrics_json(const RunMetrics& m);
+
+/// One-line human summary of the end-to-end lifecycle histogram
+/// ("latency.submit_to_confirm" p50/p99, obs/latency.hpp) for bench
+/// stdout. Empty when lifecycle tracking is off or nothing confirmed.
+std::string latency_summary_line(const obs::MetricsRegistry& registry);
 
 }  // namespace dlt::core

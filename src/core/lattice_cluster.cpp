@@ -39,6 +39,7 @@ void LatticeTraits::build_nodes(Engine& e) {
     nc.parallel_validation = config.crypto.parallel_validation;
     nc.parallel_state = config.crypto.parallel_state;
     nc.probe = e.node_probe(i);
+    nc.lifecycle = e.lifecycle_tracker();
     e.add_node(std::make_unique<lattice::LatticeNode>(
         e.network(), config.params, genesis_key, config.supply, nc,
         e.rng().fork()));
@@ -64,13 +65,25 @@ void LatticeTraits::after_topology(Engine& e) {
 // explicit start() is a no-op kept for API symmetry with the other ledgers.
 void LatticeTraits::start(Engine&) {}
 
-Status LatticeTraits::submit_payment(Engine& e, std::size_t from,
-                                     std::size_t to, Amount amount) {
+// Lattice confirmation (vote quorum) is detected by each node's vote
+// tally, which calls the tracker directly — the first replica to observe
+// quorum stamps the confirmation; nothing extra to install.
+void LatticeTraits::wire_lifecycle(Engine&) {}
+
+SubmitOutcome LatticeTraits::submit_payment(Engine& e, std::size_t from,
+                                            std::size_t to, Amount amount) {
   lattice::LatticeNode& owner = owner_of(e, from);
   auto res =
       owner.send(e.account(from), e.account(to).account_id(), amount);
-  if (res) return Status::success();
-  return res.error();
+  if (!res) return SubmitOutcome{res.error()};
+  SubmitOutcome out;
+  out.tx_id = obs::trace_id(*res);
+  out.node = owner.id();
+  // send() built, applied and gossiped the block before returning: the
+  // lattice has no mempool, so admit and include coincide with submit.
+  out.admitted = true;
+  out.included = true;
+  return out;
 }
 
 void LatticeTraits::set_parallel_validation(Engine& e, bool on) {

@@ -59,10 +59,11 @@ struct LatticeTraits {
   static std::string system_name(const Config& config);
   static void build_nodes(ClusterEngine<LatticeTraits>& e);
   static void after_topology(ClusterEngine<LatticeTraits>& e);
+  static void wire_lifecycle(ClusterEngine<LatticeTraits>& e);
   static void start(ClusterEngine<LatticeTraits>& e);
-  static Status submit_payment(ClusterEngine<LatticeTraits>& e,
-                               std::size_t from, std::size_t to,
-                               Amount amount);
+  static SubmitOutcome submit_payment(ClusterEngine<LatticeTraits>& e,
+                                      std::size_t from, std::size_t to,
+                                      Amount amount);
   static void set_parallel_validation(ClusterEngine<LatticeTraits>& e,
                                       bool on);
   static void set_parallel_state(ClusterEngine<LatticeTraits>& e, bool on);

@@ -1,5 +1,6 @@
 #include "core/tangle_cluster.hpp"
 
+#include <algorithm>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -25,6 +26,42 @@ Hash256 payment_payload(std::size_t from, std::size_t to,
                              ByteView{w.bytes().data(), w.size()});
 }
 
+/// One lifecycle sweep: recompute tip-cone confidence on the reference
+/// replica (same batched scan as fill_metrics) and stamp confirmation for
+/// every tracked transaction that crossed the threshold. Hashes are
+/// processed in sorted order so the confirm-event stream is canonical.
+void run_confirmation_sweep(Engine& e) {
+  obs::LatencyTracker* tracker = e.lifecycle_tracker();
+  if (!tracker || tracker->in_flight() == 0) return;
+
+  const tangle::Tangle& tangle = e.node(0).tangle();
+  const std::vector<tangle::TxHash> tips = tangle.tips();
+  if (tips.empty()) return;
+  std::unordered_map<tangle::TxHash, std::size_t> approve_count;
+  for (const tangle::TxHash& tip : tips)
+    for (const tangle::TxHash& h : tangle.past_cone(tip))
+      ++approve_count[h];
+
+  const double threshold =
+      e.config().confirmation_threshold * static_cast<double>(tips.size());
+  std::vector<tangle::TxHash> crossed;
+  for (const auto& [hash, count] : approve_count) {
+    if (hash == tangle.genesis()) continue;
+    if (static_cast<double>(count) >= threshold) crossed.push_back(hash);
+  }
+  std::sort(crossed.begin(), crossed.end());
+  const double now = e.simulation().now();
+  for (const tangle::TxHash& hash : crossed)
+    tracker->on_confirm(obs::trace_id(hash), now, e.node(0).id());
+}
+
+void schedule_confirmation_sweep(Engine& e, double interval) {
+  e.simulation().schedule_in(interval, [&e, interval] {
+    run_confirmation_sweep(e);
+    schedule_confirmation_sweep(e, interval);
+  });
+}
+
 }  // namespace
 
 TangleTraits::State TangleTraits::make_state(Config&) { return State{}; }
@@ -40,6 +77,8 @@ void TangleTraits::build_nodes(Engine& e) {
     nc.parallel_validation = config.crypto.parallel_validation;
     nc.parallel_state = config.crypto.parallel_state;
     nc.probe = e.node_probe(i);
+    nc.lifecycle = e.lifecycle_tracker();
+    nc.lifecycle_observer = (i == 0);
     e.add_node(std::make_unique<tangle::TangleNode>(
         e.network(), config.params, nc, e.rng().fork()));
   }
@@ -47,18 +86,35 @@ void TangleTraits::build_nodes(Engine& e) {
 
 void TangleTraits::after_topology(Engine&) {}
 
+// The tangle has no per-node quorum event to hook; confirmation (tip-cone
+// confidence crossing the threshold, §IV) is re-evaluated by a recurring
+// deterministic sweep on the reference replica.
+void TangleTraits::wire_lifecycle(Engine& e) {
+  const double interval = e.config().confirmation_sweep_interval;
+  if (interval > 0) schedule_confirmation_sweep(e, interval);
+}
+
 // Tangle nodes are purely reactive (no miners/voters to schedule); start()
 // is a no-op kept for API symmetry with the other ledgers.
 void TangleTraits::start(Engine&) {}
 
-Status TangleTraits::submit_payment(Engine& e, std::size_t from,
-                                    std::size_t to, Amount amount) {
+SubmitOutcome TangleTraits::submit_payment(Engine& e, std::size_t from,
+                                           std::size_t to, Amount amount) {
   const Hash256 payload =
       payment_payload(from, to, amount, e.state().payment_seq++);
   tangle::TangleNode& issuer = e.node(from % e.node_count());
   auto res = issuer.issue(e.account(from), payload);
-  if (res) return Status::success();
-  return res.error();
+  if (!res) return SubmitOutcome{res.error()};
+  SubmitOutcome out;
+  out.tx_id = obs::trace_id(*res);
+  out.node = issuer.id();
+  // issue() attached locally before gossiping: admission is synchronous.
+  // Inclusion means "attached on the reference replica", so it coincides
+  // with submit only when node 0 itself is the issuer; otherwise node 0
+  // stamps it on gossip receipt.
+  out.admitted = true;
+  out.included = (issuer.id() == e.node(0).id());
+  return out;
 }
 
 void TangleTraits::set_parallel_validation(Engine& e, bool on) {

@@ -30,6 +30,10 @@ struct TangleClusterConfig {
   /// reference replica's tips approve it (confirmation_confidence ≥
   /// threshold — the tangle's analogue of confirmation depth).
   double confirmation_threshold = 0.5;
+  /// How often (simulated seconds) the lifecycle sweep re-evaluates
+  /// tip-cone confidence on the reference replica to stamp confirmation
+  /// times. Only scheduled when lifecycle tracking is on; 0 = never.
+  double confirmation_sweep_interval = 1.0;
 
   /// Crypto hot-path knobs (verify pool for the sharded sig+work checks;
   /// the tangle does not use a sigcache — its signatures are one-shot).
@@ -58,10 +62,11 @@ struct TangleTraits {
   static std::string system_name(const Config& config);
   static void build_nodes(ClusterEngine<TangleTraits>& e);
   static void after_topology(ClusterEngine<TangleTraits>& e);
+  static void wire_lifecycle(ClusterEngine<TangleTraits>& e);
   static void start(ClusterEngine<TangleTraits>& e);
-  static Status submit_payment(ClusterEngine<TangleTraits>& e,
-                               std::size_t from, std::size_t to,
-                               Amount amount);
+  static SubmitOutcome submit_payment(ClusterEngine<TangleTraits>& e,
+                                      std::size_t from, std::size_t to,
+                                      Amount amount);
   static void set_parallel_validation(ClusterEngine<TangleTraits>& e,
                                       bool on);
   static void set_parallel_state(ClusterEngine<TangleTraits>& e, bool on);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/latency.hpp"
 #include "obs/profile.hpp"
 #include "support/log.hpp"
 
@@ -299,6 +300,11 @@ void LatticeNode::tally_confirmation(const BlockHash& hash,
   auto seen = first_seen_.find(hash);
   if (seen != first_seen_.end())
     conf_stats_.time_to_confirm.add(net_.simulation().now() - seen->second);
+  // Lifecycle: the first replica in the cluster to reach quorum for a
+  // tracked block stamps its confirmation (the tracker ignores repeats).
+  if (config_.lifecycle)
+    config_.lifecycle->on_confirm(obs::trace_id(hash),
+                                  net_.simulation().now(), id_);
 
   // Cement: the confirmed block becomes irreversible (paper §IV-B).
   if (ledger_.contains(hash)) {

@@ -19,6 +19,10 @@
 #include "obs/probe.hpp"
 #include "support/stats.hpp"
 
+namespace dlt::obs {
+class LatencyTracker;
+}
+
 namespace dlt::lattice {
 
 /// Paper §V-B node taxonomy: historical nodes keep everything, current
@@ -58,6 +62,10 @@ struct LatticeNodeConfig {
   /// Observability hookup (cluster-owned registry + tracer). A default
   /// probe is inert; see obs/probe.hpp.
   obs::Probe probe;
+  /// Cluster-owned transaction-lifecycle tracker (obs/latency.hpp); the
+  /// first replica to observe vote quorum for a tracked block stamps its
+  /// confirmation. Null = lifecycle tracking off.
+  obs::LatencyTracker* lifecycle = nullptr;
 };
 
 /// Statistics on vote-based confirmation (paper §IV-B).

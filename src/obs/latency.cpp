@@ -1,0 +1,86 @@
+#include "obs/latency.hpp"
+
+namespace dlt::obs {
+
+void LatencyTracker::enable(const Probe& probe, std::size_t sample_cap) {
+  enabled_ = true;
+  probe_ = probe;
+  submit_to_admit_ = probe_.histogram("latency.submit_to_admit");
+  admit_to_include_ = probe_.histogram("latency.admit_to_include");
+  include_to_confirm_ = probe_.histogram("latency.include_to_confirm");
+  submit_to_confirm_ = probe_.histogram("latency.submit_to_confirm");
+  in_flight_ = probe_.gauge("latency.in_flight");
+  if (sample_cap > 0) {
+    if (submit_to_admit_) submit_to_admit_->set_sample_cap(sample_cap);
+    if (admit_to_include_) admit_to_include_->set_sample_cap(sample_cap);
+    if (include_to_confirm_)
+      include_to_confirm_->set_sample_cap(sample_cap);
+    if (submit_to_confirm_) submit_to_confirm_->set_sample_cap(sample_cap);
+  }
+}
+
+void LatencyTracker::on_submit(std::uint64_t id, double t,
+                               std::uint32_t node) {
+  if (!enabled_) return;
+  auto [it, fresh] = entries_.try_emplace(id);
+  if (!fresh) return;  // duplicate id: first submission wins
+  it->second.submit = t;
+  ++submitted_;
+  probe_.trace(t, EventType::kTxSubmitted, node, id, 0);
+}
+
+bool LatencyTracker::on_admit(std::uint64_t id, double t,
+                              std::uint32_t node) {
+  if (!enabled_) return false;
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return false;
+  if (it->second.admit >= 0.0) return true;  // restamp: first wins
+  it->second.admit = t;
+  probe_.trace(t, EventType::kTxAdmitted, node, id, 0);
+  return true;
+}
+
+bool LatencyTracker::on_include(std::uint64_t id, double t,
+                                std::uint32_t node, std::uint64_t aux) {
+  if (!enabled_) return false;
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return false;
+  if (it->second.include >= 0.0) return true;  // restamp: first wins
+  it->second.include = t;
+  probe_.trace(t, EventType::kTxIncluded, node, id, aux);
+  return true;
+}
+
+void LatencyTracker::on_uninclude(std::uint64_t id) {
+  if (!enabled_) return;
+  auto it = entries_.find(id);
+  if (it != entries_.end()) it->second.include = -1.0;
+}
+
+bool LatencyTracker::on_confirm(std::uint64_t id, double t,
+                                std::uint32_t node, std::uint64_t aux) {
+  if (!enabled_) return false;
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return false;
+  const Entry e = it->second;
+  entries_.erase(it);
+  ++confirmed_;
+  if (e.admit >= 0.0) observe(submit_to_admit_, e.admit - e.submit);
+  if (e.include >= 0.0) {
+    // A stage that coincided with submission (lattice/tangle local apply)
+    // contributes a zero-width delta, keeping stage sums == end-to-end.
+    const double admitted = e.admit >= 0.0 ? e.admit : e.submit;
+    observe(admit_to_include_, e.include - admitted);
+    observe(include_to_confirm_, t - e.include);
+  }
+  observe(submit_to_confirm_, t - e.submit);
+  probe_.trace(t, EventType::kTxConfirmed, node, id, aux);
+  return true;
+}
+
+void LatencyTracker::capture() {
+  if (!enabled_) return;
+  set(in_flight_, static_cast<double>(entries_.size()));
+}
+
+}  // namespace dlt::obs

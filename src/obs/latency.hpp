@@ -1,0 +1,95 @@
+// LatencyTracker: end-to-end transaction-lifecycle latency (ISSUE 7
+// tentpole). Stamps each tracked transaction at the lifecycle stages
+//
+//   submit  — the workload handed the payment to the cluster
+//   admit   — a node accepted it into its mempool/ledger locally
+//   include — it landed in a block / batch on the reference replica
+//   confirm — the ledger's confirmation rule fired (depth-k for the
+//             chain, vote quorum for the lattice, tip-cone coverage
+//             for the tangle; see DESIGN.md "Latency semantics")
+//
+// in deterministic simulation time, and feeds the per-stage histograms
+//
+//   latency.submit_to_admit     latency.admit_to_include
+//   latency.include_to_confirm  latency.submit_to_confirm
+//
+// in the cluster MetricsRegistry (p50/p99/p999 via the registry JSON
+// export). Each stamp also emits a typed trace event through the
+// cluster Tracer (tx_submitted / tx_admitted / tx_included /
+// tx_confirmed), all keyed by the same obs::trace_id so tools/
+// trace_plot.py can reassemble per-transaction timelines.
+//
+// Determinism contract: every stamp is a sim-time value recorded on the
+// serial simulation thread; the tracker holds no wall-clock state and
+// draws no randomness (the histograms' reservoir RNG is fixed-seed), so
+// same-seed runs — serial or parallel (verify/state) — produce
+// byte-identical latency.* JSON and trace bytes.
+//
+// Only transactions registered via on_submit are tracked: stage calls
+// for unknown ids (funding sends, blocks submitted directly to a node
+// in tests, re-gossiped duplicates) return false and record nothing,
+// so the histograms measure exactly the engine-submitted workload.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "obs/probe.hpp"
+
+namespace dlt::obs {
+
+class LatencyTracker {
+ public:
+  /// Wires the latency.* histograms (and the in-flight gauge) into the
+  /// probe's registry and starts tracking. `sample_cap` bounds each
+  /// histogram's percentile memory (0 = exact, unbounded).
+  void enable(const Probe& probe, std::size_t sample_cap = 0);
+  bool enabled() const { return enabled_; }
+
+  /// Registers a workload transaction at submission time. First write
+  /// wins; duplicate ids are ignored.
+  void on_submit(std::uint64_t id, double t, std::uint32_t node);
+  /// Stage stamps for a tracked id; return false (and record nothing)
+  /// when `id` was never submitted — callers may then fall back to their
+  /// historical trace emission. First write per stage wins.
+  bool on_admit(std::uint64_t id, double t, std::uint32_t node);
+  bool on_include(std::uint64_t id, double t, std::uint32_t node,
+                  std::uint64_t aux = 0);
+  /// A reorg disconnected the including block: clears the include stamp
+  /// so the eventual re-inclusion restamps it.
+  void on_uninclude(std::uint64_t id);
+  /// Confirmation: flushes the stage deltas into the histograms, emits
+  /// tx_confirmed, and retires the entry (later calls return false).
+  bool on_confirm(std::uint64_t id, double t, std::uint32_t node,
+                  std::uint64_t aux = 0);
+
+  /// Transactions submitted but not yet confirmed.
+  std::size_t in_flight() const { return entries_.size(); }
+  std::uint64_t submitted() const { return submitted_; }
+  std::uint64_t confirmed() const { return confirmed_; }
+
+  /// Refreshes the latency.in_flight gauge (call before registry export).
+  void capture();
+
+ private:
+  struct Entry {
+    double submit = -1.0;
+    double admit = -1.0;
+    double include = -1.0;
+  };
+
+  bool enabled_ = false;
+  Probe probe_;
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t confirmed_ = 0;
+
+  // Cached registry metrics (non-null once enabled with a registry).
+  Histogram* submit_to_admit_ = nullptr;
+  Histogram* admit_to_include_ = nullptr;
+  Histogram* include_to_confirm_ = nullptr;
+  Histogram* submit_to_confirm_ = nullptr;
+  Gauge* in_flight_ = nullptr;
+};
+
+}  // namespace dlt::obs

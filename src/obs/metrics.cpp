@@ -40,6 +40,7 @@ support::JsonObject MetricsRegistry::to_json() const {
     ho.put("median", h.percentiles().median());
     ho.put("p95", h.percentiles().p95());
     ho.put("p99", h.percentiles().p99());
+    ho.put("p999", h.percentiles().p999());
     histograms.put_raw(name, ho.to_string());
   }
   root.put_raw("histograms", histograms.to_string());

@@ -56,6 +56,10 @@ class Histogram {
   const Summary& summary() const { return summary_; }
   const Percentiles& percentiles() const { return percentiles_; }
 
+  /// Bounds percentile memory via deterministic reservoir sampling (see
+  /// support::Percentiles::set_sample_cap); 0 = exact, unbounded.
+  void set_sample_cap(std::size_t cap) { percentiles_.set_sample_cap(cap); }
+
  private:
   Summary summary_;
   Percentiles percentiles_;
@@ -80,7 +84,7 @@ class MetricsRegistry {
 
   /// {"counters":{...},"gauges":{...},"histograms":{...}} with members in
   /// name order. Histograms export count/mean/min/max/stddev plus
-  /// median/p95/p99.
+  /// median/p95/p99/p999.
   support::JsonObject to_json() const;
 
  private:

@@ -30,6 +30,8 @@ constexpr EventSchema kSchemas[kEventTypeCount] = {
     {"tx_confirmed", "id", "height"},
     {"message_sent", "kind", "bytes"},
     {"tip_attached", "id", "parents"},
+    {"tx_submitted", "id", "aux"},
+    {"tx_admitted", "id", "aux"},
 };
 
 const EventSchema& schema(EventType t) {

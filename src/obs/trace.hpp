@@ -52,6 +52,8 @@ enum class EventType : std::uint8_t {
   kTxConfirmed,       // a=id, b=height
   kMessageSent,       // a=kind (net::MessageType), b=bytes
   kTipAttached,       // a=id, b=parents (tangle)
+  kTxSubmitted,       // a=id, b=aux — workload payment entered the cluster
+  kTxAdmitted,        // a=id, b=aux — accepted into mempool/ledger locally
   kEventCount_,       // sentinel — keep last
 };
 

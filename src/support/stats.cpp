@@ -46,6 +46,42 @@ std::string Summary::to_string() const {
   return buf;
 }
 
+void Percentiles::add(double x) {
+  ++seen_;
+  if (cap_ == 0 || xs_.size() < cap_) {
+    xs_.push_back(x);
+    sorted_ = false;
+    return;
+  }
+  // Algorithm R: the new observation replaces a uniformly random retained
+  // sample with probability cap/seen. Replacing by index stays uniform even
+  // after quantile() sorted the vector in place — any index is still a
+  // uniformly random retained element.
+  const std::uint64_t j = next_rand() % seen_;
+  if (j < cap_) {
+    xs_[static_cast<std::size_t>(j)] = x;
+    sorted_ = false;
+  }
+}
+
+void Percentiles::set_sample_cap(std::size_t cap) {
+  cap_ = cap;
+  if (cap_ > 0 && xs_.size() > cap_) {
+    xs_.resize(cap_);
+    xs_.shrink_to_fit();
+    sorted_ = false;
+  }
+}
+
+std::uint64_t Percentiles::next_rand() {
+  // splitmix64: tiny, deterministic, private state; never touches the
+  // simulation's RNG streams.
+  std::uint64_t z = (rng_state_ += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
 double Percentiles::quantile(double q) const {
   if (xs_.empty()) return 0.0;
   if (!sorted_) {

@@ -2,6 +2,8 @@
 
 #include <deque>
 
+#include "obs/latency.hpp"
+
 namespace dlt::tangle {
 
 namespace {
@@ -77,6 +79,9 @@ void TangleNode::process_tx(const TangleTx& tx) {
   }
   if (tangle_.attach(tx).ok()) {
     obs::inc(obs_received_);
+    if (config_.lifecycle && config_.lifecycle_observer)
+      config_.lifecycle->on_include(obs::trace_id(tx.hash()),
+                                    net_.simulation().now(), id_);
     retry_gaps(tx.hash());
   }
 }
@@ -104,6 +109,9 @@ void TangleNode::retry_gaps(const TxHash& now_available) {
       }
       if (tangle_.attach(tx).ok()) {
         obs::inc(obs_received_);
+        if (config_.lifecycle && config_.lifecycle_observer)
+          config_.lifecycle->on_include(obs::trace_id(tx.hash()),
+                                        net_.simulation().now(), id_);
         ready.push_back(tx.hash());
       }
     }

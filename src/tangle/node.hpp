@@ -19,6 +19,10 @@
 #include "obs/probe.hpp"
 #include "tangle/tangle.hpp"
 
+namespace dlt::obs {
+class LatencyTracker;
+}
+
 namespace dlt::tangle {
 
 struct TangleNodeConfig {
@@ -36,6 +40,13 @@ struct TangleNodeConfig {
   /// Observability hookup (cluster-owned registry + tracer). A default
   /// probe is inert; see obs/probe.hpp.
   obs::Probe probe;
+  /// Cluster-owned transaction-lifecycle tracker (obs/latency.hpp).
+  /// Null = lifecycle tracking off.
+  obs::LatencyTracker* lifecycle = nullptr;
+  /// Inclusion is stamped when the *reference replica* attaches a tracked
+  /// transaction; exactly one node per cluster is the observer so stamps
+  /// stay deterministic.
+  bool lifecycle_observer = false;
 };
 
 class TangleNode {

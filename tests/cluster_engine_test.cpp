@@ -478,7 +478,10 @@ ChainClusterConfig parity_chain_config() {
 }
 
 TEST(ClusterEngineParity, ChainMatchesLegacyDriver) {
-  const ChainClusterConfig cfg = parity_chain_config();
+  ChainClusterConfig cfg = parity_chain_config();
+  // The legacy driver predates lifecycle tracking; keep the comparison
+  // apples-to-apples (latency.* metrics + lifecycle trace events off).
+  cfg.obs.track_latency = false;
   Rng wl_a(7), wl_b(7);
   WorkloadConfig wl;
   wl.account_count = cfg.account_count;
@@ -519,6 +522,7 @@ TEST(ClusterEngineParity, ChainAccountModelMatchesLegacyDriver) {
   cfg.link = net::LinkParams{0.05, 0.01, 1e7};
   cfg.seed = 99;
   cfg.obs.trace_capacity = 1u << 20;
+  cfg.obs.track_latency = false;  // legacy driver has no lifecycle tracker
 
   Rng wl_a(3), wl_b(3);
   WorkloadConfig wl;
@@ -556,6 +560,7 @@ TEST(ClusterEngineParity, LatticeMatchesLegacyDriver) {
   cfg.link = net::LinkParams{0.05, 0.01, 1e7};
   cfg.seed = 2024;
   cfg.obs.trace_capacity = 1u << 20;
+  cfg.obs.track_latency = false;  // legacy driver has no lifecycle tracker
 
   Rng wl_a(11), wl_b(11);
   WorkloadConfig wl;
@@ -641,6 +646,149 @@ TEST(ClusterEngineParity, TangleInvariantAcrossVerifyWorkerCounts) {
   EXPECT_EQ(serial.trace, four.trace);
   expect_metrics_equal(serial.metrics, two.metrics);
   expect_metrics_equal(serial.metrics, four.metrics);
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle-latency determinism (ISSUE 7 tentpole acceptance): the
+// latency.* registry section — reservoir-sampled percentiles included —
+// must be byte-identical across serial, 2/4 verify-worker and
+// parallel-state runs of the same seed, for all three ledgers. (The full
+// registry export can't be compared here: parallel.* instrumentation
+// counters legitimately differ across worker counts.)
+// ---------------------------------------------------------------------------
+
+/// Extracts every "latency.*" member (histograms and the in-flight gauge)
+/// from the name-ordered registry export, one per line.
+std::string latency_json(const obs::MetricsRegistry& reg) {
+  const std::string json = reg.to_json().to_string();
+  static const std::regex kLatency(
+      "\"latency\\.[^\"]*\":(\\{[^{}]*\\}|[^,}]*)");
+  std::string out;
+  for (std::sregex_iterator it(json.begin(), json.end(), kLatency), end;
+       it != end; ++it)
+    out += it->str() + "\n";
+  return out;
+}
+
+struct ParallelMode {
+  std::size_t verify_threads = 0;
+  bool parallel_state = false;
+};
+
+constexpr ParallelMode kParallelModes[] = {
+    {0, false}, {2, false}, {4, false}, {2, true}};
+
+void apply_mode(CryptoConfig& crypto, const ParallelMode& mode) {
+  crypto.verify_threads = mode.verify_threads;
+  crypto.parallel_validation = mode.verify_threads > 0;
+  crypto.parallel_state = mode.parallel_state;
+}
+
+TEST(LifecycleLatency, ChainDeterministicAcrossParallelModes) {
+  std::string reference_latency, reference_trace;
+  for (const ParallelMode& mode : kParallelModes) {
+    ChainClusterConfig cfg = parity_chain_config();
+    // Small percentile reservoir so the capped sampling path itself is
+    // under the determinism pin, not just exact accumulation.
+    cfg.obs.latency_sample_cap = 32;
+    apply_mode(cfg.crypto, mode);
+    ChainCluster cluster(cfg);
+    cluster.start();
+    Rng wl_rng(7);
+    WorkloadConfig wl;
+    wl.account_count = cfg.account_count;
+    wl.tx_rate = 0.5;
+    wl.duration = 400.0;
+    cluster.schedule_workload(generate_payments(wl, wl_rng));
+    cluster.run_for(600.0);
+
+    const std::string latency =
+        latency_json(cluster.metrics_registry());
+    const std::string trace = cluster.tracer().to_jsonl();
+    EXPECT_GT(cluster.lifecycle().confirmed(), 0u);
+    if (reference_latency.empty()) {
+      reference_latency = latency;
+      reference_trace = trace;
+      EXPECT_NE(latency.find("latency.submit_to_confirm"),
+                std::string::npos);
+    } else {
+      EXPECT_EQ(latency, reference_latency)
+          << "verify_threads=" << mode.verify_threads
+          << " parallel_state=" << mode.parallel_state;
+      EXPECT_EQ(trace, reference_trace);
+    }
+  }
+}
+
+TEST(LifecycleLatency, LatticeDeterministicAcrossParallelModes) {
+  std::string reference_latency, reference_trace;
+  for (const ParallelMode& mode : kParallelModes) {
+    LatticeClusterConfig cfg;
+    cfg.node_count = 4;
+    cfg.representative_count = 3;
+    cfg.account_count = 8;
+    cfg.link = net::LinkParams{0.05, 0.01, 1e7};
+    cfg.seed = 2024;
+    cfg.obs.trace_capacity = 1u << 20;
+    cfg.obs.latency_sample_cap = 32;
+    apply_mode(cfg.crypto, mode);
+    LatticeCluster cluster(cfg);
+    cluster.fund_accounts();
+    Rng wl_rng(11);
+    WorkloadConfig wl;
+    wl.account_count = cfg.account_count;
+    wl.tx_rate = 2.0;
+    wl.duration = 60.0;
+    cluster.schedule_workload(generate_payments(wl, wl_rng));
+    cluster.run_for(120.0);
+
+    const std::string latency =
+        latency_json(cluster.metrics_registry());
+    const std::string trace = cluster.tracer().to_jsonl();
+    EXPECT_GT(cluster.lifecycle().confirmed(), 0u);
+    if (reference_latency.empty()) {
+      reference_latency = latency;
+      reference_trace = trace;
+    } else {
+      EXPECT_EQ(latency, reference_latency)
+          << "verify_threads=" << mode.verify_threads
+          << " parallel_state=" << mode.parallel_state;
+      EXPECT_EQ(trace, reference_trace);
+    }
+  }
+}
+
+TEST(LifecycleLatency, TangleDeterministicAcrossParallelModes) {
+  std::string reference_latency, reference_trace;
+  for (const ParallelMode& mode : kParallelModes) {
+    TangleClusterConfig cfg = parity_tangle_config(mode.verify_threads);
+    cfg.obs.latency_sample_cap = 32;
+    cfg.crypto.parallel_state = mode.parallel_state;
+    TangleCluster cluster(cfg);
+    cluster.start();
+    Rng wl_rng(4);
+    WorkloadConfig wl;
+    wl.account_count = cfg.account_count;
+    wl.tx_rate = 4.0;
+    wl.duration = 15.0;
+    wl.max_amount = 50;
+    cluster.schedule_workload(generate_payments(wl, wl_rng));
+    cluster.run_for(30.0);
+
+    const std::string latency =
+        latency_json(cluster.metrics_registry());
+    const std::string trace = cluster.tracer().to_jsonl();
+    EXPECT_GT(cluster.lifecycle().confirmed(), 0u);
+    if (reference_latency.empty()) {
+      reference_latency = latency;
+      reference_trace = trace;
+    } else {
+      EXPECT_EQ(latency, reference_latency)
+          << "verify_threads=" << mode.verify_threads
+          << " parallel_state=" << mode.parallel_state;
+      EXPECT_EQ(trace, reference_trace);
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------

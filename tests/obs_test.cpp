@@ -13,6 +13,8 @@
 
 #include "core/chain_cluster.hpp"
 #include "core/lattice_cluster.hpp"
+#include "core/tangle_cluster.hpp"
+#include "obs/latency.hpp"
 #include "obs/metrics.hpp"
 #include "obs/probe.hpp"
 #include "obs/trace.hpp"
@@ -74,6 +76,123 @@ TEST(MetricsRegistry, JsonIsNameOrderedAndComplete) {
   EXPECT_LT(json.find("\"alpha\""), json.find("\"zeta\""));
   EXPECT_NE(json.find("\"alpha\":1"), std::string::npos);
   EXPECT_NE(json.find("\"zeta\":2"), std::string::npos);
+}
+
+TEST(MetricsRegistry, HistogramJsonExportsP999) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("lat");
+  for (int i = 1; i <= 1000; ++i) h.observe(static_cast<double>(i));
+  const std::string json = reg.to_json().to_string();
+  EXPECT_NE(json.find("\"p999\""), std::string::npos);
+  EXPECT_NEAR(h.percentiles().p999(), 999.0, 1.5);
+}
+
+// ---------------------------------------------------------- latency tracker
+
+TEST(LatencyTracker, StampsStagesAndFeedsHistograms) {
+  MetricsRegistry reg;
+  Tracer tracer;
+  tracer.enable(64);
+  LatencyTracker lt;
+  lt.enable(Probe{&reg, &tracer});
+
+  lt.on_submit(7, 1.0, 0);
+  EXPECT_TRUE(lt.on_admit(7, 1.5, 0));
+  EXPECT_TRUE(lt.on_include(7, 3.0, 0, 42));
+  EXPECT_EQ(lt.in_flight(), 1u);
+  EXPECT_TRUE(lt.on_confirm(7, 10.0, 0, 42));
+  EXPECT_EQ(lt.in_flight(), 0u);
+  EXPECT_EQ(lt.submitted(), 1u);
+  EXPECT_EQ(lt.confirmed(), 1u);
+
+  EXPECT_DOUBLE_EQ(
+      reg.find_histogram("latency.submit_to_admit")->summary().mean(), 0.5);
+  EXPECT_DOUBLE_EQ(
+      reg.find_histogram("latency.admit_to_include")->summary().mean(), 1.5);
+  EXPECT_DOUBLE_EQ(
+      reg.find_histogram("latency.include_to_confirm")->summary().mean(),
+      7.0);
+  EXPECT_DOUBLE_EQ(
+      reg.find_histogram("latency.submit_to_confirm")->summary().mean(),
+      9.0);
+
+  // One typed trace event per stage, all keyed by the same id.
+  EXPECT_EQ(tracer.count_of(EventType::kTxSubmitted), 1u);
+  EXPECT_EQ(tracer.count_of(EventType::kTxAdmitted), 1u);
+  EXPECT_EQ(tracer.count_of(EventType::kTxIncluded), 1u);
+  EXPECT_EQ(tracer.count_of(EventType::kTxConfirmed), 1u);
+  for (const auto& ev : tracer.events()) EXPECT_EQ(ev.a, 7u);
+
+  // Retired entries reject late stamps.
+  EXPECT_FALSE(lt.on_confirm(7, 11.0, 0));
+}
+
+TEST(LatencyTracker, UnknownIdsReturnFalseAndRecordNothing) {
+  MetricsRegistry reg;
+  LatencyTracker lt;
+  lt.enable(Probe{&reg, nullptr});
+  // Funding sends / direct test submissions never pass through on_submit,
+  // so stage stamps for them must not pollute the workload histograms.
+  EXPECT_FALSE(lt.on_admit(99, 1.0, 0));
+  EXPECT_FALSE(lt.on_include(99, 2.0, 0));
+  EXPECT_FALSE(lt.on_confirm(99, 3.0, 0));
+  EXPECT_EQ(reg.find_histogram("latency.submit_to_confirm")->count(), 0u);
+  EXPECT_EQ(lt.submitted(), 0u);
+}
+
+TEST(LatencyTracker, FirstStampWinsAndMissingStagesDegrade) {
+  MetricsRegistry reg;
+  LatencyTracker lt;
+  lt.enable(Probe{&reg, nullptr});
+
+  lt.on_submit(1, 1.0, 0);
+  lt.on_submit(1, 2.0, 0);            // duplicate submit ignored
+  EXPECT_TRUE(lt.on_admit(1, 3.0, 0));
+  EXPECT_TRUE(lt.on_admit(1, 4.0, 0));  // restamp ignored
+  // Confirm without include: only the end-to-end histogram advances.
+  EXPECT_TRUE(lt.on_confirm(1, 5.0, 0));
+  EXPECT_DOUBLE_EQ(
+      reg.find_histogram("latency.submit_to_admit")->summary().mean(), 2.0);
+  EXPECT_EQ(reg.find_histogram("latency.admit_to_include")->count(), 0u);
+  EXPECT_EQ(reg.find_histogram("latency.include_to_confirm")->count(), 0u);
+  EXPECT_DOUBLE_EQ(
+      reg.find_histogram("latency.submit_to_confirm")->summary().mean(), 4.0);
+}
+
+TEST(LatencyTracker, UnincludeAllowsRestampAfterReorg) {
+  MetricsRegistry reg;
+  LatencyTracker lt;
+  lt.enable(Probe{&reg, nullptr});
+  lt.on_submit(5, 0.0, 0);
+  EXPECT_TRUE(lt.on_include(5, 1.0, 0));
+  lt.on_uninclude(5);                    // block disconnected
+  EXPECT_TRUE(lt.on_include(5, 6.0, 0));  // re-included later
+  EXPECT_TRUE(lt.on_confirm(5, 8.0, 0));
+  EXPECT_DOUBLE_EQ(
+      reg.find_histogram("latency.include_to_confirm")->summary().mean(),
+      2.0);
+}
+
+TEST(LatencyTracker, DisabledTrackerIsInert) {
+  LatencyTracker lt;
+  EXPECT_FALSE(lt.enabled());
+  lt.on_submit(1, 0.0, 0);
+  EXPECT_FALSE(lt.on_admit(1, 1.0, 0));
+  EXPECT_FALSE(lt.on_confirm(1, 2.0, 0));
+  EXPECT_EQ(lt.in_flight(), 0u);
+}
+
+TEST(LatencyTracker, CaptureSetsInFlightGauge) {
+  MetricsRegistry reg;
+  LatencyTracker lt;
+  lt.enable(Probe{&reg, nullptr});
+  lt.on_submit(1, 0.0, 0);
+  lt.on_submit(2, 0.0, 0);
+  lt.capture();
+  EXPECT_DOUBLE_EQ(reg.find_gauge("latency.in_flight")->value(), 2.0);
+  lt.on_confirm(1, 1.0, 0);
+  lt.capture();
+  EXPECT_DOUBLE_EQ(reg.find_gauge("latency.in_flight")->value(), 1.0);
 }
 
 // ------------------------------------------------------------------ tracer

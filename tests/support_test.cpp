@@ -239,6 +239,55 @@ TEST(Stats, Percentiles) {
   EXPECT_NEAR(p.quantile(0.0), 1.0, 1e-9);
   EXPECT_NEAR(p.quantile(1.0), 100.0, 1e-9);
   EXPECT_NEAR(p.p95(), 95.05, 0.01);
+  EXPECT_NEAR(p.p999(), p.quantile(0.999), 1e-12);
+}
+
+TEST(Stats, PercentilesExactBelowSampleCap) {
+  // Below the cap the reservoir never kicks in: quantiles are exact and
+  // identical to an uncapped accumulator's.
+  Percentiles capped, exact;
+  capped.set_sample_cap(1000);
+  for (int i = 1; i <= 1000; ++i) {
+    capped.add(i);
+    exact.add(i);
+  }
+  EXPECT_EQ(capped.count(), 1000u);
+  EXPECT_EQ(capped.sample_count(), 1000u);
+  for (double q : {0.0, 0.25, 0.5, 0.95, 0.99, 0.999, 1.0})
+    EXPECT_NEAR(capped.quantile(q), exact.quantile(q), 1e-12);
+}
+
+TEST(Stats, PercentilesReservoirIsDeterministicAboveCap) {
+  // Above the cap: total count keeps climbing while retained samples stay
+  // bounded, and the seeded reservoir makes two identical runs agree to
+  // the bit (the determinism contract latency histograms rely on).
+  Percentiles a, b;
+  a.set_sample_cap(64);
+  b.set_sample_cap(64);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = (i * 2654435761u) % 100000;
+    a.add(x);
+    b.add(x);
+  }
+  EXPECT_EQ(a.count(), 10000u);
+  EXPECT_EQ(a.sample_count(), 64u);
+  for (double q : {0.0, 0.5, 0.95, 0.99, 0.999, 1.0})
+    EXPECT_EQ(a.quantile(q), b.quantile(q));
+  // The sampled quantile still lands in the data's ballpark.
+  EXPECT_GE(a.median(), 0.0);
+  EXPECT_LE(a.median(), 100000.0);
+}
+
+TEST(Stats, PercentilesSampleCapShrinksRetainedSamples) {
+  Percentiles p;
+  for (int i = 1; i <= 500; ++i) p.add(i);
+  EXPECT_EQ(p.sample_count(), 500u);
+  p.set_sample_cap(100);
+  EXPECT_EQ(p.sample_count(), 100u);
+  EXPECT_EQ(p.count(), 500u);  // total observations are not forgotten
+  p.add(501.0);
+  EXPECT_EQ(p.count(), 501u);
+  EXPECT_EQ(p.sample_count(), 100u);
 }
 
 TEST(Stats, HistogramBuckets) {

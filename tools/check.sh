@@ -7,6 +7,7 @@
 #   tools/check.sh --determinism  # tier-1 + parallel-pipeline gates
 #   tools/check.sh --tsan         # tier-1 + ThreadSanitizer pass
 #   tools/check.sh --perf         # tier-1 + Release perf gate
+#   tools/check.sh --latency      # tier-1 + lifecycle-latency pipeline gate
 #
 # Flags combine: `tools/check.sh --determinism --tsan` runs the tier-1
 # suite once, then both extra passes in one invocation. Any extra flag
@@ -24,6 +25,11 @@
 # --perf builds bench_simcore and bench_hotpath in a Release tree
 # (build-perf) and gates on the recorded scheduler speedup: the slab
 # engine must hold >= 2x events/sec over the embedded legacy scheduler.
+# --latency runs a traced cluster bench end-to-end through the
+# observability pipeline: DLT_TRACE trace -> tools/trace_plot.py Gantt +
+# CDF outputs (must be non-empty), plus a direction check that
+# tools/bench_diff.py treats latency increases AND confirmed-count drops
+# as regressions.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -33,14 +39,16 @@ FAST=0
 DETERMINISM=0
 TSAN=0
 PERF=0
+LATENCY=0
 for arg in "$@"; do
   case "$arg" in
     --fast) FAST=1 ;;
     --determinism) FAST=1; DETERMINISM=1 ;;
     --tsan) FAST=1; TSAN=1 ;;
     --perf) FAST=1; PERF=1 ;;
+    --latency) FAST=1; LATENCY=1 ;;
     *)
-      echo "usage: tools/check.sh [--fast] [--determinism] [--tsan] [--perf]" >&2
+      echo "usage: tools/check.sh [--fast] [--determinism] [--tsan] [--perf] [--latency]" >&2
       exit 2
       ;;
   esac
@@ -88,6 +96,51 @@ if speedup < 2.0:
 EOF
   rm -rf "$perfdir"
   echo "=== [perf] OK ==="
+fi
+
+if [[ "$LATENCY" == "1" ]]; then
+  echo "=== [latency] trace_plot selftest ==="
+  latdir="$(mktemp -d)"
+  (cd "$latdir" && python3 "$OLDPWD/tools/trace_plot.py" --selftest)
+  echo "=== [latency] traced tangle bench -> trace_plot pipeline ==="
+  cmake --build build -j "$JOBS" --target bench_throughput_tangle
+  (cd "$latdir" && DLT_TRACE=1 "$OLDPWD/build/bench/bench_throughput_tangle" \
+    > bench_stdout.txt)
+  grep -q "Lifecycle submit->confirm" "$latdir/bench_stdout.txt" || {
+    echo "FAIL: bench printed no lifecycle latency summary" >&2; exit 1; }
+  (cd "$latdir" && python3 "$OLDPWD/tools/trace_plot.py" \
+    TRACE_throughput_tangle.jsonl --out latency_gate)
+  # The CDF table must contain real data rows (non-zero confirmed count).
+  python3 - "$latdir/latency_gate_cdf.txt" <<'EOF'
+import re, sys
+text = open(sys.argv[1]).read()
+m = re.search(r"submit_to_confirm\s+(\d+)", text)
+if not m or int(m.group(1)) == 0:
+    sys.exit("FAIL: latency CDF has no confirmed transactions")
+print(f"latency CDF: {m.group(1)} confirmed txs")
+EOF
+  for f in latency_gate_timeline.svg latency_gate_cdf.svg; do
+    [[ -s "$latdir/$f" ]] || { echo "FAIL: $f missing or empty" >&2; exit 1; }
+  done
+  echo "=== [latency] bench_diff direction check ==="
+  cat > "$latdir/lat_old.json" <<'EOF'
+{"metrics":{"histograms":{"latency.submit_to_confirm":{"count":10,"p99":1.0}}}}
+EOF
+  cat > "$latdir/lat_new.json" <<'EOF'
+{"metrics":{"histograms":{"latency.submit_to_confirm":{"count":5,"p99":2.0}}}}
+EOF
+  if python3 tools/bench_diff.py "$latdir/lat_old.json" "$latdir/lat_new.json" \
+      > "$latdir/lat_diff.txt" 2>&1; then
+    echo "FAIL: bench_diff accepted a latency regression" >&2
+    cat "$latdir/lat_diff.txt" >&2
+    exit 1
+  fi
+  grep -q "latency.submit_to_confirm.p99" "$latdir/lat_diff.txt" || {
+    echo "FAIL: bench_diff did not flag the latency p99 increase" >&2; exit 1; }
+  grep -q "latency.submit_to_confirm.count" "$latdir/lat_diff.txt" || {
+    echo "FAIL: bench_diff did not flag the confirmed-count drop" >&2; exit 1; }
+  rm -rf "$latdir"
+  echo "=== [latency] OK ==="
 fi
 
 if [[ "$TSAN" == "1" ]]; then

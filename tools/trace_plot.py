@@ -1,0 +1,424 @@
+#!/usr/bin/env python3
+"""Render transaction-lifecycle plots from a DLT trace (TRACE_*.jsonl).
+
+Consumes the typed lifecycle events the obs::LatencyTracker emits
+(tx_submitted / tx_admitted / tx_included / tx_confirmed, all keyed by
+the same trace id) and produces:
+
+  <out>_timeline.svg  per-node Gantt: one lane per submitting node, one
+                      bar per confirmed transaction spanning submit ->
+                      confirm, with include stamps marked
+  <out>_cdf.svg       latency CDFs for each lifecycle stage delta
+  <out>_cdf.txt       the same CDFs as a text table (stage percentiles
+                      plus cumulative-fraction rows), also echoed to
+                      stdout
+
+Stdlib-only by design: the determinism gate and check.sh --latency run
+this on bare CI images. Traces are deterministic for a given seed, so
+the SVG/text bytes are too.
+
+Usage:
+  tools/trace_plot.py TRACE_throughput_tangle.jsonl [--out PREFIX]
+                      [--max-bars N]
+  tools/trace_plot.py --selftest
+"""
+
+import argparse
+import json
+import math
+import sys
+
+LIFECYCLE = ("tx_submitted", "tx_admitted", "tx_included", "tx_confirmed")
+
+# Stage deltas plotted/tabulated, in lifecycle order.
+STAGES = (
+    ("submit_to_admit", "tx_submitted", "tx_admitted"),
+    ("admit_to_include", "tx_admitted", "tx_included"),
+    ("include_to_confirm", "tx_included", "tx_confirmed"),
+    ("submit_to_confirm", "tx_submitted", "tx_confirmed"),
+)
+
+STAGE_COLORS = {
+    "submit_to_admit": "#4c72b0",
+    "admit_to_include": "#dd8452",
+    "include_to_confirm": "#55a868",
+    "submit_to_confirm": "#c44e52",
+}
+
+
+def parse_trace(lines):
+    """Returns ({id: {event: (time, node)}}, skipped_line_count).
+
+    First stamp per (id, event) wins, matching LatencyTracker semantics
+    (re-gossiped duplicates and reorg restamps do not move the clock
+    backwards in the exported trace).
+    """
+    txs = {}
+    skipped = 0
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            ev = json.loads(line)
+        except json.JSONDecodeError:
+            skipped += 1
+            continue
+        kind = ev.get("ev")
+        if kind not in LIFECYCLE or "id" not in ev:
+            continue
+        stamps = txs.setdefault(ev["id"], {})
+        if kind not in stamps:
+            stamps[kind] = (float(ev["t"]), int(ev.get("node", 0)))
+    return txs, skipped
+
+
+def stage_samples(txs):
+    """{stage_name: sorted [delta_seconds]} for txs with both stamps."""
+    out = {name: [] for name, _, _ in STAGES}
+    for stamps in txs.values():
+        for name, begin, end in STAGES:
+            if begin in stamps and end in stamps:
+                out[name].append(stamps[end][0] - stamps[begin][0])
+    for name in out:
+        out[name].sort()
+    return out
+
+
+def quantile(sorted_xs, q):
+    """Linear-interpolation quantile of a sorted list (matches
+    support::Percentiles::quantile)."""
+    if not sorted_xs:
+        return 0.0
+    pos = q * (len(sorted_xs) - 1)
+    lo = int(math.floor(pos))
+    hi = min(lo + 1, len(sorted_xs) - 1)
+    frac = pos - lo
+    return sorted_xs[lo] * (1.0 - frac) + sorted_xs[hi] * frac
+
+
+def fmt(x):
+    return f"{x:.6f}"
+
+
+# ---------------------------------------------------------------------------
+# SVG primitives (hand-rolled; no dependencies)
+# ---------------------------------------------------------------------------
+
+
+def svg_header(width, height, title):
+    return [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        'font-family="monospace" font-size="11">',
+        f'<title>{title}</title>',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+
+
+def svg_text(x, y, s, anchor="start", color="#222"):
+    return (
+        f'<text x="{fmt(x)}" y="{fmt(y)}" text-anchor="{anchor}" '
+        f'fill="{color}">{s}</text>'
+    )
+
+
+def svg_line(x1, y1, x2, y2, color="#999", width=1.0):
+    return (
+        f'<line x1="{fmt(x1)}" y1="{fmt(y1)}" x2="{fmt(x2)}" '
+        f'y2="{fmt(y2)}" stroke="{color}" stroke-width="{width}"/>'
+    )
+
+
+def svg_rect(x, y, w, h, color, opacity=1.0):
+    return (
+        f'<rect x="{fmt(x)}" y="{fmt(y)}" width="{fmt(max(w, 0.5))}" '
+        f'height="{fmt(h)}" fill="{color}" fill-opacity="{opacity}"/>'
+    )
+
+
+def svg_polyline(points, color, width=1.5):
+    pts = " ".join(f"{fmt(x)},{fmt(y)}" for x, y in points)
+    return (
+        f'<polyline points="{pts}" fill="none" stroke="{color}" '
+        f'stroke-width="{width}"/>'
+    )
+
+
+# ---------------------------------------------------------------------------
+# Gantt / timeline
+# ---------------------------------------------------------------------------
+
+
+def render_timeline(txs, max_bars):
+    """Per-node Gantt of confirmed transactions (submit -> confirm)."""
+    confirmed = [
+        (tid, stamps)
+        for tid, stamps in txs.items()
+        if "tx_submitted" in stamps and "tx_confirmed" in stamps
+    ]
+    # Deterministic order: by submit time, then id.
+    confirmed.sort(key=lambda kv: (kv[1]["tx_submitted"][0], kv[0]))
+    dropped = max(0, len(confirmed) - max_bars)
+    confirmed = confirmed[:max_bars]
+
+    nodes = sorted({stamps["tx_submitted"][1] for _, stamps in confirmed})
+    if not confirmed:
+        parts = svg_header(640, 80, "lifecycle timeline (empty)")
+        parts.append(svg_text(20, 40, "no confirmed transactions in trace"))
+        parts.append("</svg>")
+        return "\n".join(parts), 0, dropped
+
+    t0 = min(stamps["tx_submitted"][0] for _, stamps in confirmed)
+    t1 = max(stamps["tx_confirmed"][0] for _, stamps in confirmed)
+    span = max(t1 - t0, 1e-9)
+
+    left, right, top, lane_h = 80, 30, 40, 0
+    width = 960
+    plot_w = width - left - right
+    # Bars stack within their submit node's lane.
+    by_node = {n: [] for n in nodes}
+    for tid, stamps in confirmed:
+        by_node[stamps["tx_submitted"][1]].append((tid, stamps))
+    bar_h, bar_gap = 3, 1
+    lane_pad = 8
+    lane_heights = {
+        n: len(by_node[n]) * (bar_h + bar_gap) + lane_pad for n in nodes
+    }
+    height = top + sum(lane_heights.values()) + 40
+
+    parts = svg_header(width, height, "transaction lifecycle timeline")
+    parts.append(
+        svg_text(left, 20, f"lifecycle timeline: {len(confirmed)} confirmed "
+                           f"txs, t=[{t0:.3f}s, {t1:.3f}s]")
+    )
+    # Time axis.
+    axis_y = height - 18
+    parts.append(svg_line(left, axis_y, width - right, axis_y, "#222"))
+    for i in range(6):
+        tx_ = t0 + span * i / 5.0
+        x = left + plot_w * i / 5.0
+        parts.append(svg_line(x, axis_y - 3, x, axis_y + 3, "#222"))
+        parts.append(svg_text(x, axis_y + 14, f"{tx_:.1f}s", anchor="middle"))
+
+    y = top
+    for n in nodes:
+        lane_top = y
+        parts.append(svg_text(8, y + 12, f"node {n}"))
+        for tid, stamps in by_node[n]:
+            sub = stamps["tx_submitted"][0]
+            conf = stamps["tx_confirmed"][0]
+            x_sub = left + plot_w * (sub - t0) / span
+            x_conf = left + plot_w * (conf - t0) / span
+            if "tx_included" in stamps:
+                inc = stamps["tx_included"][0]
+                x_inc = left + plot_w * (inc - t0) / span
+                parts.append(
+                    svg_rect(x_sub, y, x_inc - x_sub, bar_h,
+                             STAGE_COLORS["admit_to_include"], 0.9))
+                parts.append(
+                    svg_rect(x_inc, y, x_conf - x_inc, bar_h,
+                             STAGE_COLORS["include_to_confirm"], 0.9))
+            else:
+                parts.append(
+                    svg_rect(x_sub, y, x_conf - x_sub, bar_h,
+                             STAGE_COLORS["submit_to_confirm"], 0.9))
+            y += bar_h + bar_gap
+        y = lane_top + lane_heights[n]
+        parts.append(svg_line(left, y - lane_pad / 2, width - right,
+                              y - lane_pad / 2, "#eee"))
+    # Legend.
+    parts.append(svg_rect(left, height - 34, 10, 8,
+                          STAGE_COLORS["admit_to_include"]))
+    parts.append(svg_text(left + 14, height - 26, "submit->include"))
+    parts.append(svg_rect(left + 140, height - 34, 10, 8,
+                          STAGE_COLORS["include_to_confirm"]))
+    parts.append(svg_text(left + 154, height - 26, "include->confirm"))
+    parts.append("</svg>")
+    return "\n".join(parts), len(confirmed), dropped
+
+
+# ---------------------------------------------------------------------------
+# Latency CDF
+# ---------------------------------------------------------------------------
+
+
+def render_cdf_svg(samples):
+    width, height = 640, 400
+    left, right, top, bottom = 60, 20, 30, 50
+    plot_w, plot_h = width - left - right, height - top - bottom
+
+    xmax = max((xs[-1] for xs in samples.values() if xs), default=1.0)
+    xmax = max(xmax, 1e-9)
+
+    parts = svg_header(width, height, "lifecycle latency CDF")
+    parts.append(svg_text(left, 18, "lifecycle latency CDF (per stage)"))
+    # Axes.
+    parts.append(svg_line(left, top, left, top + plot_h, "#222"))
+    parts.append(svg_line(left, top + plot_h, left + plot_w, top + plot_h,
+                          "#222"))
+    for i in range(6):
+        frac = i / 5.0
+        y = top + plot_h * (1.0 - frac)
+        parts.append(svg_line(left - 3, y, left, y, "#222"))
+        parts.append(svg_text(left - 6, y + 4, f"{frac:.1f}", anchor="end"))
+        x = left + plot_w * frac
+        parts.append(svg_line(x, top + plot_h, x, top + plot_h + 3, "#222"))
+        parts.append(svg_text(x, top + plot_h + 16, f"{xmax * frac:.3f}s",
+                              anchor="middle"))
+    legend_y = height - 12
+    legend_x = left
+    for name, _, _ in STAGES:
+        xs = samples[name]
+        if not xs:
+            continue
+        n = len(xs)
+        points = [(left, top + plot_h)]
+        for i, x in enumerate(xs):
+            px = left + plot_w * x / xmax
+            py = top + plot_h * (1.0 - (i + 1) / n)
+            points.append((px, py))
+        points.append((left + plot_w, points[-1][1]))
+        parts.append(svg_polyline(points, STAGE_COLORS[name]))
+        parts.append(svg_rect(legend_x, legend_y - 8, 10, 8,
+                              STAGE_COLORS[name]))
+        parts.append(svg_text(legend_x + 14, legend_y, name))
+        legend_x += 14 + 8 * len(name) + 24
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def render_cdf_text(samples, cdf_points=10):
+    lines = ["stage percentiles (seconds):",
+             f"{'stage':<20} {'count':>7} {'p50':>12} {'p90':>12} "
+             f"{'p99':>12} {'p999':>12} {'max':>12}"]
+    for name, _, _ in STAGES:
+        xs = samples[name]
+        if not xs:
+            lines.append(f"{name:<20} {0:>7} {'-':>12} {'-':>12} {'-':>12} "
+                         f"{'-':>12} {'-':>12}")
+            continue
+        lines.append(
+            f"{name:<20} {len(xs):>7} {quantile(xs, 0.5):>12.6f} "
+            f"{quantile(xs, 0.9):>12.6f} {quantile(xs, 0.99):>12.6f} "
+            f"{quantile(xs, 0.999):>12.6f} {xs[-1]:>12.6f}")
+    lines.append("")
+    lines.append("submit_to_confirm CDF:")
+    lines.append(f"{'fraction':>9} {'latency_s':>12}")
+    xs = samples["submit_to_confirm"]
+    if xs:
+        for i in range(1, cdf_points + 1):
+            q = i / cdf_points
+            lines.append(f"{q:>9.2f} {quantile(xs, q):>12.6f}")
+    else:
+        lines.append("  (no confirmed transactions)")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+
+def run(trace_lines, out_prefix, max_bars):
+    txs, skipped = parse_trace(trace_lines)
+    samples = stage_samples(txs)
+
+    timeline_svg, bars, dropped = render_timeline(txs, max_bars)
+    cdf_svg = render_cdf_svg(samples)
+    cdf_txt = render_cdf_text(samples)
+
+    outputs = {
+        f"{out_prefix}_timeline.svg": timeline_svg,
+        f"{out_prefix}_cdf.svg": cdf_svg,
+        f"{out_prefix}_cdf.txt": cdf_txt,
+    }
+    for path, content in outputs.items():
+        with open(path, "w") as f:
+            f.write(content)
+
+    print(f"parsed {len(txs)} lifecycle txs "
+          f"({len(samples['submit_to_confirm'])} confirmed"
+          f"{f', {skipped} unparsable lines skipped' if skipped else ''})")
+    if dropped:
+        print(f"timeline capped at {bars} bars ({dropped} more confirmed "
+              f"txs not drawn; raise --max-bars to include them)")
+    for path in outputs:
+        print(f"wrote {path}")
+    print()
+    print(cdf_txt, end="")
+    return 0 if samples["submit_to_confirm"] else 1
+
+
+def synthetic_trace():
+    """A small deterministic trace exercising every code path."""
+    lines = []
+    for i in range(40):
+        tid = 1000 + i
+        node = i % 4
+        sub = 0.5 * i
+        lines.append(json.dumps(
+            {"t": sub, "ev": "tx_submitted", "node": node, "id": tid,
+             "aux": 0}))
+        lines.append(json.dumps(
+            {"t": sub, "ev": "tx_admitted", "node": node, "id": tid,
+             "aux": 0}))
+        if i % 5 != 4:  # some never get included
+            lines.append(json.dumps(
+                {"t": sub + 0.3 + 0.01 * i, "ev": "tx_included",
+                 "node": 0, "id": tid, "height": i}))
+        if i % 7 != 6:  # some never confirm
+            lines.append(json.dumps(
+                {"t": sub + 1.0 + 0.05 * i, "ev": "tx_confirmed",
+                 "node": 0, "id": tid, "height": i}))
+    lines.append('{"t":0.1,"ev":"message_sent","node":1,"kind":0,"bytes":9}')
+    lines.append("not json")  # skipped, counted
+    return lines
+
+
+def selftest(tmp_prefix):
+    code = run(synthetic_trace(), tmp_prefix, max_bars=30)
+    assert code == 0, "synthetic trace has confirmations"
+    for suffix in ("_timeline.svg", "_cdf.svg", "_cdf.txt"):
+        with open(tmp_prefix + suffix) as f:
+            content = f.read()
+        assert content, f"{suffix} is empty"
+        if suffix.endswith(".svg"):
+            assert content.startswith("<svg"), f"{suffix} is not SVG"
+    with open(tmp_prefix + "_cdf.txt") as f:
+        assert "submit_to_confirm" in f.read()
+    print("selftest ok")
+    return 0
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        description="Render lifecycle Gantt + latency CDF from a DLT "
+                    "trace JSONL.")
+    ap.add_argument("trace", nargs="?", help="TRACE_*.jsonl path")
+    ap.add_argument("--out", help="output prefix (default: trace filename "
+                                  "without TRACE_/extension)")
+    ap.add_argument("--max-bars", type=int, default=400,
+                    help="cap on timeline bars (default 400)")
+    ap.add_argument("--selftest", action="store_true",
+                    help="run on a built-in synthetic trace and exit")
+    args = ap.parse_args(argv)
+
+    if args.selftest:
+        return selftest(args.out or "trace_plot_selftest")
+    if not args.trace:
+        ap.error("trace path required (or --selftest)")
+
+    prefix = args.out
+    if not prefix:
+        name = args.trace.rsplit("/", 1)[-1]
+        if name.startswith("TRACE_"):
+            name = name[len("TRACE_"):]
+        prefix = name.rsplit(".", 1)[0]
+
+    with open(args.trace) as f:
+        return run(f, prefix, args.max_bars)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
