@@ -141,7 +141,10 @@ class ClusterEngine {
       submitted_->inc();
       if (obs_.lifecycle.enabled()) {
         const double now = sim_.now();
-        obs_.lifecycle.on_submit(out.tx_id, now, out.node);
+        // Tagged with the sending account so per-issuer inclusion rates
+        // (fairness.inclusion_gini, core/adversary.hpp) are attributable.
+        obs_.lifecycle.on_submit(out.tx_id, now, out.node,
+                                 static_cast<std::uint64_t>(from));
         if (out.admitted) obs_.lifecycle.on_admit(out.tx_id, now, out.node);
         if (out.included)
           obs_.lifecycle.on_include(out.tx_id, now, out.node);

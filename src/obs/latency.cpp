@@ -20,12 +20,14 @@ void LatencyTracker::enable(const Probe& probe, std::size_t sample_cap) {
 }
 
 void LatencyTracker::on_submit(std::uint64_t id, double t,
-                               std::uint32_t node) {
+                               std::uint32_t node, std::uint64_t issuer) {
   if (!enabled_) return;
   auto [it, fresh] = entries_.try_emplace(id);
   if (!fresh) return;  // duplicate id: first submission wins
   it->second.submit = t;
+  it->second.issuer = issuer;
   ++submitted_;
+  if (issuer != kNoIssuer) ++issuer_stats_[issuer].submitted;
   probe_.trace(t, EventType::kTxSubmitted, node, id, 0);
 }
 
@@ -47,6 +49,8 @@ bool LatencyTracker::on_include(std::uint64_t id, double t,
   if (it == entries_.end()) return false;
   if (it->second.include >= 0.0) return true;  // restamp: first wins
   it->second.include = t;
+  if (it->second.issuer != kNoIssuer)
+    ++issuer_stats_[it->second.issuer].included;
   probe_.trace(t, EventType::kTxIncluded, node, id, aux);
   return true;
 }
@@ -54,7 +58,10 @@ bool LatencyTracker::on_include(std::uint64_t id, double t,
 void LatencyTracker::on_uninclude(std::uint64_t id) {
   if (!enabled_) return;
   auto it = entries_.find(id);
-  if (it != entries_.end()) it->second.include = -1.0;
+  if (it == entries_.end()) return;
+  if (it->second.include >= 0.0 && it->second.issuer != kNoIssuer)
+    --issuer_stats_[it->second.issuer].included;  // re-inclusion recounts
+  it->second.include = -1.0;
 }
 
 bool LatencyTracker::on_confirm(std::uint64_t id, double t,

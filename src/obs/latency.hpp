@@ -40,6 +40,18 @@ namespace dlt::obs {
 
 class LatencyTracker {
  public:
+  /// Sentinel issuer tag: the submission carries no issuer attribution
+  /// and is excluded from the per-issuer fairness stats.
+  static constexpr std::uint64_t kNoIssuer = ~0ULL;
+
+  /// Per-issuer inclusion tally (fairness.inclusion_gini input, ISSUE 8):
+  /// how many of an issuer's submissions reached the include stage. Kept
+  /// separately from the in-flight entries because confirm retires those.
+  struct IssuerStats {
+    std::uint64_t submitted = 0;
+    std::uint64_t included = 0;
+  };
+
   /// Wires the latency.* histograms (and the in-flight gauge) into the
   /// probe's registry and starts tracking. `sample_cap` bounds each
   /// histogram's percentile memory (0 = exact, unbounded).
@@ -47,8 +59,11 @@ class LatencyTracker {
   bool enabled() const { return enabled_; }
 
   /// Registers a workload transaction at submission time. First write
-  /// wins; duplicate ids are ignored.
-  void on_submit(std::uint64_t id, double t, std::uint32_t node);
+  /// wins; duplicate ids are ignored. `issuer` tags the submission for
+  /// the per-issuer fairness stats (workload account index in clusters;
+  /// kNoIssuer = untracked).
+  void on_submit(std::uint64_t id, double t, std::uint32_t node,
+                 std::uint64_t issuer = kNoIssuer);
   /// Stage stamps for a tracked id; return false (and record nothing)
   /// when `id` was never submitted — callers may then fall back to their
   /// historical trace emission. First write per stage wins.
@@ -68,6 +83,13 @@ class LatencyTracker {
   std::uint64_t submitted() const { return submitted_; }
   std::uint64_t confirmed() const { return confirmed_; }
 
+  /// Per-issuer submission/inclusion tallies for issuer-tagged
+  /// submissions. Iterate sorted by issuer for deterministic aggregation
+  /// (core::inclusion_gini does).
+  const std::unordered_map<std::uint64_t, IssuerStats>& issuer_stats() const {
+    return issuer_stats_;
+  }
+
   /// Refreshes the latency.in_flight gauge (call before registry export).
   void capture();
 
@@ -76,11 +98,13 @@ class LatencyTracker {
     double submit = -1.0;
     double admit = -1.0;
     double include = -1.0;
+    std::uint64_t issuer = kNoIssuer;
   };
 
   bool enabled_ = false;
   Probe probe_;
   std::unordered_map<std::uint64_t, Entry> entries_;
+  std::unordered_map<std::uint64_t, IssuerStats> issuer_stats_;
   std::uint64_t submitted_ = 0;
   std::uint64_t confirmed_ = 0;
 

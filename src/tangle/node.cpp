@@ -9,6 +9,12 @@ namespace dlt::tangle {
 namespace {
 // Interned once at static init; per-message paths compare/copy uint32 ids.
 const net::MsgType kTxMessage = net::msg_type("tangle-tx");
+
+TangleParams apply_overrides(TangleParams params,
+                             const TangleNodeConfig& config) {
+  if (config.tip_selection) params.tip_selection = *config.tip_selection;
+  return params;
+}
 }  // namespace
 
 TangleNode::TangleNode(net::Network& network, const TangleParams& params,
@@ -16,8 +22,9 @@ TangleNode::TangleNode(net::Network& network, const TangleParams& params,
     : net_(network),
       id_(network.add_node()),
       config_(config),
-      tangle_(params),
-      rng_(std::move(rng)) {
+      tangle_(apply_overrides(params, config)),
+      rng_(std::move(rng)),
+      select_rng_(rng_.fork()) {
   tangle_.set_probe(config_.probe);
   tangle_.set_trace_node(id_);
   tangle_.set_verify_pool(config_.verify_pool);
@@ -38,8 +45,10 @@ Result<TxHash> TangleNode::issue(const crypto::KeyPair& issuer,
                                  const Hash256& spend_key) {
   std::vector<Hash256> avoid;
   if (!spend_key.is_zero()) avoid.push_back(spend_key);
-  const TxHash trunk = tangle_.select_tip(rng_, avoid);
-  const TxHash branch = tangle_.select_tip(rng_, avoid);
+  // Selection draws come from the dedicated stream so strategy choice (or
+  // strategy-dependent draw counts) cannot shift issuance/signing draws.
+  const TxHash trunk = tangle_.select_tip(select_rng_, avoid);
+  const TxHash branch = tangle_.select_tip(select_rng_, avoid);
   const TangleTx tx =
       make_tx(tangle_, issuer, trunk, branch, payload,
               net_.simulation().now(), rng_, spend_key);
@@ -50,6 +59,16 @@ Result<TxHash> TangleNode::issue(const crypto::KeyPair& issuer,
   net_.gossip(id_, net::make_message(kTxMessage, tx,
                                      TangleTx::kSerializedSize));
   return tx.hash();
+}
+
+Status TangleNode::inject(const TangleTx& tx) {
+  Status st = tangle_.attach(tx);
+  if (!st.ok()) return st;
+  obs::inc(obs_issued_);
+  net_.gossip(id_, net::make_message(kTxMessage, tx,
+                                     TangleTx::kSerializedSize));
+  retry_gaps(tx.hash());
+  return Status::success();
 }
 
 std::size_t TangleNode::gap_pool_size() const {

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -47,6 +48,10 @@ struct TangleNodeConfig {
   /// transaction; exactly one node per cluster is the observer so stamps
   /// stay deterministic.
   bool lifecycle_observer = false;
+  /// Per-node tip-selection override (ISSUE 8): replaces the cluster-wide
+  /// TangleParams::tip_selection for this node's replica when set, so
+  /// attack experiments can mix strategies within one cluster.
+  std::optional<TipStrategy> tip_selection;
 };
 
 class TangleNode {
@@ -59,11 +64,25 @@ class TangleNode {
   const Tangle& tangle() const { return tangle_; }
   Rng& rng() { return rng_; }
 
-  /// Issues one transaction: two MCMC tip selections against the local
-  /// replica, hashcash, signature, local attach, gossip. The timestamp is
-  /// the current simulation time, so traces stay deterministic.
+  /// Issues one transaction: two tip selections (configured strategy)
+  /// against the local replica, hashcash, signature, local attach, gossip.
+  /// The timestamp is the current simulation time, so traces stay
+  /// deterministic. Tip selections draw from the dedicated selection
+  /// stream (select_rng()); work/signing draw from rng().
   Result<TxHash> issue(const crypto::KeyPair& issuer, const Hash256& payload,
                        const Hash256& spend_key = {});
+
+  /// Adversary hook (ISSUE 8, core/adversary.hpp): attaches an externally
+  /// built, already-signed transaction to the local replica and gossips it
+  /// on success — the release path for parasite chains and spam bursts.
+  /// Draws no node randomness, so an adversary that never calls it leaves
+  /// the honest trace byte-identical.
+  Status inject(const TangleTx& tx);
+
+  /// The dedicated tip-selection RNG stream, forked from the node RNG at
+  /// construction so selector strategies (and extra walk_confidence
+  /// sampling) can never perturb issuance timing or signing randomness.
+  Rng& select_rng() { return select_rng_; }
 
   /// Transactions parked waiting for a missing parent.
   std::size_t gap_pool_size() const;
@@ -80,6 +99,7 @@ class TangleNode {
   TangleNodeConfig config_;
   Tangle tangle_;
   Rng rng_;
+  Rng select_rng_;  // forked from rng_ at construction (see select_rng())
 
   // Parked transactions keyed by the first missing parent (§IV-B gap
   // healing). A tx re-parks under its other parent if that one is also

@@ -1,5 +1,6 @@
 #include "tangle/tangle.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <deque>
 
@@ -391,8 +392,50 @@ double Tangle::walk_confidence(const TxHash& hash, Rng& rng,
 
 TxHash Tangle::select_tip(Rng& rng,
                           const std::vector<Hash256>& spend_keys) const {
-  // Biased random walk from genesis toward the tips, skipping children
-  // whose cone conflicts with the issuer's intended spends.
+  return select_tip_with(params_.tip_selection, rng, spend_keys);
+}
+
+TxHash Tangle::select_tip_with(TipStrategy strategy, Rng& rng,
+                               const std::vector<Hash256>& spend_keys) const {
+  if (strategy != TipStrategy::kMcmc) {
+    // Direct tip draw. Candidates are the tips whose past cone does not
+    // conflict with the issuer's pending spends, in canonical (sorted
+    // hash) order so the draw is independent of hash-map iteration.
+    std::vector<TxHash> viable;
+    viable.reserve(tips_.size());
+    for (const TxHash& tip : tips_) {
+      if (!spend_keys.empty()) {
+        const auto cone_keys = cone_spend_keys(tip);
+        bool conflicted = false;
+        for (const Hash256& k : spend_keys)
+          if (cone_keys.count(k)) conflicted = true;
+        if (conflicted) continue;
+      }
+      viable.push_back(tip);
+    }
+    // Every tip conflicted: genesis is always a clean attachment point
+    // (no draw consumed; the caller's RNG stream stays aligned).
+    if (viable.empty()) return genesis_hash_;
+    std::sort(viable.begin(), viable.end());
+    if (strategy == TipStrategy::kMrts) {
+      double max_ts = 0.0;
+      for (const TxHash& tip : viable)
+        max_ts = std::max(max_ts, find(tip)->timestamp);
+      std::vector<TxHash> recent;
+      for (const TxHash& tip : viable)
+        if (find(tip)->timestamp == max_ts) recent.push_back(tip);
+      viable = std::move(recent);
+    }
+    // Exactly one uniform01() draw (uniform(bound) would reject-sample a
+    // data-dependent number of raw words; the draw-count contract in
+    // tip_selection_test.cpp pins one draw per selection).
+    const auto pick = static_cast<std::size_t>(
+        rng.uniform01() * static_cast<double>(viable.size()));
+    return viable[std::min(pick, viable.size() - 1)];
+  }
+
+  // MCMC: biased random walk from genesis toward the tips, skipping
+  // children whose cone conflicts with the issuer's intended spends.
   TxHash current = genesis_hash_;
   for (;;) {
     auto it = approvers_.find(current);

@@ -58,12 +58,26 @@ struct TangleTx {
   static constexpr std::size_t kSerializedSize = 32 * 5 + 8 * 4;
 };
 
+/// Tip-selection strategy (ISSUE 8). The whitepaper's MCMC walk is the
+/// reference; `uniform` and `mrts` are the degenerate strategies the SoK
+/// literature uses as attack baselines (uniform random tip, most-recent
+/// tips). Pluggable per tangle via TangleParams::tip_selection, per node
+/// via TangleNodeConfig::tip_selection, and per process via the
+/// DLT_TIP_SELECTION env knob (tangle/tip_selection.hpp).
+enum class TipStrategy {
+  kMcmc = 0,     // biased random walk, exp(alpha * cumulative weight)
+  kUniform = 1,  // uniform over current tips (canonical hash order)
+  kMrts = 2,     // uniform over the most-recent (max timestamp) tips
+};
+
 struct TangleParams {
   int work_bits = 4;
   bool verify_work = true;
   /// MCMC walk bias: 0 = uniform random walk, higher = steeper preference
   /// for heavy branches (faster conflict starvation, more orphaned tips).
   double alpha = 0.05;
+  /// Strategy select_tip() / walk_confidence() dispatch to.
+  TipStrategy tip_selection = TipStrategy::kMcmc;
 };
 
 class Tangle {
@@ -111,13 +125,23 @@ class Tangle {
   double walk_confidence(const TxHash& hash, Rng& rng,
                          int samples = 64) const;
 
-  /// Weighted-random-walk tip selection (MCMC): a walk from genesis
-  /// steps to approvers with probability proportional to
-  /// exp(alpha * cumulative weight), never entering a cone that
-  /// conflicts with `avoid_conflicts_with` (the issuer's own pending
-  /// spend keys). Returns a tip.
+  /// Tip selection with the configured strategy (params().tip_selection):
+  /// the MCMC weighted random walk by default, or one of the pluggable
+  /// baseline strategies. Never selects into a cone that conflicts with
+  /// `spend_keys` (the issuer's own pending spends). Returns a tip (or an
+  /// interior vertex when every tip's cone conflicts — MCMC — / genesis —
+  /// uniform, mrts).
   TxHash select_tip(Rng& rng,
                     const std::vector<Hash256>& spend_keys = {}) const;
+
+  /// Tip selection with an explicit strategy (ignores the configured one).
+  /// RNG discipline, pinned by tests/tip_selection_test.cpp: `uniform` and
+  /// `mrts` consume exactly one uniform01() draw per selection; `mcmc`
+  /// consumes one per walk step. Candidate orderings are canonical (sorted
+  /// by hash), so the draw count and the selected tip depend only on the
+  /// tangle contents and the RNG stream — never on worker counts.
+  TxHash select_tip_with(TipStrategy strategy, Rng& rng,
+                         const std::vector<Hash256>& spend_keys = {}) const;
 
   /// Every transaction in `hash`'s past cone (ancestors, incl. itself).
   std::unordered_set<TxHash> past_cone(const TxHash& hash) const;

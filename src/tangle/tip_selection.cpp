@@ -1,0 +1,58 @@
+#include "tangle/tip_selection.hpp"
+
+#include <cstdlib>
+
+namespace dlt::tangle {
+
+namespace {
+
+class StrategySelector final : public TipSelector {
+ public:
+  explicit StrategySelector(TipStrategy strategy) : strategy_(strategy) {}
+  TipStrategy strategy() const override { return strategy_; }
+  TxHash select(const Tangle& tangle, Rng& rng,
+                const std::vector<Hash256>& spend_keys) const override {
+    return tangle.select_tip_with(strategy_, rng, spend_keys);
+  }
+
+ private:
+  TipStrategy strategy_;
+};
+
+}  // namespace
+
+std::unique_ptr<TipSelector> make_tip_selector(TipStrategy strategy) {
+  return std::make_unique<StrategySelector>(strategy);
+}
+
+const char* to_string(TipStrategy strategy) {
+  switch (strategy) {
+    case TipStrategy::kUniform:
+      return "uniform";
+    case TipStrategy::kMrts:
+      return "mrts";
+    case TipStrategy::kMcmc:
+      break;
+  }
+  return "mcmc";
+}
+
+std::optional<TipStrategy> parse_tip_strategy(const std::string& name) {
+  if (name == "mcmc") return TipStrategy::kMcmc;
+  if (name == "uniform") return TipStrategy::kUniform;
+  if (name == "mrts") return TipStrategy::kMrts;
+  return std::nullopt;
+}
+
+TipStrategy tip_strategy_from_env(TipStrategy fallback) {
+  const char* raw = std::getenv("DLT_TIP_SELECTION");
+  if (!raw || !*raw) return fallback;
+  if (auto parsed = parse_tip_strategy(raw)) return *parsed;
+  return fallback;
+}
+
+void apply_env_tip_selection(TangleParams& params) {
+  params.tip_selection = tip_strategy_from_env(params.tip_selection);
+}
+
+}  // namespace dlt::tangle

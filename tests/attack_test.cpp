@@ -1,8 +1,13 @@
 // Adversarial scenarios across both paradigms (paper §III, §IV):
 // majority/minority double-spend races, private-chain releases, theft
 // attempts on the lattice, spam without work, PoS equivocation.
+//
+// The race and private-chain scenarios run through the adversary actor
+// layer (core/adversary.hpp, ISSUE 8); the historical inline models are
+// kept below as parity oracles — same seeds, bit-equal outcomes.
 #include <gtest/gtest.h>
 
+#include "core/adversary.hpp"
 #include "core/chain_cluster.hpp"
 #include "core/confidence.hpp"
 #include "core/lattice_cluster.hpp"
@@ -25,8 +30,9 @@ struct RaceResult {
   int trials = 0;
 };
 
-/// Simulates the merchant protocol: wait for `depth` confirmations, then
-/// see if an attacker with hash share q can overtake from the fork point.
+/// Parity oracle for core::run_double_spend_races — the historical inline
+/// merchant model: wait for `depth` confirmations, then see if an
+/// attacker with hash share q can overtake from the fork point.
 RaceResult run_races(double q, std::uint32_t depth, int trials,
                      std::uint64_t seed) {
   Rng rng(seed);
@@ -60,8 +66,19 @@ RaceResult run_races(double q, std::uint32_t depth, int trials,
   return out;
 }
 
+/// Adversary-layer run, gated against the inline oracle at the same seed.
+core::RaceOutcome run_races_checked(double q, std::uint32_t depth,
+                                    int trials, std::uint64_t seed) {
+  const core::RaceOutcome actor =
+      core::run_double_spend_races(q, depth, trials, seed);
+  const RaceResult oracle = run_races(q, depth, trials, seed);
+  EXPECT_EQ(actor.attacker_wins, oracle.attacker_wins);
+  EXPECT_EQ(actor.trials, oracle.trials);
+  return actor;
+}
+
 TEST(DoubleSpendRace, MinorityUsuallyLosesAtDepthSix) {
-  RaceResult r = run_races(0.10, 6, 4000, 7);
+  core::RaceOutcome r = run_races_checked(0.10, 6, 4000, 7);
   const double rate =
       static_cast<double>(r.attacker_wins) / static_cast<double>(r.trials);
   // Analytic value is ~0.0002; allow generous sampling noise.
@@ -69,16 +86,18 @@ TEST(DoubleSpendRace, MinorityUsuallyLosesAtDepthSix) {
 }
 
 TEST(DoubleSpendRace, MajorityAlwaysWinsEventually) {
-  RaceResult r = run_races(0.60, 6, 300, 8);
+  core::RaceOutcome r = run_races_checked(0.60, 6, 300, 8);
   EXPECT_EQ(r.attacker_wins, r.trials);
 }
 
 TEST(DoubleSpendRace, MatchesAnalyticOrdering) {
   // Higher q, higher success; deeper confirmation, lower success.
   const double shallow =
-      static_cast<double>(run_races(0.3, 2, 4000, 9).attacker_wins) / 4000;
+      static_cast<double>(run_races_checked(0.3, 2, 4000, 9).attacker_wins) /
+      4000;
   const double deep =
-      static_cast<double>(run_races(0.3, 10, 4000, 10).attacker_wins) / 4000;
+      static_cast<double>(run_races_checked(0.3, 10, 4000, 10).attacker_wins) /
+      4000;
   EXPECT_GT(shallow, deep);
   EXPECT_NEAR(shallow, core::reversal_probability(0.3, 2), 0.05);
 }
@@ -87,10 +106,24 @@ TEST(DoubleSpendRace, MatchesAnalyticOrdering) {
 // Private-chain release: a withheld branch displaces public history
 // (the §IV-A "no guarantee it will remain a valid entry").
 
+/// Parity oracle: the historical hand-rolled private chain must be
+/// byte-identical to what core::PrivateChainMiner seals for the same
+/// params/genesis/miner (both follow the reference seal discipline).
+chain::BlockHash oracle_private_tip(const chain::GenesisSpec& genesis,
+                                    crypto::AccountId miner,
+                                    std::size_t blocks) {
+  chain::Blockchain attacker(cheap_pow_utxo(), genesis);
+  for (std::size_t i = 0; i < blocks; ++i) {
+    chain::Block b = seal_empty_utxo(attacker, miner, attacker.tip_hash());
+    EXPECT_TRUE(attacker.submit(b).ok());
+  }
+  return attacker.tip_hash();
+}
+
 TEST(PrivateChain, DeepReorgRevertsConfirmedBlocks) {
   auto keys = make_keys(2);
-  chain::Blockchain victim(cheap_pow_utxo(), fund_all(keys, 1000));
-  chain::Blockchain attacker(cheap_pow_utxo(), fund_all(keys, 1000));
+  const chain::GenesisSpec genesis = fund_all(keys, 1000);
+  chain::Blockchain victim(cheap_pow_utxo(), genesis);
 
   // Public chain: 3 blocks everyone sees.
   for (int i = 0; i < 3; ++i) {
@@ -101,16 +134,19 @@ TEST(PrivateChain, DeepReorgRevertsConfirmedBlocks) {
   const chain::BlockHash public_tip = victim.tip_hash();
 
   // Attacker mines 5 blocks privately from genesis.
-  for (int i = 0; i < 5; ++i) {
-    chain::Block b = seal_empty_utxo(attacker, keys[1].account_id(),
-                                     attacker.tip_hash());
-    ASSERT_TRUE(attacker.submit(b).ok());
-  }
-  // Release: victim adopts the heavier branch wholesale.
-  for (std::uint32_t h = 1; h <= attacker.height(); ++h)
-    ASSERT_TRUE(victim.submit(*attacker.at_height(h)).ok());
+  core::PrivateChainMiner miner(cheap_pow_utxo(), genesis,
+                                keys[1].account_id());
+  miner.extend(5);
+  EXPECT_EQ(miner.chain().tip_hash(),
+            oracle_private_tip(genesis, keys[1].account_id(), 5));
 
-  EXPECT_EQ(victim.tip_hash(), attacker.tip_hash());
+  // Release: victim adopts the heavier branch wholesale.
+  const auto outcome = miner.release_into(victim);
+  EXPECT_EQ(outcome.accepted, 5u);
+  EXPECT_TRUE(outcome.reorged);
+  EXPECT_EQ(outcome.reorg_depth, 3u);
+
+  EXPECT_EQ(victim.tip_hash(), miner.chain().tip_hash());
   EXPECT_FALSE(victim.on_active_chain(public_tip));
   EXPECT_EQ(victim.fork_stats().max_reorg_depth, 3u);
 }
@@ -119,8 +155,8 @@ TEST(PrivateChain, FinalityStopsTheRelease) {
   // With a Casper-style finalized checkpoint the same release fails
   // (paper §IV-A: "non-reversible checkpoints, guaranteeing inclusion").
   auto keys = make_keys(2);
-  chain::Blockchain victim(cheap_pow_utxo(), fund_all(keys, 1000));
-  chain::Blockchain attacker(cheap_pow_utxo(), fund_all(keys, 1000));
+  const chain::GenesisSpec genesis = fund_all(keys, 1000);
+  chain::Blockchain victim(cheap_pow_utxo(), genesis);
 
   for (int i = 0; i < 3; ++i) {
     chain::Block b =
@@ -129,19 +165,15 @@ TEST(PrivateChain, FinalityStopsTheRelease) {
   }
   ASSERT_TRUE(victim.finalize(victim.at_height(2)->hash()).ok());
 
-  for (int i = 0; i < 5; ++i) {
-    chain::Block b = seal_empty_utxo(attacker, keys[1].account_id(),
-                                     attacker.tip_hash());
-    ASSERT_TRUE(attacker.submit(b).ok());
-  }
+  core::PrivateChainMiner miner(cheap_pow_utxo(), genesis,
+                                keys[1].account_id());
+  miner.extend(5);
+  EXPECT_EQ(miner.chain().tip_hash(),
+            oracle_private_tip(genesis, keys[1].account_id(), 5));
+
   const chain::BlockHash old_tip = victim.tip_hash();
-  bool any_reorg = false;
-  for (std::uint32_t h = 1; h <= attacker.height(); ++h) {
-    auto res = victim.submit(*attacker.at_height(h));
-    if (res.ok() && res->outcome == chain::Accept::kReorged)
-      any_reorg = true;
-  }
-  EXPECT_FALSE(any_reorg);
+  const auto outcome = miner.release_into(victim);
+  EXPECT_FALSE(outcome.reorged);
   EXPECT_EQ(victim.tip_hash(), old_tip);
 }
 

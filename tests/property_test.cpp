@@ -4,6 +4,7 @@
 
 #include <map>
 
+#include "core/adversary.hpp"
 #include "core/chain_cluster.hpp"
 #include "core/lattice_cluster.hpp"
 #include "core/tangle_cluster.hpp"
@@ -428,6 +429,64 @@ TEST_P(TangleGapProperty, OutOfOrderDeliveryHealsAndConverges) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TangleGapProperty,
                          ::testing::Values(5, 55, 555, 5555));
+
+// ---------------------------------------------------------------------------
+// Tangle tip-count stationarity (ISSUE 8 satellite; Feng–King–Duffy): for
+// any seed an honest tangle's tip process is stationary — the windowed
+// variance stays bounded — while genesis-anchored lazy-tip spam breaks
+// one-endedness and the tip count grows without bound.
+
+class TangleStationarityProperty
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TangleStationarityProperty, HonestConvergesSpamDiverges) {
+  auto windowed_variance = [&](double spam_power) {
+    TangleClusterConfig cfg;
+    cfg.node_count = 3;
+    cfg.account_count = 10;
+    cfg.params.work_bits = 2;
+    cfg.seed = GetParam();
+    TangleCluster cluster(cfg);
+
+    AdversaryConfig ac;
+    ac.kind = AdversaryKind::kSpam;
+    ac.power = spam_power;
+    ac.node = 1;
+    ac.start_time = 2.0;
+    ac.interval = 1.0;
+    TangleAdversary adversary(cluster, ac);
+
+    cluster.start();
+    adversary.start();
+
+    Rng wl(GetParam() * 17 + 3);
+    WorkloadConfig w;
+    w.account_count = 10;
+    w.tx_rate = 4.0;
+    w.duration = 16.0;
+    w.max_amount = 100;
+    cluster.schedule_workload(generate_payments(w, wl));
+
+    TipStationarity stat(12);
+    for (int s = 0; s < 16; ++s) {
+      cluster.run_for(1.0);
+      stat.sample(cluster.node(0).tangle().tip_count());
+    }
+    EXPECT_EQ(stat.samples(), 16u);
+    return stat.variance();
+  };
+
+  const double honest = windowed_variance(0.0);
+  const double spam = windowed_variance(0.9);
+  // Honest: the tip count hovers around its small equilibrium. Spam: the
+  // count ramps linearly through the window, so the windowed variance
+  // explodes relative to honest noise.
+  EXPECT_LT(honest, 30.0);
+  EXPECT_GT(spam, 10.0 * honest + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TangleStationarityProperty,
+                         ::testing::Values(2, 22, 222, 2222));
 
 // ---------------------------------------------------------------------------
 // Deterministic replay for the chain clusters (the lattice variant lives

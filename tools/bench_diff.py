@@ -26,8 +26,13 @@ import json
 import math
 import sys
 
-# Substrings marking metrics where an increase is a regression.
+# Substrings marking metrics where an increase is a regression. Safety
+# metrics read the same way: a higher attack flip probability or a more
+# concentrated inclusion Gini is worse. (honest_tip_share stays under the
+# larger-is-better default.)
 SMALLER_IS_BETTER = (
+    "flip_probability",
+    "inclusion_gini",
     "latency",
     "median",
     "p95",

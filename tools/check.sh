@@ -8,6 +8,7 @@
 #   tools/check.sh --tsan         # tier-1 + ThreadSanitizer pass
 #   tools/check.sh --perf         # tier-1 + Release perf gate
 #   tools/check.sh --latency      # tier-1 + lifecycle-latency pipeline gate
+#   tools/check.sh --attacks      # tier-1 + adversarial-suite safety gate
 #
 # Flags combine: `tools/check.sh --determinism --tsan` runs the tier-1
 # suite once, then both extra passes in one invocation. Any extra flag
@@ -30,6 +31,11 @@
 # CDF outputs (must be non-empty), plus a direction check that
 # tools/bench_diff.py treats latency increases AND confirmed-count drops
 # as regressions.
+# --attacks runs bench_adversarial and gates on the measured safety
+# metrics: parasite flip probability monotone nondecreasing and spam
+# honest tip share monotone nonincreasing in attacker power, across >= 3
+# power levels under >= 2 tip-selection strategies, with the attack.*
+# gauges present in the exported metrics section.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -40,6 +46,7 @@ DETERMINISM=0
 TSAN=0
 PERF=0
 LATENCY=0
+ATTACKS=0
 for arg in "$@"; do
   case "$arg" in
     --fast) FAST=1 ;;
@@ -47,8 +54,9 @@ for arg in "$@"; do
     --tsan) FAST=1; TSAN=1 ;;
     --perf) FAST=1; PERF=1 ;;
     --latency) FAST=1; LATENCY=1 ;;
+    --attacks) FAST=1; ATTACKS=1 ;;
     *)
-      echo "usage: tools/check.sh [--fast] [--determinism] [--tsan] [--perf] [--latency]" >&2
+      echo "usage: tools/check.sh [--fast] [--determinism] [--tsan] [--perf] [--latency] [--attacks]" >&2
       exit 2
       ;;
   esac
@@ -70,8 +78,62 @@ run_pass tier-1 build
 
 if [[ "$DETERMINISM" == "1" ]]; then
   cmake --build build -j "$JOBS" --target bench_throughput_chain \
-    bench_throughput_dag bench_throughput_tangle
+    bench_throughput_dag bench_throughput_tangle bench_adversarial
   tools/determinism_gate.sh build
+fi
+
+if [[ "$ATTACKS" == "1" ]]; then
+  echo "=== [attacks] bench_adversarial ==="
+  cmake --build build -j "$JOBS" --target bench_adversarial
+  attdir="$(mktemp -d)"
+  (cd "$attdir" && "$OLDPWD/build/bench/bench_adversarial" > bench_stdout.txt)
+  echo "=== [attacks] safety-metric monotonicity + gauge presence ==="
+  python3 - "$attdir/BENCH_adversarial.json" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+
+def sweeps(rows, metric):
+    by_strategy = {}
+    for row in rows:
+        by_strategy.setdefault(row["strategy"], []).append(
+            (row["power"], row[metric]))
+    return {s: sorted(v) for s, v in by_strategy.items()}
+
+def check(name, rows, metric, decreasing):
+    swept = sweeps(rows, metric)
+    if len(swept) < 2:
+        sys.exit(f"FAIL: {name} swept {len(swept)} strategies, need >= 2")
+    for strategy, points in swept.items():
+        if len(points) < 3:
+            sys.exit(f"FAIL: {name}/{strategy} has {len(points)} power "
+                     "levels, need >= 3")
+        values = [v for _, v in points]
+        ordered = all(b <= a if decreasing else b >= a
+                      for a, b in zip(values, values[1:]))
+        if not ordered:
+            sys.exit(f"FAIL: {name}/{strategy} {metric} not monotone: "
+                     f"{values}")
+        if values[0] == values[-1]:
+            sys.exit(f"FAIL: {name}/{strategy} {metric} is flat: {values}")
+        print(f"{name}/{strategy}: {metric} {values[0]:.3f} -> "
+              f"{values[-1]:.3f} over {len(values)} powers")
+
+check("parasite", report["parasite"], "flip_probability", decreasing=False)
+check("spam", report["spam"], "honest_tip_share", decreasing=True)
+
+gauges = report.get("metrics", {}).get("gauges", {})
+missing = [g for g in ("attack.parasite.flip_probability",
+                       "fairness.inclusion_gini") if g not in gauges]
+if missing:
+    sys.exit(f"FAIL: attack gauges missing from metrics export: {missing}")
+selfish = report["selfish"]
+if not any(row["revenue_share"] > 0 for row in selfish):
+    sys.exit("FAIL: no selfish-mining power level earned revenue")
+print(f"selfish: revenue {selfish[0]['revenue_share']:.3f} -> "
+      f"{selfish[-1]['revenue_share']:.3f} over {len(selfish)} powers")
+EOF
+  rm -rf "$attdir"
+  echo "=== [attacks] OK ==="
 fi
 
 if [[ "$PERF" == "1" ]]; then

@@ -97,8 +97,10 @@ gate_simcore() {
 
 gate bench_throughput_chain
 gate bench_throughput_tangle
+gate bench_adversarial
 gate bench_throughput_chain state
 gate bench_throughput_dag state
 gate bench_throughput_tangle state
+gate bench_adversarial state
 gate_simcore
 echo "=== [determinism] OK ==="
