@@ -30,6 +30,7 @@
 #include "core/table.hpp"
 #include "obs/trace.hpp"
 #include "tangle/tip_selection.hpp"
+#include "storage/config.hpp"
 
 using namespace dlt;
 using namespace dlt::core;
@@ -43,6 +44,7 @@ TangleClusterConfig tangle_config(tangle::TipStrategy strategy,
                                   const std::string& trace_path) {
   TangleClusterConfig cfg;
   apply_env_crypto(cfg.crypto);  // DLT_VERIFY_THREADS (determinism gate)
+  storage::apply_env_storage(cfg.storage);  // DLT_STORAGE (disk legs)
   cfg.obs.trace_capacity = obs::trace_capacity_from_env();
   // DLT_TRACE_SINK streams the reference run write-through (ring optional).
   if (!trace_path.empty()) cfg.obs.trace_sink = obs::trace_sink_from_env();
@@ -150,6 +152,7 @@ SelfishScenario run_selfish(double power) {
   cfg.params.block_interval = 5.0;
   cfg.params.initial_difficulty = 1e6;
   apply_env_crypto(cfg.crypto);
+  storage::apply_env_storage(cfg.storage);
   cfg.obs.trace_capacity = obs::trace_capacity_from_env();
   cfg.node_count = 4;
   cfg.miner_count = 2;

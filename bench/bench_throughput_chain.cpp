@@ -12,6 +12,7 @@
 #include "core/json_report.hpp"
 #include "core/table.hpp"
 #include "obs/trace.hpp"
+#include "storage/config.hpp"
 
 using namespace dlt;
 using namespace dlt::core;
@@ -43,6 +44,7 @@ TpRun run(chain::ChainParams params, double offered_tps, double duration,
   ChainClusterConfig cfg;
   cfg.params = params;
   apply_env_crypto(cfg.crypto);  // DLT_VERIFY_THREADS (determinism gate)
+  storage::apply_env_storage(cfg.storage);  // DLT_STORAGE (disk legs)
   cfg.obs.trace_capacity = obs::trace_capacity_from_env();
   // DLT_TRACE_SINK streams the reference run write-through (ring optional).
   if (!trace_path.empty()) cfg.obs.trace_sink = obs::trace_sink_from_env();
@@ -181,6 +183,7 @@ int main() {
     ChainClusterConfig cfg;
     cfg.params = p;
     apply_env_crypto(cfg.crypto);
+    storage::apply_env_storage(cfg.storage);
     cfg.params.initial_difficulty = static_cast<double>(miners) * 1e6;
     cfg.node_count = std::max<std::size_t>(miners, 2);
     cfg.miner_count = miners;

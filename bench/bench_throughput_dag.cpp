@@ -18,6 +18,7 @@
 #include "core/lattice_cluster.hpp"
 #include "core/table.hpp"
 #include "obs/trace.hpp"
+#include "storage/config.hpp"
 
 using namespace dlt;
 using namespace dlt::core;
@@ -40,6 +41,7 @@ DagRun run(double offered_tps, double bandwidth, int work_bits,
            const std::string& trace_path = {}) {
   LatticeClusterConfig cfg;
   apply_env_crypto(cfg.crypto);  // DLT_VERIFY_THREADS (determinism gate)
+  storage::apply_env_storage(cfg.storage);  // DLT_STORAGE (disk legs)
   cfg.obs.trace_capacity = obs::trace_capacity_from_env();
   // DLT_TRACE_SINK streams the reference run write-through (ring optional).
   if (!trace_path.empty()) cfg.obs.trace_sink = obs::trace_sink_from_env();

@@ -7,10 +7,12 @@
 #include <map>
 #include <unordered_set>
 
+#include "chain/codec.hpp"
 #include "core/partition.hpp"
 #include "obs/profile.hpp"
 #include "support/hex.hpp"
 #include "support/log.hpp"
+#include "support/serialize.hpp"
 
 namespace dlt::chain {
 
@@ -28,6 +30,40 @@ Hash256 outpoint_key(const Outpoint& op) {
   key[2] ^= static_cast<Byte>(op.index >> 16);
   key[3] ^= static_cast<Byte>(op.index >> 24);
   return key;
+}
+
+/// Storage value for a chainstate outpoint entry.
+Bytes encode_txout(const TxOut& out) {
+  Writer w;
+  w.u64(out.value);
+  w.fixed(out.owner);
+  return std::move(w).take();
+}
+
+/// Trie keys come back as nibble sequences; fold them into the AccountId.
+crypto::AccountId nibbles_to_account(const crypto::Nibbles& nibbles) {
+  crypto::AccountId id;
+  for (std::size_t i = 0; i + 1 < nibbles.size() && i / 2 < 32; i += 2)
+    id[i / 2] = static_cast<Byte>((nibbles[i] << 4) | nibbles[i + 1]);
+  return id;
+}
+
+/// Accounts a connected account-model block touches, in deterministic
+/// first-seen order: the proposer (fees + reward), then each tx's sender
+/// and recipient (the derived contract account for creations).
+std::vector<crypto::AccountId> touched_accounts(const Block& block) {
+  std::vector<crypto::AccountId> out;
+  std::unordered_set<crypto::AccountId> seen;
+  const auto add = [&](const crypto::AccountId& id) {
+    if (seen.insert(id).second) out.push_back(id);
+  };
+  add(block.header.proposer);
+  for (const AccountTransaction& tx : block.account_txs()) {
+    add(tx.from);
+    add(tx.is_contract_creation() ? static_cast<crypto::AccountId>(tx.id())
+                                  : tx.to);
+  }
+  return out;
 }
 
 }  // namespace
@@ -368,6 +404,7 @@ Status Blockchain::connect_block(Record& rec) {
                          : connect_account(rec, verdicts);
   if (!st.ok()) return st;
 
+  persist_connect(rec);
   for (const auto& hook : connect_hooks_) hook(block);
   return Status::success();
 }
@@ -627,8 +664,9 @@ void Blockchain::disconnect_tip() {
     assert(rec->undo.txs.size() == txs.size());
     for (std::size_t i = txs.size(); i-- > 0;)
       utxo_.revert_transaction(rec->undo.txs[i]);
-    rec->undo.txs.clear();
     for (const auto& tx : txs) tx_index_.erase(tx.id());
+    persist_disconnect(*rec);  // needs the undo record; clear after
+    rec->undo.txs.clear();
   } else {
     const Record* parent = find_record(block.header.parent);
     assert(parent);
@@ -636,6 +674,7 @@ void Blockchain::disconnect_tip() {
     assert(prev && "reorg past pruned state (increase keep window)");
     state_ = std::move(*prev);
     for (const auto& tx : block.account_txs()) tx_index_.erase(tx.id());
+    persist_disconnect(*rec);
   }
 
   for (const auto& hook : disconnect_hooks_) hook(block);
@@ -732,6 +771,9 @@ Result<AcceptResult> Blockchain::submit(const Block& block) {
   auto [it, inserted] = index_.emplace(hash, std::move(rec));
   assert(inserted);
   Record& stored = it->second;
+  // Persist at admission: side-chain blocks count toward §V storage too,
+  // and a block that later fails connection stays in the index.
+  persist_block(stored);
 
   AcceptResult result;
   if (block.header.parent == tip_hash()) {
@@ -797,12 +839,16 @@ std::uint64_t Blockchain::prune_bodies(std::uint32_t keep_depth) {
   if (height() <= keep_depth) return 0;
   const std::uint32_t cutoff = height() - keep_depth;
   std::uint64_t reclaimed = 0;
+  std::vector<BlockHash> pruned;
   for (auto& [hash, rec] : index_) {
     if (rec.body_pruned) continue;
     if (rec.block.header.height >= cutoff) continue;
     const std::size_t body =
-        rec.block.serialized_size() - rec.block.header.serialized_size();
+        rec.offloaded_body_bytes
+            ? rec.offloaded_body_bytes
+            : rec.block.serialized_size() - rec.block.header.serialized_size();
     reclaimed += body;
+    rec.offloaded_body_bytes = 0;
     // Undo data of deep blocks is discarded with the body.
     for (const auto& undo : rec.undo.txs)
       reclaimed += undo.spent.size() * 76;
@@ -812,8 +858,15 @@ std::uint64_t Blockchain::prune_bodies(std::uint32_t keep_depth) {
     else
       rec.block.txs = AccountTxList{};
     rec.body_pruned = true;
+    pruned.push_back(hash);
   }
   pruned_below_ = std::max(pruned_below_, cutoff);
+  if (store_ && !pruned.empty()) {
+    for (const BlockHash& hash : pruned)
+      store_->log().erase(storage::RecordType::kBody, hash);
+    store_->note_pruned(store_->log().compact());
+    store_->commit();
+  }
   return reclaimed;
 }
 
@@ -824,14 +877,31 @@ std::size_t Blockchain::prune_states(std::uint32_t keep_depth) {
       height() > keep_depth ? height() - keep_depth : 0;
   for (std::uint32_t h = from; h <= height(); ++h)
     keep.push_back(find(active_[h])->header.state_root);
-  return state_db_.prune_except(keep);
+  const std::size_t reclaimed = state_db_.prune_except(keep);
+  if (store_) {
+    // Mirror the state-delta pruning discipline in the log: drop kDelta
+    // records for blocks outside the kept window of the active chain.
+    std::unordered_set<BlockHash> kept;
+    for (std::uint32_t h = from; h <= height(); ++h) kept.insert(active_[h]);
+    bool erased = false;
+    for (const auto& [hash, rec] : index_)
+      if (!kept.count(hash))
+        erased |= store_->log().erase(storage::RecordType::kDelta, hash);
+    if (erased) {
+      store_->note_pruned(store_->log().compact());
+      store_->commit();
+    }
+  }
+  return reclaimed;
 }
 
 Blockchain::StorageBreakdown Blockchain::storage() const {
   StorageBreakdown s;
   for (const auto& [hash, rec] : index_) {
     s.headers += rec.block.header.serialized_size();
-    if (!rec.body_pruned)
+    if (rec.offloaded_body_bytes)
+      s.bodies += rec.offloaded_body_bytes;  // on disk, still part of §V
+    else if (!rec.body_pruned)
       s.bodies += rec.block.serialized_size() -
                   rec.block.header.serialized_size();
     for (const auto& undo : rec.undo.txs)
@@ -849,6 +919,168 @@ Blockchain::StorageBreakdown Blockchain::storage() const {
     s.receipts = txs_on_chain * params_.receipt_bytes_per_tx;
   }
   return s;
+}
+
+void Blockchain::attach_store(std::shared_ptr<storage::LedgerStore> store) {
+  store_ = std::move(store);
+  if (!store_) return;
+  const BlockHash gh = active_.front();
+  const Record& genesis = *find_record(gh);
+  if (!store_->log().contains(storage::RecordType::kHeader, gh)) {
+    persist_block(genesis);
+    if (params_.tx_model == TxModel::kUtxo) {
+      persist_connect(genesis);
+    } else {
+      // Seed the state backend with the genesis allocations. The trie key
+      // is the nibble-expanded AccountId and the leaf value is the encoded
+      // AccountState — exactly what persist_connect writes per block.
+      state_.trie().for_each(
+          [&](const crypto::Nibbles& key, const Bytes& value) {
+            store_->state().put(nibbles_to_account(key), value);
+          });
+    }
+  }
+  store_->commit();
+}
+
+void Blockchain::persist_block(const Record& rec) {
+  if (!store_) return;
+  auto& log = store_->log();
+  // Already logged: a reorg rollback or a replayed submit re-offers blocks
+  // the log holds; re-appending would upsert dead bytes nondeterministically
+  // between clean and recovered runs.
+  if (log.contains(storage::RecordType::kHeader, rec.hash)) return;
+  log.append(storage::RecordType::kHeader, rec.hash,
+             encode_header_record(rec.block.header));
+  log.append(storage::RecordType::kBody, rec.hash,
+             encode_body_record(rec.block));
+  store_->commit();
+}
+
+void Blockchain::persist_connect(const Record& rec) {
+  if (!store_) return;
+  if (rec.block.is_utxo()) {
+    // Replay the block's effect on the chainstate in block order. Created
+    // outputs are read from the transaction itself, not the live set — a
+    // later tx in the same block may already have spent them.
+    const auto& txs = rec.block.utxo_txs();
+    assert(rec.undo.txs.size() == txs.size());
+    for (std::size_t k = 0; k < txs.size(); ++k) {
+      const TxUndo& u = rec.undo.txs[k];
+      for (const auto& [op, out] : u.spent)
+        store_->state().erase(outpoint_key(op));
+      for (const Outpoint& op : u.created)
+        store_->state().put(outpoint_key(op),
+                            encode_txout(txs[k].outputs[op.index]));
+    }
+  } else {
+    // Write the post-block value of every touched account and log the
+    // delta record that makes the write set replayable/prunable.
+    Writer delta;
+    delta.fixed(rec.block.header.state_root);
+    const auto ids = touched_accounts(rec.block);
+    delta.varint(ids.size());
+    for (const crypto::AccountId& id : ids) {
+      delta.fixed(id);
+      if (auto st = state_.get(id)) {
+        const Bytes value = st->encode();
+        delta.u8(1);
+        delta.blob(value);
+        store_->state().put(id, value);
+      } else {
+        delta.u8(0);
+        store_->state().erase(id);
+      }
+    }
+    store_->log().append(storage::RecordType::kDelta, rec.hash,
+                         std::move(delta).take());
+  }
+  store_->commit();
+}
+
+void Blockchain::persist_disconnect(const Record& rec) {
+  if (!store_) return;
+  if (rec.block.is_utxo()) {
+    // Inverse of persist_connect, in reverse tx order: delete what the
+    // block created, restore what it spent.
+    for (std::size_t k = rec.undo.txs.size(); k-- > 0;) {
+      const TxUndo& u = rec.undo.txs[k];
+      for (const Outpoint& op : u.created)
+        store_->state().erase(outpoint_key(op));
+      for (const auto& [op, out] : u.spent)
+        store_->state().put(outpoint_key(op), encode_txout(out));
+    }
+  } else {
+    // state_ has already been restored to the parent version; rewrite the
+    // touched accounts from it. The kDelta record stays in the log, just
+    // as state_db_ keeps the disconnected version (prune_states reclaims
+    // both).
+    for (const crypto::AccountId& id : touched_accounts(rec.block)) {
+      if (auto st = state_.get(id))
+        store_->state().put(id, st->encode());
+      else
+        store_->state().erase(id);
+    }
+  }
+  store_->commit();
+}
+
+std::size_t Blockchain::replay_from_store() {
+  if (!store_) return 0;
+  // Snapshot the header sequence first: submit() appends to the log while
+  // we iterate, and append order is the order blocks were admitted, so a
+  // child is always offered after its parent (no orphan limbo).
+  std::vector<std::pair<Hash256, Bytes>> headers;
+  store_->log().for_each(
+      [&](storage::RecordType type, const Hash256& key, ByteView payload) {
+        if (type == storage::RecordType::kHeader)
+          headers.emplace_back(key, Bytes(payload.begin(), payload.end()));
+      });
+  std::size_t accepted = 0;
+  for (const auto& [hash, raw] : headers) {
+    if (index_.count(hash)) continue;  // genesis, or already replayed
+    const auto body = store_->log().read(storage::RecordType::kBody, hash);
+    if (!body) continue;  // body pruned: header-only history, not replayable
+    auto block = decode_block_records(raw, *body);
+    if (!block) continue;
+    auto res = submit(*block);
+    if (res && res->outcome != Accept::kDuplicate) ++accepted;
+  }
+  return accepted;
+}
+
+Result<Block> Blockchain::read_block(const BlockHash& hash) const {
+  if (!store_) return make_error("no-store");
+  const auto header = store_->log().read(storage::RecordType::kHeader, hash);
+  const auto body = store_->log().read(storage::RecordType::kBody, hash);
+  if (!header || !body) return make_error("not-in-log");
+  return decode_block_records(*header, *body);
+}
+
+std::uint64_t Blockchain::offload_bodies(std::uint32_t keep_depth) {
+  if (!store_ || !store_->disk()) return 0;
+  if (height() <= keep_depth) return 0;
+  const std::uint32_t cutoff = height() - keep_depth;
+  std::uint64_t dropped = 0;
+  for (auto& [hash, rec] : index_) {
+    if (rec.body_pruned || rec.offloaded_body_bytes) continue;
+    if (rec.block.header.height >= cutoff) continue;
+    const std::size_t body =
+        rec.block.serialized_size() - rec.block.header.serialized_size();
+    dropped += body;
+    for (const auto& undo : rec.undo.txs)
+      dropped += undo.spent.size() * 76 + undo.created.size() * 36;
+    rec.undo.txs.clear();
+    if (rec.block.is_utxo())
+      rec.block.txs = UtxoTxList{};
+    else
+      rec.block.txs = AccountTxList{};
+    rec.offloaded_body_bytes = body;
+  }
+  // Reorgs below the cutoff would need the dropped undo data; refuse them
+  // the same way body pruning does.
+  pruned_below_ = std::max(pruned_below_, cutoff);
+  return dropped;
 }
 
 std::string Blockchain::render_tree(std::uint32_t from_height) const {

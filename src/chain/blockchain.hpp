@@ -24,6 +24,7 @@
 #include "crypto/sigcache.hpp"
 #include "obs/metrics.hpp"
 #include "obs/parallel.hpp"
+#include "storage/ledger_store.hpp"
 #include "support/result.hpp"
 #include "support/thread_pool.hpp"
 
@@ -106,6 +107,39 @@ class Blockchain {
   /// Marks a block final: the active chain may never reorg below it.
   Status finalize(const BlockHash& hash);
   std::uint32_t finalized_height() const { return finalized_height_; }
+
+  // ---- Persistent storage (ISSUE 9) --------------------------------------
+  /// Writes the chain through to `store` at its commit points: blocks are
+  /// appended to the log when they enter the index, the chainstate backend
+  /// tracks connects/disconnects, and pruning becomes catalog operations.
+  /// On a fresh store the genesis block and initial chainstate are
+  /// persisted; on a recovered store (LedgerStore opened with
+  /// truncate=false) existing records are left in place — combine with
+  /// replay_from_store(). Works identically in memory and disk mode; all
+  /// storage accounting is mode-independent arithmetic, so attaching a
+  /// store never changes traces or RunMetrics across modes.
+  void attach_store(std::shared_ptr<storage::LedgerStore> store);
+  const storage::LedgerStore* store() const { return store_.get(); }
+
+  /// Recovery: decodes every kHeader/kBody pair from the attached store's
+  /// log in append order and re-submits it. Fork choice re-derives the
+  /// active chain deterministically. Returns blocks accepted (duplicates
+  /// and the genesis record are skipped). Idempotent: replaying into a
+  /// chain that already holds the blocks is a no-op.
+  std::size_t replay_from_store();
+
+  /// Reads a block back from the attached store's log (works for bodies
+  /// offloaded from RAM).
+  Result<Block> read_block(const BlockHash& hash) const;
+
+  /// Disk mode only: drops the in-RAM transaction lists and undo data of
+  /// active-chain blocks deeper than `keep_depth`, keeping their bodies
+  /// readable via read_block(). This is how a ledger grows past RAM: the
+  /// log keeps every byte while the resident index holds headers only.
+  /// Reorgs below the offload point are rejected (as with prune_bodies).
+  /// Returns resident bytes dropped. §V accounting is unchanged — the
+  /// bodies still exist, on disk.
+  std::uint64_t offload_bodies(std::uint32_t keep_depth);
 
   // ---- Pruning (§V-A) ----------------------------------------------------
   /// Bitcoin-style: discards raw bodies deeper than `keep_depth` below the
@@ -210,6 +244,9 @@ class Blockchain {
     double total_work = 0.0;
     bool state_valid = true;   // set false when connect fails
     bool body_pruned = false;
+    /// Body bytes moved out of RAM by offload_bodies (0 = resident). The
+    /// §V size accounting still counts them: they live in the log.
+    std::uint64_t offloaded_body_bytes = 0;
     BlockUndo undo;            // UTXO model: populated while connected
   };
 
@@ -240,6 +277,14 @@ class Blockchain {
                                                 const BlockVerdicts& verdicts);
 
   void disconnect_tip();
+
+  /// Storage write-through (no-ops without an attached store). Block
+  /// records are appended once, when the block enters the index;
+  /// connect/disconnect mirror the chainstate into the state backend on
+  /// the simulation thread at the commit point.
+  void persist_block(const Record& rec);
+  void persist_connect(const Record& rec);
+  void persist_disconnect(const Record& rec);
 
   /// Batch-verifies the block's signatures across the verify pool, staging
   /// successes in the sigcache so the serial validation below is all hits.
@@ -281,6 +326,8 @@ class Blockchain {
   std::vector<std::function<void(const Block&)>> disconnect_hooks_;
   std::function<void(std::uint32_t, std::uint32_t)> reorg_hook_;
   std::function<void(const Block&)> side_chain_hook_;
+
+  std::shared_ptr<storage::LedgerStore> store_;
 
   std::shared_ptr<crypto::SignatureCache> sigcache_;
   std::shared_ptr<support::ThreadPool> verify_pool_;

@@ -43,6 +43,7 @@ ChainNode::ChainNode(net::Network& network, const ChainParams& params,
   chain_.set_parallel_validation(config_.parallel_validation);
   chain_.set_parallel_state(config_.parallel_state);
   chain_.set_metrics(config_.probe.metrics);
+  if (config_.store) chain_.attach_store(config_.store);
 
   if (config_.probe) {
     obs_blocks_mined_ = config_.probe.counter("chain.blocks_mined");

@@ -59,6 +59,9 @@ struct NodeConfig {
   /// tracks locally. Null = emit the historical tx_included/tx_confirmed
   /// trace events directly instead.
   obs::LatencyTracker* lifecycle = nullptr;
+  /// Per-node persistent store (storage/ledger_store.hpp); handed to the
+  /// chain via Blockchain::attach_store. Null = no write-through.
+  std::shared_ptr<storage::LedgerStore> store;
 };
 
 /// Latency metrics a node records about its own submitted transactions.

@@ -53,7 +53,8 @@ tangle::TangleTx TangleAdversary::build_tx(const tangle::TxHash& trunk,
   const double now = cluster_.simulation().now();
   const Hash256 payload = adversary_payload(config_.key_seed, payload_seq_++);
   return tangle::make_tx(cluster_.node(config_.node).tangle(), key_, trunk,
-                         branch, payload, now, rng_, spend_key);
+                         branch, payload, now, rng_, spend_key,
+                         config_.tx_weight);
 }
 
 void TangleAdversary::start() {

@@ -73,6 +73,11 @@ struct AdversaryConfig {
   double stop_time = 0.0;
   /// Spam txs per burst at power 1 (burst = max(1, power * scale)).
   double spam_burst_scale = 12.0;
+  /// Own weight stamped on every adversary transaction (ISSUE 9): the
+  /// large-weight-spam variant sets this above 1 to out-weigh honest
+  /// unit-weight traffic in cumulative-weight tip selection. Values above
+  /// the cluster's TangleParams::max_own_weight are rejected on attach.
+  std::uint64_t tx_weight = 1;
   /// Adversary identity and private RNG stream seed.
   std::uint64_t key_seed = 0xAD5EED01;
   /// walk_confidence samples used by measure().

@@ -79,6 +79,14 @@ void TangleTraits::build_nodes(Engine& e) {
     nc.probe = e.node_probe(i);
     nc.lifecycle = e.lifecycle_tracker();
     nc.lifecycle_observer = (i == 0);
+    // Every node gets a store (memory mode by default) so storage.* gauges
+    // appear in every report and the memory/disk differential stays a pure
+    // config flip (ISSUE 9).
+    nc.store = std::make_shared<storage::LedgerStore>(
+        config.storage, system_name(config) + "-s" +
+                            std::to_string(config.seed) + "/node" +
+                            std::to_string(i));
+    nc.store->attach_probe(e.node_probe(i));
     e.add_node(std::make_unique<tangle::TangleNode>(
         e.network(), config.params, nc, e.rng().fork()));
   }

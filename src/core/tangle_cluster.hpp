@@ -42,6 +42,12 @@ struct TangleClusterConfig {
   /// Observability knobs (metrics registry is always on; tracing opt-in).
   ObsConfig obs{};
 
+  /// Persistence mode for every node's ledger store (ISSUE 9). Memory mode
+  /// (default) keeps the same write-through accounting in RAM; disk mode
+  /// adds the segmented log + mmap state backend. Byte-identical traces
+  /// either way; see storage/config.hpp and apply_env_storage.
+  storage::StorageConfig storage{};
+
   std::uint64_t seed = 42;
 };
 

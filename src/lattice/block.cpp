@@ -57,6 +57,45 @@ Bytes LatticeBlock::serialize() const {
   return std::move(w).take();
 }
 
+Result<LatticeBlock> LatticeBlock::deserialize(ByteView raw) {
+  Reader r(raw);
+  LatticeBlock b;
+  auto type = r.u8();
+  if (!type) return type.error();
+  if (*type > static_cast<std::uint8_t>(BlockType::kChange))
+    return make_error("lattice-record-bad-type");
+  b.type = static_cast<BlockType>(*type);
+  auto account = r.fixed<32>();
+  if (!account) return account.error();
+  b.account = *account;
+  auto previous = r.fixed<32>();
+  if (!previous) return previous.error();
+  b.previous = *previous;
+  auto balance = r.u64();
+  if (!balance) return balance.error();
+  b.balance = *balance;
+  auto link = r.fixed<32>();
+  if (!link) return link.error();
+  b.link = *link;
+  auto rep = r.fixed<32>();
+  if (!rep) return rep.error();
+  b.representative = *rep;
+  auto work = r.u64();
+  if (!work) return work.error();
+  b.work = *work;
+  auto pubkey = r.u64();
+  if (!pubkey) return pubkey.error();
+  b.pubkey = *pubkey;
+  auto sr = r.u64();
+  if (!sr) return sr.error();
+  b.signature.r = *sr;
+  auto ss = r.u64();
+  if (!ss) return ss.error();
+  b.signature.s = *ss;
+  if (!r.done()) return make_error("lattice-record-trailing-bytes");
+  return b;
+}
+
 void LatticeBlock::sign(const crypto::KeyPair& key, Rng& rng) {
   pubkey = key.public_key();
   signature = key.sign(hash().view(), rng);

@@ -20,6 +20,7 @@
 #include "crypto/keys.hpp"
 #include "crypto/sigcache.hpp"
 #include "support/bytes.hpp"
+#include "support/result.hpp"
 
 namespace dlt::lattice {
 
@@ -59,6 +60,9 @@ struct LatticeBlock {
   Bytes work_payload() const;
 
   Bytes serialize() const;
+  /// Inverse of serialize(): the storage codec for the block log. All
+  /// fields are fixed-width integers, so the wire form is lossless.
+  static Result<LatticeBlock> deserialize(ByteView raw);
   std::size_t serialized_size() const { return kSerializedSize; }
   /// Nano state blocks are 216 bytes on the wire; ours model the same
   /// order: 1 + 32*4 + 8 + 8 + 8 + 16 = 169, padded to Nano's figure.

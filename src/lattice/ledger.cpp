@@ -5,8 +5,20 @@
 
 #include "core/partition.hpp"
 #include "obs/profile.hpp"
+#include "support/serialize.hpp"
 
 namespace dlt::lattice {
+
+namespace {
+/// State-backend value for an account frontier: head hash + the balance it
+/// carries (all the state §V-B head-only pruning keeps).
+Bytes encode_frontier(const LatticeBlock& head) {
+  Writer w;
+  w.fixed(head.hash());
+  w.u64(head.balance);
+  return std::move(w).take();
+}
+}  // namespace
 
 Ledger::Ledger(LatticeParams params, const crypto::AccountId& genesis_account,
                const crypto::AccountId& genesis_representative,
@@ -206,6 +218,57 @@ void Ledger::apply_validated(const LatticeBlock& block, const BlockHash& hash) {
     info.chain.push_back(block);
   }
   ++block_count_;
+  persist_apply(block, hash);
+}
+
+void Ledger::persist_apply(const LatticeBlock& block, const BlockHash& hash) {
+  if (!store_) return;
+  store_->log().append(storage::RecordType::kBlock, hash, block.serialize());
+  store_->state().put(block.account, encode_frontier(block));
+  store_->commit();
+}
+
+void Ledger::persist_rollback(const LatticeBlock& block,
+                              const BlockHash& hash) {
+  if (!store_) return;
+  store_->log().erase(storage::RecordType::kBlock, hash);
+  const AccountInfo* info = account(block.account);
+  if (info)
+    store_->state().put(block.account, encode_frontier(info->head()));
+  else
+    store_->state().erase(block.account);
+  store_->commit();
+}
+
+void Ledger::attach_store(std::shared_ptr<storage::LedgerStore> store) {
+  store_ = std::move(store);
+  if (!store_) return;
+  const BlockHash gh = genesis_.hash();
+  if (!store_->log().contains(storage::RecordType::kBlock, gh)) {
+    store_->log().append(storage::RecordType::kBlock, gh,
+                         genesis_.serialize());
+    store_->state().put(genesis_.account, encode_frontier(genesis_));
+  }
+  store_->commit();
+}
+
+std::size_t Ledger::replay_from_store() {
+  if (!store_) return 0;
+  std::vector<Bytes> records;
+  store_->log().for_each(
+      [&](storage::RecordType type, const Hash256& key, ByteView payload) {
+        (void)key;
+        if (type == storage::RecordType::kBlock)
+          records.emplace_back(payload.begin(), payload.end());
+      });
+  std::size_t accepted = 0;
+  for (const Bytes& raw : records) {
+    auto block = LatticeBlock::deserialize(raw);
+    if (!block) continue;
+    if (locations_.count(block->hash())) continue;  // genesis / replayed
+    if (process(*block).ok()) ++accepted;
+  }
+  return accepted;
 }
 
 std::vector<Status> Ledger::process_batch(
@@ -428,10 +491,10 @@ Status Ledger::rollback_one(const BlockHash& hash,
     --block_count_;
     removed.push_back(top);
 
-    if (info.chain.empty()) {
-      accounts_.erase(account_id);
-      break;
-    }
+    const bool account_gone = info.chain.empty();
+    if (account_gone) accounts_.erase(account_id);
+    persist_rollback(top, top_hash);
+    if (account_gone) break;
   }
   return Status::success();
 }
@@ -462,6 +525,7 @@ bool Ledger::is_cemented(const BlockHash& hash) const {
 
 std::uint64_t Ledger::prune_history() {
   std::uint64_t reclaimed = 0;
+  bool erased = false;
   for (auto& [id, info] : accounts_) {
     // Only cemented history may go; always keep the head block, whose
     // balance field carries the whole account state (§V-B).
@@ -473,11 +537,18 @@ std::uint64_t Ledger::prune_history() {
     for (std::uint32_t i = 0; i < drop; ++i) {
       locations_.erase(info.chain[i].hash());
       reclaimed += info.chain[i].serialized_size();
+      if (store_)
+        erased |= store_->log().erase(storage::RecordType::kBlock,
+                                      info.chain[i].hash());
     }
     info.chain.erase(info.chain.begin(), info.chain.begin() + drop);
     info.pruned_below = keep_from;
     block_count_ -= drop;
     pruned_blocks_ += drop;
+  }
+  if (store_ && erased) {
+    store_->note_pruned(store_->log().compact());
+    store_->commit();
   }
   return reclaimed;
 }

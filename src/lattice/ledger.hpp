@@ -13,6 +13,7 @@
 #include "core/validation.hpp"
 #include "lattice/block.hpp"
 #include "obs/parallel.hpp"
+#include "storage/ledger_store.hpp"
 #include "support/result.hpp"
 #include "support/thread_pool.hpp"
 
@@ -159,6 +160,24 @@ class Ledger {
   Status cement(const BlockHash& hash);
   bool is_cemented(const BlockHash& hash) const;
 
+  // ---- Persistent storage (ISSUE 9) ---------------------------------------
+  /// Writes the lattice through to `store`: every applied block is appended
+  /// to the log under RecordType::kBlock, the state backend tracks each
+  /// account's frontier (head hash + balance — the §V-B "accounts keep
+  /// record of account balances" state), rollbacks erase, and
+  /// prune_history() becomes a log-catalog compaction. On a fresh store the
+  /// genesis block is persisted; on a recovered one existing records are
+  /// kept — combine with replay_from_store(). Mode-independent arithmetic:
+  /// attaching a store never changes traces or results across modes.
+  void attach_store(std::shared_ptr<storage::LedgerStore> store);
+  const storage::LedgerStore* store() const { return store_.get(); }
+
+  /// Recovery: decodes every kBlock record in append order and re-offers
+  /// it to process(). Append order is admission order, so predecessors and
+  /// source sends always precede their dependents. Returns blocks
+  /// accepted; duplicates (genesis, already-replayed) are skipped.
+  std::size_t replay_from_store();
+
   // ---- Pruning (§V-B) ------------------------------------------------------
   /// Discards historical blocks, keeping each account's head (and the
   /// balance it carries). Returns bytes reclaimed. "Since the accounts keep
@@ -300,6 +319,9 @@ class Ledger {
   void apply_validated(const LatticeBlock& block, const BlockHash& hash);
   void apply_weight_change(const crypto::AccountId& old_rep, Amount old_bal,
                            const crypto::AccountId& new_rep, Amount new_bal);
+  /// Store write-through at the apply/rollback commit points.
+  void persist_apply(const LatticeBlock& block, const BlockHash& hash);
+  void persist_rollback(const LatticeBlock& block, const BlockHash& hash);
   Status rollback_one(const BlockHash& hash,
                       std::vector<LatticeBlock>& removed);
 
@@ -316,6 +338,7 @@ class Ledger {
   std::unordered_map<crypto::AccountId, Amount> weights_;
   std::uint64_t block_count_ = 0;
   std::uint64_t pruned_blocks_ = 0;
+  std::shared_ptr<storage::LedgerStore> store_;
   std::shared_ptr<crypto::SignatureCache> sigcache_;
   std::shared_ptr<support::ThreadPool> verify_pool_;
   bool parallel_validation_ = false;

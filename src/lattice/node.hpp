@@ -59,6 +59,9 @@ struct LatticeNodeConfig {
   /// groups (Ledger::process_batch). Needs the pool; simulation output is
   /// byte-identical either way for a given seed.
   bool parallel_state = false;
+  /// Per-node persistent store (storage/ledger_store.hpp); handed to the
+  /// ledger via Ledger::attach_store. Null = no write-through.
+  std::shared_ptr<storage::LedgerStore> store;
   /// Observability hookup (cluster-owned registry + tracer). A default
   /// probe is inert; see obs/probe.hpp.
   obs::Probe probe;

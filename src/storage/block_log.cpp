@@ -1,0 +1,371 @@
+#include "storage/block_log.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <filesystem>
+
+#include "storage/crc32.hpp"
+#include "support/log.hpp"
+
+namespace dlt::storage {
+
+namespace {
+
+constexpr std::uint32_t kFrameMagic = 0xD17B10C5u;
+constexpr std::uint64_t kSegmentMagic = 0x44'4C'54'4C'4F'47'30'31ULL;  // DLTLOG01
+constexpr std::uint32_t kSegmentVersion = 1;
+
+void put_u32(Byte* p, std::uint32_t v) {
+  p[0] = static_cast<Byte>(v);
+  p[1] = static_cast<Byte>(v >> 8);
+  p[2] = static_cast<Byte>(v >> 16);
+  p[3] = static_cast<Byte>(v >> 24);
+}
+
+std::uint32_t get_u32(const Byte* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+void put_u64(Byte* p, std::uint64_t v) {
+  put_u32(p, static_cast<std::uint32_t>(v));
+  put_u32(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint64_t get_u64(const Byte* p) {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         (static_cast<std::uint64_t>(get_u32(p + 4)) << 32);
+}
+
+std::uint32_t frame_crc(RecordType type, const Hash256& key,
+                        ByteView payload) {
+  std::uint32_t crc = crc32_init();
+  const Byte t = static_cast<Byte>(type);
+  crc = crc32_update(crc, ByteView{&t, 1});
+  crc = crc32_update(crc, key.view());
+  Byte len[4];
+  put_u32(len, static_cast<std::uint32_t>(payload.size()));
+  crc = crc32_update(crc, ByteView{len, 4});
+  crc = crc32_update(crc, payload);
+  return crc32_final(crc);
+}
+
+}  // namespace
+
+BlockLog::BlockLog(Options options) : options_(std::move(options)) {
+  if (options_.mode == StorageMode::kDisk) {
+    assert(!options_.dir.empty());
+    std::filesystem::create_directories(options_.dir);
+  }
+  if (options_.truncate || options_.mode == StorageMode::kMemory)
+    open_fresh();
+  else
+    recover();
+}
+
+BlockLog::~BlockLog() { close_segments(); }
+
+std::string BlockLog::segment_path(std::uint32_t index) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "seg-%06u.dlog", index);
+  return options_.dir + "/" + name;
+}
+
+void BlockLog::open_fresh() {
+  if (options_.mode == StorageMode::kDisk) remove_segment_files();
+  segments_.clear();
+  catalog_.clear();
+  next_seq_ = 0;
+  physical_bytes_ = 0;
+  live_bytes_ = 0;
+  new_segment();
+}
+
+void BlockLog::remove_segment_files() {
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(options_.dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() == 15 && name.rfind("seg-", 0) == 0 &&
+        name.find(".dlog") == 10)
+      std::filesystem::remove(entry.path(), ec);
+  }
+}
+
+void BlockLog::new_segment() {
+  Segment seg;
+  if (options_.mode == StorageMode::kMemory) {
+    seg.data.resize(kSegmentHeaderBytes);
+    put_u64(seg.data.data(), kSegmentMagic);
+    put_u32(seg.data.data() + 8, kSegmentVersion);
+    put_u32(seg.data.data() + 12, 0);
+  } else {
+    const std::string path =
+        segment_path(static_cast<std::uint32_t>(segments_.size()));
+    seg.file = std::fopen(path.c_str(), "wb+");
+    if (!seg.file) {
+      DLT_LOG_ERROR("storage: cannot create %s", path.c_str());
+      std::abort();
+    }
+    Byte header[kSegmentHeaderBytes];
+    put_u64(header, kSegmentMagic);
+    put_u32(header + 8, kSegmentVersion);
+    put_u32(header + 12, 0);
+    std::fwrite(header, 1, sizeof(header), seg.file);
+  }
+  segments_.push_back(std::move(seg));
+  physical_bytes_ += kSegmentHeaderBytes;
+}
+
+void BlockLog::rotate_if_needed(std::size_t frame_bytes) {
+  // Rotation is pure arithmetic on appended bytes: a frame that would push
+  // a non-header-only segment past segment_bytes starts the next one.
+  // Oversized frames land alone in their own segment.
+  const Segment& cur = segments_.back();
+  if (cur.bytes > kSegmentHeaderBytes &&
+      cur.bytes + frame_bytes > options_.segment_bytes)
+    new_segment();
+}
+
+void BlockLog::append_frame(RecordType type, const Hash256& key,
+                            ByteView payload) {
+  const std::size_t frame_bytes = frame_size(payload.size());
+  rotate_if_needed(frame_bytes);
+  Segment& seg = segments_.back();
+
+  Byte head[kFrameOverhead];
+  put_u32(head, kFrameMagic);
+  head[4] = static_cast<Byte>(type);
+  std::memcpy(head + 5, key.data(), 32);
+  put_u32(head + 37, static_cast<std::uint32_t>(payload.size()));
+  put_u32(head + 41, frame_crc(type, key, payload));
+
+  if (options_.mode == StorageMode::kMemory) {
+    seg.data.insert(seg.data.end(), head, head + sizeof(head));
+    seg.data.insert(seg.data.end(), payload.begin(), payload.end());
+  } else {
+    std::fseek(seg.file, 0, SEEK_END);
+    std::fwrite(head, 1, sizeof(head), seg.file);
+    if (!payload.empty())
+      std::fwrite(payload.data(), 1, payload.size(), seg.file);
+    seg.dirty = true;
+  }
+  seg.bytes += frame_bytes;
+  physical_bytes_ += frame_bytes;
+}
+
+void BlockLog::append(RecordType type, const Hash256& key, ByteView payload) {
+  assert(type != RecordType::kTombstone);
+  const CatalogKey ck{type, key};
+  const std::size_t frame_bytes = frame_size(payload.size());
+
+  // Record where this frame will start *after* any rotation.
+  rotate_if_needed(frame_bytes);
+  const std::uint32_t segment =
+      static_cast<std::uint32_t>(segments_.size() - 1);
+  const std::uint64_t offset = segments_.back().bytes;
+  append_frame(type, key, payload);
+
+  auto [it, inserted] = catalog_.try_emplace(ck);
+  if (!inserted) live_bytes_ -= frame_size(it->second.payload_len);
+  it->second = Entry{segment, offset,
+                     static_cast<std::uint32_t>(payload.size()), next_seq_++};
+  live_bytes_ += frame_bytes;
+}
+
+bool BlockLog::erase(RecordType type, const Hash256& key) {
+  const auto it = catalog_.find(CatalogKey{type, key});
+  if (it == catalog_.end()) return false;
+  live_bytes_ -= frame_size(it->second.payload_len);
+  catalog_.erase(it);
+  const Byte target = static_cast<Byte>(type);
+  append_frame(RecordType::kTombstone, key, ByteView{&target, 1});
+  return true;
+}
+
+bool BlockLog::contains(RecordType type, const Hash256& key) const {
+  return catalog_.count(CatalogKey{type, key}) > 0;
+}
+
+Bytes BlockLog::read_at(const Entry& e) const {
+  const Segment& seg = segments_[e.segment];
+  Bytes out(e.payload_len);
+  const std::uint64_t payload_offset = e.offset + kFrameOverhead;
+  if (options_.mode == StorageMode::kMemory) {
+    std::memcpy(out.data(), seg.data.data() + payload_offset, e.payload_len);
+  } else {
+    std::fseek(seg.file, static_cast<long>(payload_offset), SEEK_SET);
+    const std::size_t got = std::fread(out.data(), 1, e.payload_len, seg.file);
+    assert(got == e.payload_len);
+    (void)got;
+  }
+  return out;
+}
+
+std::optional<Bytes> BlockLog::read(RecordType type, const Hash256& key) const {
+  const auto it = catalog_.find(CatalogKey{type, key});
+  if (it == catalog_.end()) return std::nullopt;
+  return read_at(it->second);
+}
+
+void BlockLog::for_each(const std::function<void(RecordType, const Hash256&,
+                                                 ByteView)>& fn) const {
+  std::vector<const std::pair<const CatalogKey, Entry>*> live;
+  live.reserve(catalog_.size());
+  for (const auto& kv : catalog_) live.push_back(&kv);
+  std::sort(live.begin(), live.end(), [](const auto* a, const auto* b) {
+    return a->second.seq < b->second.seq;
+  });
+  for (const auto* kv : live) {
+    const Bytes payload = read_at(kv->second);
+    fn(kv->first.type, kv->first.key, payload);
+  }
+}
+
+std::uint64_t BlockLog::compact() {
+  const std::uint64_t before = physical_bytes_;
+
+  // Snapshot the live set in append-sequence order (deterministic), then
+  // rebuild fresh segments from it.
+  struct Live {
+    RecordType type;
+    Hash256 key;
+    Bytes payload;
+    std::uint64_t seq;
+  };
+  std::vector<Live> live;
+  live.reserve(catalog_.size());
+  for (const auto& [ck, e] : catalog_)
+    live.push_back(Live{ck.type, ck.key, read_at(e), e.seq});
+  std::sort(live.begin(), live.end(),
+            [](const Live& a, const Live& b) { return a.seq < b.seq; });
+
+  close_segments();
+  open_fresh();
+  for (const Live& rec : live) append(rec.type, rec.key, rec.payload);
+
+  return before - physical_bytes_;
+}
+
+void BlockLog::sync() {
+  if (options_.mode == StorageMode::kMemory) return;
+  for (Segment& seg : segments_) {
+    if (!seg.dirty || !seg.file) continue;
+    std::fflush(seg.file);
+    seg.dirty = false;
+  }
+}
+
+void BlockLog::close_segments() {
+  for (Segment& seg : segments_) {
+    if (seg.file) {
+      std::fclose(seg.file);
+      seg.file = nullptr;
+    }
+  }
+}
+
+void BlockLog::recover() {
+  segments_.clear();
+  catalog_.clear();
+  next_seq_ = 0;
+  physical_bytes_ = 0;
+  live_bytes_ = 0;
+  recovered_records_ = 0;
+  truncated_tail_bytes_ = 0;
+
+  for (std::uint32_t index = 0;; ++index) {
+    const std::string path = segment_path(index);
+    std::FILE* file = std::fopen(path.c_str(), "rb+");
+    if (!file) break;
+
+    std::fseek(file, 0, SEEK_END);
+    const long file_size = std::ftell(file);
+    Bytes data(static_cast<std::size_t>(file_size > 0 ? file_size : 0));
+    std::fseek(file, 0, SEEK_SET);
+    if (!data.empty()) {
+      const std::size_t got = std::fread(data.data(), 1, data.size(), file);
+      data.resize(got);
+    }
+
+    Segment seg;
+    seg.file = file;
+    std::uint64_t used = kSegmentHeaderBytes;
+    bool torn = false;
+    if (data.size() < kSegmentHeaderBytes ||
+        get_u64(data.data()) != kSegmentMagic) {
+      // A segment whose header never made it to disk holds nothing
+      // recoverable; rewrite the header and keep it as the tail.
+      std::fseek(file, 0, SEEK_SET);
+      Byte header[kSegmentHeaderBytes];
+      put_u64(header, kSegmentMagic);
+      put_u32(header + 8, kSegmentVersion);
+      put_u32(header + 12, 0);
+      std::fwrite(header, 1, sizeof(header), file);
+      torn = true;
+    } else {
+      std::uint64_t pos = kSegmentHeaderBytes;
+      while (pos + kFrameOverhead <= data.size()) {
+        const Byte* p = data.data() + pos;
+        if (get_u32(p) != kFrameMagic) {
+          torn = true;
+          break;
+        }
+        const RecordType type = static_cast<RecordType>(p[4]);
+        const Hash256 key = Hash256::from_view(ByteView{p + 5, 32});
+        const std::uint32_t len = get_u32(p + 37);
+        const std::uint32_t crc = get_u32(p + 41);
+        if (pos + kFrameOverhead + len > data.size()) {
+          torn = true;  // partial payload: the append was cut short
+          break;
+        }
+        const ByteView payload{p + kFrameOverhead, len};
+        if (frame_crc(type, key, payload) != crc) {
+          torn = true;  // bit rot or a torn multi-part write
+          break;
+        }
+        if (type == RecordType::kTombstone) {
+          if (len == 1)
+            catalog_.erase(CatalogKey{static_cast<RecordType>(payload[0]),
+                                      key});
+        } else {
+          catalog_[CatalogKey{type, key}] =
+              Entry{index, pos, len, next_seq_++};
+        }
+        pos += kFrameOverhead + len;
+      }
+      used = pos;
+      if (pos < data.size()) torn = true;
+    }
+
+    if (torn) {
+      if (data.size() > used) truncated_tail_bytes_ += data.size() - used;
+      std::fflush(file);
+      // Drop the torn tail so future appends start from a clean frame
+      // boundary.
+      if (data.size() != used) {
+        std::error_code ec;
+        std::filesystem::resize_file(path, used, ec);
+      }
+    }
+    seg.bytes = used;
+    physical_bytes_ += used;
+    segments_.push_back(std::move(seg));
+    if (torn) break;  // anything after a torn segment is unreachable
+  }
+
+  if (segments_.empty()) {
+    open_fresh();
+    return;
+  }
+
+  // Live bytes + seq renumbering: walk the catalog once.
+  for (const auto& [ck, e] : catalog_)
+    live_bytes_ += frame_size(e.payload_len);
+  recovered_records_ = catalog_.size();
+}
+
+}  // namespace dlt::storage

@@ -1,0 +1,164 @@
+// Append-only segmented record log with a ranged catalog.
+//
+// The log is the durable half of every ledger: chain block headers/bodies,
+// account state deltas, lattice blocks and tangle sites are appended as
+// typed, keyed, CRC-protected records. Records are never overwritten in
+// place — an upsert appends a fresh frame (the old one becomes dead
+// weight), an erase appends a tombstone — and `compact()` rewrites the
+// live set to reclaim the difference, which is exactly how the paper's
+// pruning disciplines (§V) are realised on disk.
+//
+// Frame layout (45-byte overhead + payload):
+//   u32 magic | u8 type | 32B key | u32 payload_len | u32 crc | payload
+// with crc = CRC-32 over type || key || payload_len || payload. Segments
+// start with a 16-byte header and rotate once their appended bytes pass
+// `segment_bytes`.
+//
+// Determinism contract: the catalog, rotation points and every byte
+// counter are pure arithmetic over the append sequence, computed
+// identically whether frames land in RAM vectors (kMemory) or in
+// seg-NNNNNN.dlog files (kDisk). Disk I/O happens synchronously on the
+// caller's (sim) thread, so switching modes cannot reorder events.
+//
+// Reopen (`Options::truncate = false`, disk mode) scans the segment files
+// in index order, validates magic + CRC frame by frame, truncates the
+// first torn frame (partial append or corrupted bytes) and everything
+// after it in that segment, and rebuilds the catalog with last-wins upsert
+// and tombstone semantics.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/config.hpp"
+#include "support/bytes.hpp"
+
+namespace dlt::storage {
+
+/// Record namespaces: one catalog key is (type, key), so e.g. a block's
+/// header and body coexist under the same hash.
+enum class RecordType : std::uint8_t {
+  kTombstone = 0,  // payload = [target type u8]; kills (target, key)
+  kHeader = 1,     // chain block header
+  kBody = 2,       // chain block transaction list
+  kDelta = 3,      // account-model per-block state delta
+  kBlock = 4,      // lattice block
+  kSite = 5,       // tangle transaction (site)
+};
+
+class BlockLog {
+ public:
+  struct Options {
+    StorageMode mode = StorageMode::kMemory;
+    std::string dir;  // disk mode: directory holding seg-NNNNNN.dlog
+    std::size_t segment_bytes = 1u << 20;
+    /// true = start from an empty log (removing stale segments on disk);
+    /// false = recover whatever the directory holds.
+    bool truncate = true;
+  };
+
+  static constexpr std::size_t kFrameOverhead = 4 + 1 + 32 + 4 + 4;
+  static constexpr std::size_t kSegmentHeaderBytes = 16;
+
+  explicit BlockLog(Options options);
+  ~BlockLog();
+
+  BlockLog(const BlockLog&) = delete;
+  BlockLog& operator=(const BlockLog&) = delete;
+
+  /// Upsert: appends a frame and points the catalog at it. A previous
+  /// record under (type, key) becomes dead bytes.
+  void append(RecordType type, const Hash256& key, ByteView payload);
+
+  /// Appends a tombstone and drops (type, key) from the catalog. Returns
+  /// false (and appends nothing) when the record does not exist.
+  bool erase(RecordType type, const Hash256& key);
+
+  bool contains(RecordType type, const Hash256& key) const;
+
+  /// Reads a live record's payload back (RAM vector or pread).
+  std::optional<Bytes> read(RecordType type, const Hash256& key) const;
+
+  /// Visits every live record in append-sequence order — the replay order
+  /// for recovery.
+  void for_each(const std::function<void(RecordType, const Hash256&,
+                                         ByteView)>& fn) const;
+
+  /// Rewrites the live set (in append-sequence order) into fresh
+  /// segments, dropping dead frames and tombstones. Returns the physical
+  /// bytes reclaimed.
+  std::uint64_t compact();
+
+  /// fsync every dirty segment (disk mode; no-op in memory mode).
+  void sync();
+
+  // -- accounting (identical arithmetic in both modes) --
+  /// Total bytes the log occupies: segment headers + every appended frame,
+  /// live or dead. In disk mode this equals the summed file sizes.
+  std::uint64_t physical_bytes() const { return physical_bytes_; }
+  std::uint64_t live_bytes() const { return live_bytes_; }
+  std::uint64_t dead_bytes() const { return physical_bytes_ - live_bytes_ -
+                                            kSegmentHeaderBytes *
+                                                segments_.size(); }
+  std::size_t segment_count() const { return segments_.size(); }
+  std::size_t live_records() const { return catalog_.size(); }
+
+  // -- recovery stats (populated by a truncate=false reopen) --
+  std::size_t recovered_records() const { return recovered_records_; }
+  std::uint64_t truncated_tail_bytes() const { return truncated_tail_bytes_; }
+
+  static std::size_t frame_size(std::size_t payload_len) {
+    return kFrameOverhead + payload_len;
+  }
+
+ private:
+  struct CatalogKey {
+    RecordType type;
+    Hash256 key;
+    bool operator==(const CatalogKey&) const = default;
+  };
+  struct CatalogKeyHash {
+    std::size_t operator()(const CatalogKey& k) const noexcept {
+      return std::hash<Hash256>{}(k.key) ^
+             (static_cast<std::size_t>(k.type) * 0x9e3779b97f4a7c15ULL);
+    }
+  };
+  struct Entry {
+    std::uint32_t segment;
+    std::uint64_t offset;  // of the frame within the segment
+    std::uint32_t payload_len;
+    std::uint64_t seq;  // append sequence, for deterministic iteration
+  };
+  struct Segment {
+    std::uint64_t bytes = kSegmentHeaderBytes;  // header + appended frames
+    Bytes data;          // memory mode: the full segment image
+    std::FILE* file = nullptr;  // disk mode
+    bool dirty = false;
+  };
+
+  void open_fresh();
+  void recover();
+  void rotate_if_needed(std::size_t frame_bytes);
+  void new_segment();
+  void append_frame(RecordType type, const Hash256& key, ByteView payload);
+  Bytes read_at(const Entry& e) const;
+  void close_segments();
+  void remove_segment_files();
+  std::string segment_path(std::uint32_t index) const;
+
+  Options options_;
+  std::vector<Segment> segments_;
+  std::unordered_map<CatalogKey, Entry, CatalogKeyHash> catalog_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t physical_bytes_ = 0;
+  std::uint64_t live_bytes_ = 0;
+  std::size_t recovered_records_ = 0;
+  std::uint64_t truncated_tail_bytes_ = 0;
+};
+
+}  // namespace dlt::storage

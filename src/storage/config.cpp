@@ -1,0 +1,42 @@
+#include "storage/config.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "support/log.hpp"
+
+namespace dlt::storage {
+
+const char* to_string(StorageMode mode) {
+  switch (mode) {
+    case StorageMode::kMemory:
+      return "memory";
+    case StorageMode::kDisk:
+      return "disk";
+  }
+  return "?";
+}
+
+void apply_env_storage(StorageConfig& config) {
+  const char* env = std::getenv("DLT_STORAGE");
+  if (!env || *env == '\0') return;
+
+  if (!std::strcmp(env, "memory")) {
+    config.mode = StorageMode::kMemory;
+  } else if (!std::strcmp(env, "disk")) {
+    config.mode = StorageMode::kDisk;
+  } else if (!std::strncmp(env, "disk:", 5) && env[5] != '\0') {
+    config.mode = StorageMode::kDisk;
+    config.path = env + 5;
+  } else {
+    DLT_LOG_WARN("ignoring invalid DLT_STORAGE=%s "
+                 "(want memory|disk|disk:<path>)",
+                 env);
+    return;
+  }
+
+  DLT_LOG_INFO("storage env override: mode=%s path=%s", to_string(config.mode),
+               config.path.empty() ? "dlt-storage" : config.path.c_str());
+}
+
+}  // namespace dlt::storage

@@ -1,0 +1,50 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) for storage-frame integrity.
+//
+// Every record appended to the block log or state arena carries a CRC over
+// its type, key and payload; reopen treats the first mismatch as a torn
+// tail and truncates there. Table-based, no dependencies.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "support/bytes.hpp"
+
+namespace dlt::storage {
+
+namespace detail {
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table =
+    make_crc32_table();
+
+}  // namespace detail
+
+/// Incremental update: feed successive chunks with the running value
+/// (start from crc32_init()), finish with crc32_final().
+inline std::uint32_t crc32_update(std::uint32_t crc, ByteView data) {
+  for (Byte b : data)
+    crc = detail::kCrc32Table[(crc ^ b) & 0xFFu] ^ (crc >> 8);
+  return crc;
+}
+
+inline constexpr std::uint32_t crc32_init() { return 0xFFFFFFFFu; }
+inline constexpr std::uint32_t crc32_final(std::uint32_t crc) {
+  return crc ^ 0xFFFFFFFFu;
+}
+
+inline std::uint32_t crc32(ByteView data) {
+  return crc32_final(crc32_update(crc32_init(), data));
+}
+
+}  // namespace dlt::storage

@@ -1,0 +1,73 @@
+// StateBackend: the key-value store behind each ledger's mutable state
+// (UTXO entries, account snapshots, lattice heads).
+//
+// Two implementations with byte-identical accounting:
+//   MemoryStateBackend — values live in an unordered_map; the arena
+//     arithmetic (frame sizes, append offsets) is still tracked so the
+//     storage gauges match disk mode exactly.
+//   MmapStateBackend — values live in a memory-mapped append-only arena
+//     file (`state.arena`). Appends grow the mapping by doubling
+//     (ftruncate + remap); `sync()` msyncs; the destructor truncates the
+//     file to its used length so on-disk bytes equal physical_bytes().
+//
+// Arena frame layout mirrors the block log (45-byte overhead + payload):
+//   u32 magic | u8 flags | 32B key | u32 len | u32 crc | payload
+// flags: 0 = put, 1 = erase marker. Upserts append (the old frame becomes
+// dead weight); `compact()` rewrites live entries in insertion-sequence
+// order. Reopen scans frames, truncates the first torn one, and rebuilds
+// the last-wins index.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "storage/config.hpp"
+#include "support/bytes.hpp"
+
+namespace dlt::storage {
+
+class StateBackend {
+ public:
+  static constexpr std::size_t kFrameOverhead = 4 + 1 + 32 + 4 + 4;
+  static constexpr std::size_t kArenaHeaderBytes = 16;
+
+  virtual ~StateBackend() = default;
+
+  virtual void put(const Hash256& key, ByteView value) = 0;
+  /// Appends an erase marker; returns false (appending nothing) when the
+  /// key is absent.
+  virtual bool erase(const Hash256& key) = 0;
+  virtual std::optional<Bytes> get(const Hash256& key) const = 0;
+  virtual bool contains(const Hash256& key) const = 0;
+  /// Visits live entries in insertion-sequence order (deterministic).
+  virtual void for_each(
+      const std::function<void(const Hash256&, ByteView)>& fn) const = 0;
+
+  virtual std::size_t entry_count() const = 0;
+  virtual std::uint64_t live_bytes() const = 0;
+  /// Header + every appended frame, live or dead — equals the arena
+  /// file's used length in disk mode.
+  virtual std::uint64_t physical_bytes() const = 0;
+  /// Rewrites the live set; returns reclaimed physical bytes.
+  virtual std::uint64_t compact() = 0;
+  virtual void sync() = 0;
+  virtual const char* kind() const = 0;
+
+  /// Entries recovered by a truncate=false reopen (0 for memory mode).
+  virtual std::size_t recovered_entries() const { return 0; }
+
+  static std::size_t frame_size(std::size_t payload_len) {
+    return kFrameOverhead + payload_len;
+  }
+};
+
+/// `dir` is the instance directory for disk mode (ignored for memory).
+std::unique_ptr<StateBackend> make_state_backend(const StorageConfig& config,
+                                                 const std::string& dir,
+                                                 bool truncate);
+
+}  // namespace dlt::storage

@@ -38,6 +38,9 @@ struct TangleNodeConfig {
   /// (Tangle::attach_batch). Needs the pool; outcomes are byte-identical
   /// either way for a given seed.
   bool parallel_state = false;
+  /// Per-node persistent store (storage/ledger_store.hpp); handed to the
+  /// tangle via Tangle::attach_store. Null = no write-through.
+  std::shared_ptr<storage::LedgerStore> store;
   /// Observability hookup (cluster-owned registry + tracer). A default
   /// probe is inert; see obs/probe.hpp.
   obs::Probe probe;

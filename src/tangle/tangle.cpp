@@ -1,6 +1,7 @@
 #include "tangle/tangle.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <deque>
 
@@ -106,8 +107,67 @@ TxHash TangleTx::hash() const {
   w.fixed(payload);
   w.fixed(spend_key);
   w.u64(static_cast<std::uint64_t>(timestamp * 1e6));
+  w.u64(own_weight);
   return crypto::tagged_hash("dlt/tangle-tx",
                              ByteView{w.bytes().data(), w.size()});
+}
+
+Bytes TangleTx::serialize() const {
+  Writer w;
+  w.fixed(issuer);
+  w.fixed(trunk);
+  w.fixed(branch);
+  w.fixed(payload);
+  w.fixed(spend_key);
+  // The hash grid truncates to microseconds; storage keeps the exact bits
+  // so replayed trace timestamps match the original run.
+  w.u64(std::bit_cast<std::uint64_t>(timestamp));
+  w.u64(own_weight);
+  w.u64(work);
+  w.u64(pubkey);
+  w.u64(signature.r);
+  w.u64(signature.s);
+  return std::move(w).take();
+}
+
+Result<TangleTx> TangleTx::deserialize(ByteView raw) {
+  Reader r(raw);
+  TangleTx tx;
+  auto issuer = r.fixed<32>();
+  if (!issuer) return issuer.error();
+  tx.issuer = *issuer;
+  auto trunk = r.fixed<32>();
+  if (!trunk) return trunk.error();
+  tx.trunk = *trunk;
+  auto branch = r.fixed<32>();
+  if (!branch) return branch.error();
+  tx.branch = *branch;
+  auto payload = r.fixed<32>();
+  if (!payload) return payload.error();
+  tx.payload = *payload;
+  auto spend_key = r.fixed<32>();
+  if (!spend_key) return spend_key.error();
+  tx.spend_key = *spend_key;
+  auto ts = r.u64();
+  if (!ts) return ts.error();
+  tx.timestamp = std::bit_cast<double>(*ts);
+  auto weight = r.u64();
+  if (!weight) return weight.error();
+  tx.own_weight = *weight;
+  auto work = r.u64();
+  if (!work) return work.error();
+  tx.work = *work;
+  auto pubkey = r.u64();
+  if (!pubkey) return pubkey.error();
+  tx.pubkey = *pubkey;
+  auto sr = r.u64();
+  if (!sr) return sr.error();
+  tx.signature.r = *sr;
+  auto ss = r.u64();
+  if (!ss) return ss.error();
+  tx.signature.s = *ss;
+  if (!r.done()) return make_error("site-record-trailing-bytes");
+  return tx;
 }
 
 Bytes TangleTx::work_payload() const {
@@ -229,10 +289,19 @@ Status Tangle::check_stateless(const TangleTx& tx,
         verdict ? verdict->work_ok : tx.verify_work(params_.work_bits);
     if (!work_ok) return make_error("insufficient-work");
   }
+  // Weight policy: a declared weight of zero would make the transaction
+  // invisible to the walk; one above the cap is the large-weight-spam
+  // vector (an attacker buying cumulative weight per unit of hashcash).
+  if (tx.own_weight == 0 || tx.own_weight > params_.max_own_weight)
+    return make_error("bad-weight",
+                      "own weight outside [1, max_own_weight]");
   return Status::success();
 }
 
 void Tangle::apply_attached(const TangleTx& tx, const TxHash& hash) {
+  const bool trunk_was_tip = tips_.count(tx.trunk) != 0;
+  const bool branch_was_tip =
+      tx.branch != tx.trunk && tips_.count(tx.branch) != 0;
   txs_.emplace(hash, tx);
   approvers_[tx.trunk].push_back(hash);
   if (tx.branch != tx.trunk) approvers_[tx.branch].push_back(hash);
@@ -241,6 +310,13 @@ void Tangle::apply_attached(const TangleTx& tx, const TxHash& hash) {
   tips_.erase(tx.branch);
   tips_.insert(hash);
   if (!tx.spend_key.is_zero()) spends_[tx.spend_key].push_back(hash);
+  if (store_) {
+    store_->log().append(storage::RecordType::kSite, hash, tx.serialize());
+    if (trunk_was_tip) store_->state().erase(tx.trunk);
+    if (branch_was_tip) store_->state().erase(tx.branch);
+    store_->state().put(hash, {});
+    store_->commit();
+  }
 }
 
 Status Tangle::attach_one(const TangleTx& tx, const TxHash& hash,
@@ -354,20 +430,67 @@ std::vector<TxHash> Tangle::tips() const {
   return std::vector<TxHash>(tips_.begin(), tips_.end());
 }
 
+void Tangle::attach_store(std::shared_ptr<storage::LedgerStore> store) {
+  store_ = std::move(store);
+  if (!store_) return;
+  if (!store_->log().contains(storage::RecordType::kSite, genesis_hash_)) {
+    store_->log().append(storage::RecordType::kSite, genesis_hash_,
+                         txs_.at(genesis_hash_).serialize());
+    store_->state().put(genesis_hash_, {});
+  }
+  store_->commit();
+}
+
+std::size_t Tangle::replay_from_store() {
+  if (!store_) return 0;
+  std::vector<Bytes> records;
+  store_->log().for_each(
+      [&](storage::RecordType type, const Hash256& key, ByteView payload) {
+        (void)key;
+        if (type == storage::RecordType::kSite)
+          records.emplace_back(payload.begin(), payload.end());
+      });
+  std::size_t accepted = 0;
+  for (const Bytes& raw : records) {
+    auto tx = TangleTx::deserialize(raw);
+    if (!tx) continue;
+    if (txs_.count(tx->hash())) continue;  // genesis / already replayed
+    if (attach(*tx).ok()) ++accepted;
+  }
+  return accepted;
+}
+
+std::uint64_t Tangle::prune_history() {
+  if (!store_) return 0;
+  bool erased = false;
+  for (const auto& [hash, tx] : txs_) {
+    if (hash == genesis_hash_ || tips_.count(hash)) continue;
+    erased |= store_->log().erase(storage::RecordType::kSite, hash);
+  }
+  if (!erased) return 0;
+  const std::uint64_t reclaimed = store_->log().compact();
+  store_->note_pruned(reclaimed);
+  store_->commit();
+  return reclaimed;
+}
+
 std::size_t Tangle::cumulative_weight(const TxHash& hash) const {
   if (!contains(hash)) return 0;
-  // Future cone size: BFS over approvers.
+  // Future-cone BFS over approvers, summing declared own weights (the
+  // genesis carries the default weight of 1, as does every vanilla tx).
   std::unordered_set<TxHash> seen;
   std::deque<TxHash> frontier{hash};
+  std::size_t weight = 0;
   while (!frontier.empty()) {
     const TxHash cur = frontier.front();
     frontier.pop_front();
     if (!seen.insert(cur).second) continue;
+    weight += static_cast<std::size_t>(txs_.at(cur).own_weight);
     auto it = approvers_.find(cur);
     if (it == approvers_.end()) continue;
     for (const TxHash& child : it->second) frontier.push_back(child);
   }
-  return seen.size();
+  return weight;
 }
 
 double Tangle::confirmation_confidence(const TxHash& hash) const {
@@ -482,13 +605,14 @@ TxHash Tangle::select_tip_with(TipStrategy strategy, Rng& rng,
 TangleTx make_tx(const Tangle& tangle, const crypto::KeyPair& issuer,
                  const TxHash& trunk, const TxHash& branch,
                  const Hash256& payload, double timestamp, Rng& rng,
-                 const Hash256& spend_key) {
+                 const Hash256& spend_key, std::uint64_t own_weight) {
   TangleTx tx;
   tx.trunk = trunk;
   tx.branch = branch;
   tx.payload = payload;
   tx.spend_key = spend_key;
   tx.timestamp = timestamp;
+  tx.own_weight = own_weight;
   tx.solve_work(tangle.params().work_bits);
   tx.sign(issuer, rng);
   return tx;

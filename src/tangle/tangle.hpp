@@ -28,6 +28,7 @@
 #include "crypto/keys.hpp"
 #include "obs/parallel.hpp"
 #include "obs/probe.hpp"
+#include "storage/ledger_store.hpp"
 #include "support/result.hpp"
 #include "support/rng.hpp"
 #include "support/thread_pool.hpp"
@@ -44,6 +45,11 @@ struct TangleTx {
   /// Two transactions with the same (nonzero) spend key conflict.
   Hash256 spend_key;
   double timestamp = 0.0;
+  /// Issuer-declared weight this transaction contributes to every cone it
+  /// joins (the whitepaper's "own weight"; 1 in vanilla IOTA). Hashed, so
+  /// it cannot be reweighted after signing; capped by
+  /// TangleParams::max_own_weight at attach (large-weight spam defence).
+  std::uint64_t own_weight = 1;
   std::uint64_t work = 0;
   std::uint64_t pubkey = 0;
   crypto::Signature signature{};
@@ -55,7 +61,12 @@ struct TangleTx {
   void sign(const crypto::KeyPair& key, Rng& rng);
   bool verify_signature() const;
 
-  static constexpr std::size_t kSerializedSize = 32 * 5 + 8 * 4;
+  /// Lossless storage codec (RecordType::kSite): the canonical fields with
+  /// the timestamp double bit-cast, plus work/pubkey/signature.
+  Bytes serialize() const;
+  static Result<TangleTx> deserialize(ByteView raw);
+
+  static constexpr std::size_t kSerializedSize = 32 * 5 + 8 * 5;
 };
 
 /// Tip-selection strategy (ISSUE 8). The whitepaper's MCMC walk is the
@@ -78,6 +89,10 @@ struct TangleParams {
   double alpha = 0.05;
   /// Strategy select_tip() / walk_confidence() dispatch to.
   TipStrategy tip_selection = TipStrategy::kMcmc;
+  /// Upper bound on TangleTx::own_weight a node accepts ("bad-weight"
+  /// otherwise). 1 = vanilla IOTA; raising it admits weighted transactions
+  /// and with them the large-weight-spam adversary (ISSUE 9 satellite).
+  std::uint64_t max_own_weight = 1;
 };
 
 class Tangle {
@@ -111,8 +126,10 @@ class Tangle {
   std::vector<TxHash> tips() const;
   std::size_t tip_count() const { return tips_.size(); }
 
-  /// 1 + number of distinct transactions referencing `hash` (directly or
-  /// transitively) -- the whitepaper's cumulative weight.
+  /// Sum of own weights over `hash`'s future cone (itself plus every
+  /// transaction referencing it, directly or transitively) -- the
+  /// whitepaper's cumulative weight. With unit own weights this is the
+  /// classic "1 + number of approvers".
   std::size_t cumulative_weight(const TxHash& hash) const;
 
   /// Fraction of current tips whose past cone contains `hash`; the
@@ -153,6 +170,27 @@ class Tangle {
   std::uint64_t stored_bytes() const {
     return txs_.size() * TangleTx::kSerializedSize;
   }
+
+  // ---- Persistent storage (ISSUE 9) ---------------------------------------
+  /// Writes the tangle through to `store`: every attached transaction is
+  /// appended to the log under RecordType::kSite and the state backend
+  /// mirrors the current tip set (the head-only state §V-B keeps). On a
+  /// fresh store the genesis site is persisted; on a recovered one
+  /// existing records are kept — combine with replay_from_store().
+  void attach_store(std::shared_ptr<storage::LedgerStore> store);
+  const storage::LedgerStore* store() const { return store_.get(); }
+
+  /// Recovery: decodes every kSite record in append order and re-offers it
+  /// to attach(). Append order is admission order, so parents always
+  /// precede children. Returns transactions accepted.
+  std::size_t replay_from_store();
+
+  /// §V-B head-only pruning as a log-catalog operation: erases the kSite
+  /// records of every interior (non-tip, non-genesis) transaction and
+  /// compacts the log. The in-RAM DAG is untouched — cone checks still
+  /// work — so this is purely a storage discipline. Returns the physical
+  /// bytes reclaimed by compaction.
+  std::uint64_t prune_history();
 
   /// Observability: tangle.attached / tangle.rejected counters plus a
   /// tip_attached trace per accepted transaction. Trace timestamps use
@@ -213,6 +251,7 @@ class Tangle {
 
   obs::Probe probe_;
   std::uint32_t trace_node_ = 0;
+  std::shared_ptr<storage::LedgerStore> store_;
   obs::Counter* obs_attached_ = nullptr;
   obs::Counter* obs_rejected_ = nullptr;
 
@@ -224,10 +263,12 @@ class Tangle {
 };
 
 /// Convenience issuer: builds, works and signs a transaction approving
-/// the two selected tips.
+/// the two selected tips. `own_weight` above the tangle's max_own_weight
+/// yields a transaction attach() rejects — the spam variant.
 TangleTx make_tx(const Tangle& tangle, const crypto::KeyPair& issuer,
                  const TxHash& trunk, const TxHash& branch,
                  const Hash256& payload, double timestamp, Rng& rng,
-                 const Hash256& spend_key = {});
+                 const Hash256& spend_key = {},
+                 std::uint64_t own_weight = 1);
 
 }  // namespace dlt::tangle

@@ -52,6 +52,13 @@ SMALLER_IS_BETTER = (
     "rounds_to_drain",
 )
 
+# Full-path exceptions to the "bytes" rule above: the storage layer's
+# pruned_bytes gauge counts bytes *reclaimed* by pruning, so growth there
+# is the pruning discipline working harder, not the ledger bloating.
+# (storage.log_bytes / storage.state_bytes stay smaller-is-better: a
+# larger log or arena is a real on-disk regression.)
+LARGER_IS_BETTER = ("storage.pruned_bytes",)
+
 # Wall-clock metrics: noisy, excluded from the regression gate by default.
 PROFILE_MARKERS = ("profile.", "wall_seconds", "events_per_sec", "_ns", "_us")
 
@@ -80,6 +87,8 @@ def smaller_is_better(path):
     # confirmed transactions inside latency.submit_to_confirm.count is a
     # regression even though the enclosing path says "latency".
     if leaf == "count":
+        return False
+    if any(marker in path for marker in LARGER_IS_BETTER):
         return False
     return any(marker in leaf or marker in path for marker in SMALLER_IS_BETTER)
 

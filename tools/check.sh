@@ -9,6 +9,7 @@
 #   tools/check.sh --perf         # tier-1 + Release perf gate
 #   tools/check.sh --latency      # tier-1 + lifecycle-latency pipeline gate
 #   tools/check.sh --attacks      # tier-1 + adversarial-suite safety gate
+#   tools/check.sh --storage      # tier-1 + §V on-disk ledger-size gate
 #
 # Flags combine: `tools/check.sh --determinism --tsan` runs the tier-1
 # suite once, then both extra passes in one invocation. Any extra flag
@@ -36,6 +37,13 @@
 # honest tip share monotone nonincreasing in attacker power, across >= 3
 # power levels under >= 2 tip-selection strategies, with the attack.*
 # gauges present in the exported metrics section.
+# --storage runs bench_ledger_size (E19) in both DLT_STORAGE modes and
+# gates on: the bench's own exit status (every §V-A pruning discipline
+# shrinks its log, the on-disk bytes match the storage.* gauges, and the
+# overbudget ledger outgrows its RAM budget), memory-vs-disk equality of
+# the exported report (the storage determinism contract), and the §V
+# size ordering on real bytes: UTXO archival > account state-pruned >
+# lattice head-only.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -47,6 +55,7 @@ TSAN=0
 PERF=0
 LATENCY=0
 ATTACKS=0
+STORAGE=0
 for arg in "$@"; do
   case "$arg" in
     --fast) FAST=1 ;;
@@ -55,8 +64,9 @@ for arg in "$@"; do
     --perf) FAST=1; PERF=1 ;;
     --latency) FAST=1; LATENCY=1 ;;
     --attacks) FAST=1; ATTACKS=1 ;;
+    --storage) FAST=1; STORAGE=1 ;;
     *)
-      echo "usage: tools/check.sh [--fast] [--determinism] [--tsan] [--perf] [--latency] [--attacks]" >&2
+      echo "usage: tools/check.sh [--fast] [--determinism] [--tsan] [--perf] [--latency] [--attacks] [--storage]" >&2
       exit 2
       ;;
   esac
@@ -134,6 +144,54 @@ print(f"selfish: revenue {selfish[0]['revenue_share']:.3f} -> "
 EOF
   rm -rf "$attdir"
   echo "=== [attacks] OK ==="
+fi
+
+if [[ "$STORAGE" == "1" ]]; then
+  echo "=== [storage] bench_ledger_size (E19) in both DLT_STORAGE modes ==="
+  cmake --build build -j "$JOBS" --target bench_ledger_size
+  stodir="$(mktemp -d)"
+  for mode in memory disk; do
+    mkdir -p "$stodir/$mode"
+    echo "=== [storage] DLT_STORAGE=$mode ==="
+    (cd "$stodir/$mode" &&
+     env DLT_STORAGE="$mode" "$OLDPWD/build/bench/bench_ledger_size" \
+       > bench_stdout.txt) || {
+      echo "FAIL: bench_ledger_size ($mode mode) gates failed" >&2
+      tail -n 40 "$stodir/$mode/bench_stdout.txt" >&2
+      exit 1
+    }
+  done
+  echo "=== [storage] memory-vs-disk report equality (determinism contract) ==="
+  python3 tools/bench_diff.py --exact --quiet \
+    --ignore metrics.gauges.storage.segments \
+    "$stodir/memory/BENCH_ledger_size.json" \
+    "$stodir/disk/BENCH_ledger_size.json"
+  echo "=== [storage] §V ordering on real bytes ==="
+  python3 - "$stodir/disk/BENCH_ledger_size.json" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+order = report["ordering"]
+utxo, account, lattice = (order["utxo_full_log"],
+                          order["account_pruned_log"],
+                          order["lattice_pruned_log"])
+if not (utxo > account > lattice):
+    sys.exit(f"FAIL: §V ordering violated: UTXO {utxo} B, "
+             f"account {account} B, lattice {lattice} B")
+print(f"UTXO archival {utxo} B > account state-pruned {account} B "
+      f"> lattice head-only {lattice} B")
+for row in report["systems"]:
+    s = row["storage"]
+    if s["log_bytes_pruned"] >= s["log_bytes_full"]:
+        sys.exit(f"FAIL: {row['system']} pruning did not shrink the log")
+    print(f"{row['system']}: log {s['log_bytes_full']} -> "
+          f"{s['log_bytes_pruned']} B, reclaimed {s['pruned_bytes']} B")
+ob = report["overbudget"]
+if not ob["exceeds_budget"]:
+    sys.exit("FAIL: overbudget ledger did not outgrow its RAM budget")
+print(f"overbudget: log {ob['log_bytes']} B > budget {ob['budget_bytes']} B")
+EOF
+  rm -rf "$stodir"
+  echo "=== [storage] OK ==="
 fi
 
 if [[ "$PERF" == "1" ]]; then

@@ -11,6 +11,9 @@
 #   state      — DLT_PARALLEL_STATE=1 on top (conflict-group sharding of
 #                stateful application, ISSUE 5), on all three throughput
 #                benches: chain (block), dag (lattice), tangle.
+#   storage    — DLT_STORAGE=memory vs disk (pluggable persistence,
+#                ISSUE 9): flipping the storage mode must leave metrics
+#                and traces byte-identical.
 #
 #   tools/determinism_gate.sh [build-dir]   # default: build
 #
@@ -71,6 +74,51 @@ gate() {
   echo "traces byte-identical"
 }
 
+# gate_storage <bench-name>: run the same bench with the storage layer in
+# memory and in disk mode (DLT_STORAGE, ISSUE 9) and demand identical
+# metrics and byte-identical traces — the storage determinism contract:
+# flipping the persistence mode may never shift a trace or a metric.
+# Absolute storage paths never appear in the reports (string leaves are
+# not compared by bench_diff). Segment counts are mode-independent by
+# construction, but are exempted so a future segment-size tweak can't
+# mask a real memory/disk divergence behind rotation arithmetic.
+gate_storage() {
+  local bench="$1"
+  local bin="$BUILD/bench/$bench"
+
+  if [[ ! -x "$bin" ]]; then
+    echo "determinism gate: $bin not built (build the bench targets first)" >&2
+    exit 2
+  fi
+
+  local -a ignore=(--ignore metrics.gauges.parallel.validate.workers
+                   --ignore metrics.gauges.storage.segments)
+
+  local work
+  work="$(mktemp -d)"
+  # shellcheck disable=SC2064
+  trap "rm -rf '$work'" RETURN
+
+  for mode in memory disk; do
+    local dir="$work/$mode"
+    mkdir -p "$dir"
+    echo "=== [determinism/storage] $bench @ DLT_STORAGE=$mode ==="
+    (cd "$dir" &&
+     env DLT_STORAGE="$mode" DLT_VERIFY_THREADS=2 DLT_TRACE=1 \
+       "$bin" >/dev/null)
+  done
+
+  echo "=== [determinism/storage] $bench metrics: exact diff (segment counts exempt) ==="
+  python3 "$DIFF" --exact --quiet "${ignore[@]}" \
+    "$work/memory/BENCH_${bench#bench_}.json" \
+    "$work/disk/BENCH_${bench#bench_}.json"
+
+  echo "=== [determinism/storage] $bench trace: byte compare ==="
+  cmp "$work/memory/TRACE_${bench#bench_}.jsonl" \
+      "$work/disk/TRACE_${bench#bench_}.jsonl"
+  echo "traces byte-identical across storage modes"
+}
+
 # gate_simcore: the scheduler microbench embeds a fire-order differential
 # against the legacy engine (exits nonzero on divergence) and writes its
 # checksums into BENCH_simcore.json `deterministic`; two runs must agree
@@ -102,5 +150,7 @@ gate bench_throughput_chain state
 gate bench_throughput_dag state
 gate bench_throughput_tangle state
 gate bench_adversarial state
+gate_storage bench_throughput_chain
+gate_storage bench_throughput_tangle
 gate_simcore
 echo "=== [determinism] OK ==="
