@@ -4,9 +4,20 @@
 // network and around 22,473 pending in the Ethereum network" -- the pending
 // backlog is the visible symptom of the throughput cap, and the throughput
 // benches report exactly this queue depth over time.
+// Admission control (ISSUE 10): both pools optionally run a byte-capacity
+// fee market. With set_capacity(bytes), an add() that would overflow the
+// cap evicts the lowest-fee-rate entries (newest among ties — the
+// canonical tiebreak shared with core::AdmissionQueue) but only when the
+// incoming fee rate is STRICTLY higher than every victim's; otherwise the
+// add fails with code "mempool-full" (backpressure). Replacement
+// (RBF / same-nonce) is opt-in via set_replace_by_fee so legacy
+// conflict semantics stay intact by default. Evictions and replacements
+// fire the evict handler so the cluster can retire lifecycle entries and
+// keep admission.* counters reconciling.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <unordered_map>
@@ -51,6 +62,20 @@ class UtxoMempool {
   std::size_t size() const { return pool_.size(); }
   std::uint64_t pending_bytes() const { return pending_bytes_; }
 
+  /// Byte-capacity fee market (0 = unlimited, the historical behaviour).
+  void set_capacity(std::uint64_t bytes) { capacity_ = bytes; }
+  std::uint64_t capacity() const { return capacity_; }
+  /// Opt-in replace-by-fee: a conflicting tx whose fee rate strictly
+  /// exceeds EVERY pooled conflict's replaces them (conflicts and their
+  /// pooled descendants are evicted). Off by default: conflicts reject
+  /// with "mempool-conflict".
+  void set_replace_by_fee(bool on) { replace_by_fee_ = on; }
+  /// Called once per transaction displaced by the fee market (capacity
+  /// eviction, replacement cascade, or a capacity-refused reinject) —
+  /// NOT for inclusion-driven removals.
+  using EvictHandler = std::function<void(const UtxoTransaction&)>;
+  void set_evict_handler(EvictHandler fn) { evict_handler_ = std::move(fn); }
+
  private:
   struct Entry {
     UtxoTransaction tx;
@@ -74,6 +99,15 @@ class UtxoMempool {
   };
 
   void drop_entry(std::unordered_map<TxId, Entry>::iterator it);
+  /// Fee-market removal: drops `id` and (recursively) any pooled
+  /// descendants spending its outputs — children first, in output-index
+  /// order — firing the evict handler per dropped tx.
+  void evict_tx(const TxId& id);
+  /// Plans the eviction closure of `id`: marks it and its pooled
+  /// descendants in `planned`, returning the bytes they occupy. Pure —
+  /// lets add() verify a capacity plan frees enough before evicting.
+  std::uint64_t plan_closure(const TxId& id,
+                             std::unordered_set<TxId>& planned) const;
 
   std::unordered_map<TxId, Entry> pool_;
   std::unordered_map<Outpoint, TxId> claimed_;  // input -> claiming tx
@@ -82,6 +116,9 @@ class UtxoMempool {
   std::map<SelKey, const Entry*, SelOrder> by_rate_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t pending_bytes_ = 0;
+  std::uint64_t capacity_ = 0;  // 0 = unlimited
+  bool replace_by_fee_ = false;
+  EvictHandler evict_handler_;
 };
 
 /// Ethereum-style mempool: per-sender nonce ordering, gas-price priority.
@@ -108,14 +145,45 @@ class AccountMempool {
   void revalidate(const WorldState& state);
 
   bool contains(const Hash256& id) const;
+  /// True when `sender` has a pooled transaction at `nonce` (evict
+  /// handlers use this to tell a replacement — slot still occupied —
+  /// from a capacity eviction).
+  bool contains_nonce(const crypto::AccountId& sender,
+                      std::uint64_t nonce) const;
   std::size_t size() const;
   std::uint64_t pending_gas() const;
+  std::uint64_t pending_bytes() const { return pending_bytes_; }
+
+  /// Byte-capacity fee market (0 = unlimited). Capacity victims are
+  /// per-sender queue TAILS only (never interior nonces — evicting those
+  /// would orphan the rest of the queue), chosen by lowest gas price with
+  /// newest admission (highest seq) breaking ties.
+  void set_capacity(std::uint64_t bytes) { capacity_ = bytes; }
+  std::uint64_t capacity() const { return capacity_; }
+  /// Opt-in same-nonce replacement: a strictly higher gas price replaces
+  /// the pooled tx at that nonce. Off by default ("duplicate-nonce").
+  void set_replacement(bool on) { replacement_ = on; }
+  using EvictHandler = std::function<void(const AccountTransaction&)>;
+  void set_evict_handler(EvictHandler fn) { evict_handler_ = std::move(fn); }
 
  private:
-  // sender -> (nonce -> tx), nonce-sorted.
-  std::unordered_map<crypto::AccountId, std::map<std::uint64_t,
-                                                 AccountTransaction>>
+  struct Entry {
+    AccountTransaction tx;
+    std::uint64_t seq = 0;    // admission order, the eviction tiebreak
+    std::uint64_t bytes = 0;  // serialized size, cached
+  };
+
+  std::uint64_t entry_bytes(const AccountTransaction& tx) const;
+  void note_drop(const Entry& e) { pending_bytes_ -= e.bytes; }
+
+  // sender -> (nonce -> entry), nonce-sorted.
+  std::unordered_map<crypto::AccountId, std::map<std::uint64_t, Entry>>
       by_sender_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t pending_bytes_ = 0;
+  std::uint64_t capacity_ = 0;  // 0 = unlimited
+  bool replacement_ = false;
+  EvictHandler evict_handler_;
 };
 
 }  // namespace dlt::chain

@@ -62,6 +62,11 @@ struct NodeConfig {
   /// Per-node persistent store (storage/ledger_store.hpp); handed to the
   /// chain via Blockchain::attach_store. Null = no write-through.
   std::shared_ptr<storage::LedgerStore> store;
+  /// Mempool byte-capacity fee market (ISSUE 10): lowest-fee-rate
+  /// eviction + opt-in replacement once set. 0 = unlimited (historical).
+  std::uint64_t mempool_capacity_bytes = 0;
+  /// Enable replace-by-fee / same-nonce replacement in the mempools.
+  bool mempool_replacement = false;
 };
 
 /// Latency metrics a node records about its own submitted transactions.
@@ -90,6 +95,10 @@ class ChainNode {
   Status submit_transaction(const AccountTransaction& tx);
 
   std::size_t mempool_size() const;
+  /// Direct mempool access (admission-control wiring + tests): the
+  /// cluster installs evict handlers here and benches read occupancy.
+  UtxoMempool& utxo_pool() { return utxo_pool_; }
+  AccountMempool& account_pool() { return account_pool_; }
   const TxTimings& timings() const { return timings_; }
   std::uint64_t blocks_mined() const { return blocks_mined_; }
   ValidatorSet& validators() { return validators_; }

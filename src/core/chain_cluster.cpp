@@ -9,11 +9,11 @@ namespace {
 using Engine = ClusterEngine<ChainTraits>;
 
 SubmitOutcome submit_utxo_payment(Engine& e, std::size_t from,
-                                  std::size_t to, chain::Amount amount) {
+                                  std::size_t to, chain::Amount amount,
+                                  chain::Amount fee = 1000) {
   chain::ChainNode& node = e.node(0);
   ChainTraits::State& state = e.state();
   const crypto::KeyPair& key = e.account(from);
-  const chain::Amount fee = 1000;
 
   // Coin selection against the reference node's chainstate, skipping
   // outpoints already committed to in-flight transactions. for_each_owned
@@ -64,8 +64,11 @@ SubmitOutcome submit_utxo_payment(Engine& e, std::size_t from,
   return out;
 }
 
+// `gas_price_override` > 0 pins the fee (traffic fee classes); 0 keeps
+// the legacy random draw so pre-traffic RNG streams stay untouched.
 SubmitOutcome submit_account_payment(Engine& e, std::size_t from,
-                                     std::size_t to, chain::Amount amount) {
+                                     std::size_t to, chain::Amount amount,
+                                     std::uint64_t gas_price_override = 0) {
   chain::ChainNode& node = e.node(0);
   ChainTraits::State& state = e.state();
   const crypto::KeyPair& key = e.account(from);
@@ -78,7 +81,9 @@ SubmitOutcome submit_account_payment(Engine& e, std::size_t from,
     tx.data_size = static_cast<std::uint32_t>(
         e.rng().uniform(2 * e.config().account_tx_data_mean + 1));
   tx.gas_limit = tx.intrinsic_gas();
-  tx.gas_price = 1 + e.rng().uniform(10);  // a little fee-market variety
+  tx.gas_price = gas_price_override > 0
+                     ? gas_price_override
+                     : 1 + e.rng().uniform(10);  // a little fee-market variety
   tx.sign(key, e.rng());
 
   Status st = node.submit_transaction(tx);
@@ -88,6 +93,23 @@ SubmitOutcome submit_account_payment(Engine& e, std::size_t from,
   out.node = node.id();
   out.admitted = st.ok();
   return out;
+}
+
+// Fee-market eviction accounting shared by both evict handlers: retire
+// the lifecycle entry (gating on it being live guards against double
+// counts from reorg-reinject churn) and move the tx from admitted to
+// evicted. Traffic runs own the workload — mixing schedule_workload with
+// a capacity-capped pool would let closed-loop evictions skew these
+// tallies (see DESIGN.md "Admission determinism contract").
+void note_evicted(Engine& e, std::uint64_t id) {
+  if (obs::LatencyTracker* t = e.lifecycle_tracker()) {
+    if (!t->on_evict(id, e.simulation().now(), e.node(0).id()))
+      return;  // not an engine-submitted tx (or already retired)
+  }
+  AdmissionStats& adm = e.admission();
+  if (adm.admitted == 0) return;
+  --adm.admitted;
+  ++adm.evicted;
 }
 
 }  // namespace
@@ -147,6 +169,10 @@ void ChainTraits::build_nodes(Engine& e) {
     nc.parallel_state = config.crypto.parallel_state;
     nc.probe = e.node_probe(i);
     nc.lifecycle = e.lifecycle_tracker();
+    if (config.traffic.enabled) {
+      nc.mempool_capacity_bytes = config.traffic.queue_capacity_bytes;
+      nc.mempool_replacement = true;
+    }
     // Every node gets a store (memory mode by default) so storage.* gauges
     // appear in every report and the memory/disk differential stays a pure
     // config flip (ISSUE 9).
@@ -160,7 +186,38 @@ void ChainTraits::build_nodes(Engine& e) {
   }
 }
 
-void ChainTraits::after_topology(Engine&) {}
+void ChainTraits::after_topology(Engine& e) {
+  if (!e.config().traffic.enabled) return;
+  // Node 0 takes every engine submission, so only its evict handlers
+  // feed the admission tallies; replica pools evict silently.
+  State& st = e.state();
+  st.account_index.reserve(e.account_count());
+  for (std::size_t i = 0; i < e.account_count(); ++i)
+    st.account_index.emplace(e.account(i).account_id(), i);
+
+  e.node(0).utxo_pool().set_evict_handler(
+      [&e](const chain::UtxoTransaction& tx) {
+        // Release the wallet's coin reservations so the sender can
+        // rebuild the payment from the same outpoints.
+        ChainTraits::State& s = e.state();
+        for (const chain::TxIn& in : tx.inputs) s.reserved.erase(in.prevout);
+        note_evicted(e, obs::trace_id(tx.id()));
+      });
+  e.node(0).account_pool().set_evict_handler(
+      [&e](const chain::AccountTransaction& tx) {
+        // Wallet nonce rollback: a capacity eviction frees the nonce slot
+        // (tail eviction — nothing above it is pooled), so the sender
+        // re-uses it and its queue stays gap-free. A replacement leaves
+        // the slot occupied; keep the wallet counter where it is.
+        ChainTraits::State& s = e.state();
+        auto idx = s.account_index.find(tx.from);
+        if (idx != s.account_index.end() &&
+            !e.node(0).account_pool().contains_nonce(tx.from, tx.nonce) &&
+            tx.nonce < s.next_nonce[idx->second])
+          s.next_nonce[idx->second] = tx.nonce;
+        note_evicted(e, obs::trace_id(tx.id()));
+      });
+}
 
 // Chain confirmation (depth-k) is detected by ChainNode's block-connect
 // hook, which calls the tracker directly; nothing extra to install.
@@ -175,6 +232,35 @@ SubmitOutcome ChainTraits::submit_payment(Engine& e, std::size_t from,
   return e.config().params.tx_model == chain::TxModel::kUtxo
              ? submit_utxo_payment(e, from, to, amount)
              : submit_account_payment(e, from, to, amount);
+}
+
+void ChainTraits::submit_traffic(Engine& e, const TrafficEvent& ev) {
+  const TrafficConfig& tc = e.config().traffic;
+  const std::uint64_t mult = fee_class_multiplier(ev.fee_class);
+  const SubmitOutcome out =
+      e.config().params.tx_model == chain::TxModel::kUtxo
+          ? submit_utxo_payment(
+                e, ev.from, ev.to, static_cast<chain::Amount>(ev.amount),
+                static_cast<chain::Amount>(tc.base_fee * mult))
+          : submit_account_payment(e, ev.from, ev.to,
+                                   static_cast<chain::Amount>(ev.amount),
+                                   mult);
+  AdmissionStats& adm = e.admission();
+  if (out.status.ok()) {
+    ++adm.admitted;
+    if (obs::LatencyTracker* t = e.lifecycle_tracker()) {
+      const double now = e.simulation().now();
+      t->on_submit(out.tx_id, now, out.node,
+                   static_cast<std::uint64_t>(ev.from), ev.fee_class);
+      if (out.admitted) t->on_admit(out.tx_id, now, out.node);
+      if (out.included) t->on_include(out.tx_id, now, out.node);
+    }
+  } else if (out.status.error().code == "mempool-full") {
+    ++adm.backpressured;
+  } else {
+    ++adm.rejected;
+    e.rejected_counter().inc();
+  }
 }
 
 void ChainTraits::set_parallel_validation(Engine& e, bool on) {

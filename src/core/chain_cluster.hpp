@@ -50,6 +50,12 @@ struct ChainClusterConfig {
   /// either way; see storage/config.hpp and apply_env_storage.
   storage::StorageConfig storage{};
 
+  /// Open-loop traffic engine + admission control (ISSUE 10). When
+  /// enabled, every node's mempool runs the byte-capacity fee market
+  /// (traffic.queue_capacity_bytes, replacement on) and
+  /// ClusterEngine::schedule_traffic() drives arrivals.
+  TrafficConfig traffic{};
+
   std::uint64_t seed = 42;
 };
 
@@ -67,6 +73,10 @@ struct ChainTraits {
     std::size_t reserved_compact_at = 8192;
     // Account model: next nonce per workload account.
     std::vector<std::uint64_t> next_nonce;
+    // Traffic engine (ISSUE 10): reverse account lookup so the mempool
+    // evict handler can roll a sender's wallet nonce back to the evicted
+    // slot (the wallet re-uses it, keeping the sender's queue gap-free).
+    std::unordered_map<crypto::AccountId, std::size_t> account_index;
   };
 
   static State make_state(Config& config);
@@ -78,6 +88,8 @@ struct ChainTraits {
   static SubmitOutcome submit_payment(ClusterEngine<ChainTraits>& e,
                                       std::size_t from, std::size_t to,
                                       Amount amount);
+  static void submit_traffic(ClusterEngine<ChainTraits>& e,
+                             const TrafficEvent& ev);
   static void set_parallel_validation(ClusterEngine<ChainTraits>& e, bool on);
   static void set_parallel_state(ClusterEngine<ChainTraits>& e, bool on);
   static void fill_metrics(const ClusterEngine<ChainTraits>& e,

@@ -28,6 +28,7 @@
 
 #include "core/cluster_common.hpp"
 #include "core/metrics.hpp"
+#include "core/traffic.hpp"
 #include "core/workload.hpp"
 #include "net/network.hpp"
 #include "sim/simulation.hpp"
@@ -67,6 +68,10 @@ struct SubmitOutcome {
 ///   static void start(ClusterEngine&);
 ///   static SubmitOutcome submit_payment(ClusterEngine&, std::size_t from,
 ///                                       std::size_t to, Amount);
+///   static void submit_traffic(ClusterEngine&, const TrafficEvent&);
+///                  // open-loop arrival → admission pipeline (ISSUE 10):
+///                  // classify into engine.admission() and stamp the
+///                  // lifecycle tracker with the arrival's fee class
 ///   static void set_parallel_validation(ClusterEngine&, bool);
 ///   static void set_parallel_state(ClusterEngine&, bool);
 ///   static void fill_metrics(const ClusterEngine&, RunMetrics&);
@@ -164,6 +169,25 @@ class ClusterEngine {
     }
   }
 
+  /// Starts the open-loop traffic engine (ISSUE 10): arrivals generate on
+  /// sim-time events from config().traffic, independent of ledger
+  /// progress, each handed to Traits::submit_traffic which classifies it
+  /// into the admission() tallies. No-op unless traffic.enabled. The
+  /// arrival stream draws from its own dedicated Rng (traffic.seed) and
+  /// is scheduled one-event-ahead, so it composes with any other
+  /// scheduled workload without shifting the cluster RNG chain.
+  void schedule_traffic() {
+    const TrafficConfig& tc = config_.traffic;
+    if (!tc.enabled || tc.rate <= 0.0 || tc.duration <= 0.0) return;
+    traffic_ = std::make_unique<TrafficSource>(tc, accounts_.size());
+    traffic_start_ = sim_.now();
+    schedule_next_arrival();
+  }
+
+  /// Open-loop admission tallies (all zero unless schedule_traffic ran).
+  AdmissionStats& admission() { return admission_; }
+  const AdmissionStats& admission() const { return admission_; }
+
   /// Runs the simulation for `seconds` of simulated time.
   void run_for(double seconds) { sim_.run_until(sim_.now() + seconds); }
 
@@ -189,6 +213,11 @@ class ClusterEngine {
     Traits::fill_metrics(*this, m);
     m.messages = net_->traffic().messages;
     m.message_bytes = net_->traffic().bytes;
+    m.admission_submitted = admission_.submitted;
+    m.admission_admitted = admission_.admitted;
+    m.admission_rejected = admission_.rejected;
+    m.admission_evicted = admission_.evicted;
+    m.admission_backpressured = admission_.backpressured;
     return m;
   }
 
@@ -220,6 +249,18 @@ class ClusterEngine {
   /// section.
   support::JsonObject metrics_json() {
     obs_.capture_sim(sim_);
+    if (config_.traffic.enabled) {
+      obs_.metrics.gauge("admission.submitted")
+          .set(static_cast<double>(admission_.submitted));
+      obs_.metrics.gauge("admission.admitted")
+          .set(static_cast<double>(admission_.admitted));
+      obs_.metrics.gauge("admission.rejected")
+          .set(static_cast<double>(admission_.rejected));
+      obs_.metrics.gauge("admission.evicted")
+          .set(static_cast<double>(admission_.evicted));
+      obs_.metrics.gauge("admission.backpressured")
+          .set(static_cast<double>(admission_.backpressured));
+    }
     return obs_.metrics.to_json();
   }
   support::JsonObject trace_summary_json() const {
@@ -246,6 +287,20 @@ class ClusterEngine {
   obs::Counter& rejected_counter() { return *rejected_; }
 
  private:
+  // One-event-ahead arrival scheduling: each fired arrival books the next
+  // one, so the sim's event queue never holds more than one future
+  // arrival no matter how far past saturation the offered load runs.
+  void schedule_next_arrival() {
+    TrafficEvent ev;
+    if (!traffic_->next(ev)) return;
+    sim_.schedule_at(traffic_start_ + ev.time, [this, ev] {
+      ++admission_.submitted;
+      submitted_->inc();
+      Traits::submit_traffic(*this, ev);
+      schedule_next_arrival();
+    });
+  }
+
   // Declaration order is load-bearing: rng_ before crypto_/obs_ (ctor init
   // list), sim_ before net_ (network holds a reference), nodes_ after net_
   // (nodes deregister against a live network on destruction).
@@ -258,6 +313,11 @@ class ClusterEngine {
   std::unique_ptr<net::Network> net_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<crypto::KeyPair> accounts_;
+
+  // Open-loop traffic engine state (ISSUE 10).
+  std::unique_ptr<TrafficSource> traffic_;
+  double traffic_start_ = 0.0;
+  AdmissionStats admission_;
 
   // Workload tallies live in the cluster registry (obs_.metrics); these
   // are cached handles into it.

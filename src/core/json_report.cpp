@@ -40,6 +40,15 @@ JsonObject run_metrics_json(const RunMetrics& m) {
   o.put("stored_bytes", m.stored_bytes);
   o.put("messages", m.messages);
   o.put("message_bytes", m.message_bytes);
+  if (m.admission_submitted > 0) {
+    JsonObject a;
+    a.put("submitted", m.admission_submitted);
+    a.put("admitted", m.admission_admitted);
+    a.put("rejected", m.admission_rejected);
+    a.put("evicted", m.admission_evicted);
+    a.put("backpressured", m.admission_backpressured);
+    o.put_raw("admission", a.to_string());
+  }
   return o;
 }
 

@@ -47,6 +47,11 @@ struct LatticeClusterConfig {
   /// either way; see storage/config.hpp and apply_env_storage.
   storage::StorageConfig storage{};
 
+  /// Open-loop traffic engine + admission control (ISSUE 10): arrivals
+  /// park in per-owner-node AdmissionQueues (byte-capacity fee market)
+  /// drained on the traffic.drain_interval cadence into real sends.
+  TrafficConfig traffic{};
+
   std::uint64_t seed = 42;
 };
 
@@ -59,6 +64,10 @@ struct LatticeTraits {
 
   struct State {
     crypto::KeyPair genesis_key = crypto::KeyPair::from_seed(0x6e5);
+    // Traffic admission queues, one per owner node (lazily sized on the
+    // first arrival), plus the drain-event arm flags.
+    std::vector<AdmissionQueue> queues;
+    std::vector<char> drain_armed;
   };
 
   static State make_state(Config& config);
@@ -70,6 +79,8 @@ struct LatticeTraits {
   static SubmitOutcome submit_payment(ClusterEngine<LatticeTraits>& e,
                                       std::size_t from, std::size_t to,
                                       Amount amount);
+  static void submit_traffic(ClusterEngine<LatticeTraits>& e,
+                             const TrafficEvent& ev);
   static void set_parallel_validation(ClusterEngine<LatticeTraits>& e,
                                       bool on);
   static void set_parallel_state(ClusterEngine<LatticeTraits>& e, bool on);

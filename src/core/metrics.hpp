@@ -42,6 +42,15 @@ struct RunMetrics {
   // Network cost.
   std::uint64_t messages = 0;
   std::uint64_t message_bytes = 0;
+
+  // Open-loop admission control (ISSUE 10); all zero unless the traffic
+  // engine ran. Invariant: admission_submitted == admission_admitted +
+  // admission_rejected + admission_evicted + admission_backpressured.
+  std::uint64_t admission_submitted = 0;
+  std::uint64_t admission_admitted = 0;
+  std::uint64_t admission_rejected = 0;
+  std::uint64_t admission_evicted = 0;
+  std::uint64_t admission_backpressured = 0;
 };
 
 }  // namespace dlt::core

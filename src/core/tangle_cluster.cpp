@@ -62,6 +62,66 @@ void schedule_confirmation_sweep(Engine& e, double interval) {
   });
 }
 
+// ---- Open-loop admission pipeline (ISSUE 10) ----------------------------
+// Mirrors the lattice: issue() attaches synchronously, so admission
+// control is a per-issuer-node AdmissionQueue drained on a fixed service
+// cadence. See lattice_cluster.cpp for the rationale.
+
+void ensure_queues(Engine& e) {
+  TangleTraits::State& st = e.state();
+  if (!st.queues.empty()) return;
+  st.queues.assign(e.node_count(),
+                   AdmissionQueue(e.config().traffic.queue_capacity_bytes));
+  st.drain_armed.assign(e.node_count(), 0);
+}
+
+void arm_drain(Engine& e, std::size_t issuer);
+
+void drain_queue(Engine& e, std::size_t issuer_index) {
+  TangleTraits::State& st = e.state();
+  st.drain_armed[issuer_index] = 0;
+  AdmissionQueue& q = st.queues[issuer_index];
+  AdmissionStats& adm = e.admission();
+  obs::LatencyTracker* tracker = e.lifecycle_tracker();
+  const std::size_t burst =
+      std::max<std::size_t>(1, e.config().traffic.drain_burst);
+  for (std::size_t i = 0; i < burst; ++i) {
+    QueuedPayment p;
+    if (!q.pop(p)) break;
+    const Hash256 payload =
+        payment_payload(p.from, p.to, p.amount, st.payment_seq++);
+    tangle::TangleNode& issuer = e.node(issuer_index);
+    auto res = issuer.issue(e.account(p.from), payload);
+    if (!res) {
+      if (adm.admitted > 0) --adm.admitted;
+      ++adm.rejected;
+      e.rejected_counter().inc();
+      continue;
+    }
+    if (tracker) {
+      const double now = e.simulation().now();
+      const std::uint64_t id = obs::trace_id(*res);
+      // Submit is stamped at ENQUEUE time (queue wait counts); include
+      // means "attached on the reference replica", so it is stamped here
+      // only when node 0 issues — otherwise node 0 stamps it on gossip.
+      tracker->on_submit(id, p.submit_time, issuer.id(),
+                         static_cast<std::uint64_t>(p.from), p.fee_class);
+      tracker->on_admit(id, now, issuer.id());
+      if (issuer.id() == e.node(0).id())
+        tracker->on_include(id, now, issuer.id());
+    }
+  }
+  if (!q.empty()) arm_drain(e, issuer_index);
+}
+
+void arm_drain(Engine& e, std::size_t issuer) {
+  TangleTraits::State& st = e.state();
+  if (st.drain_armed[issuer]) return;
+  st.drain_armed[issuer] = 1;
+  e.simulation().schedule_in(e.config().traffic.drain_interval,
+                             [&e, issuer] { drain_queue(e, issuer); });
+}
+
 }  // namespace
 
 TangleTraits::State TangleTraits::make_state(Config&) { return State{}; }
@@ -123,6 +183,35 @@ SubmitOutcome TangleTraits::submit_payment(Engine& e, std::size_t from,
   out.admitted = true;
   out.included = (issuer.id() == e.node(0).id());
   return out;
+}
+
+void TangleTraits::submit_traffic(Engine& e, const TrafficEvent& ev) {
+  const TrafficConfig& tc = e.config().traffic;
+  ensure_queues(e);
+  const std::size_t issuer = ev.from % e.node_count();
+  QueuedPayment p;
+  p.submit_time = e.simulation().now();
+  p.from = ev.from;
+  p.to = ev.to;
+  p.amount = ev.amount;
+  p.fee_class = ev.fee_class;
+  p.fee = tc.base_fee * fee_class_multiplier(ev.fee_class);
+  p.bytes = tc.payment_bytes;
+  std::vector<QueuedPayment> evicted;
+  const auto res = e.state().queues[issuer].push(p, &evicted);
+  AdmissionStats& adm = e.admission();
+  // Queue-evicted payments never reached the ledger, so there is no
+  // lifecycle entry to retire — only the tallies move.
+  for (std::size_t i = 0; i < evicted.size(); ++i) {
+    if (adm.admitted > 0) --adm.admitted;
+    ++adm.evicted;
+  }
+  if (res == AdmissionQueue::Push::kBackpressured) {
+    ++adm.backpressured;
+    return;
+  }
+  ++adm.admitted;
+  arm_drain(e, issuer);
 }
 
 void TangleTraits::set_parallel_validation(Engine& e, bool on) {

@@ -48,6 +48,11 @@ struct TangleClusterConfig {
   /// either way; see storage/config.hpp and apply_env_storage.
   storage::StorageConfig storage{};
 
+  /// Open-loop traffic engine + admission control (ISSUE 10): arrivals
+  /// park in per-issuer-node AdmissionQueues (byte-capacity fee market)
+  /// drained on the traffic.drain_interval cadence into real issues.
+  TrafficConfig traffic{};
+
   std::uint64_t seed = 42;
 };
 
@@ -62,6 +67,10 @@ struct TangleTraits {
     /// Payment sequence number folded into each payload commitment so
     /// repeated (from, to, amount) triples stay distinct transactions.
     std::uint64_t payment_seq = 0;
+    // Traffic admission queues, one per issuer node (lazily sized on the
+    // first arrival), plus the drain-event arm flags.
+    std::vector<AdmissionQueue> queues;
+    std::vector<char> drain_armed;
   };
 
   static State make_state(Config& config);
@@ -73,6 +82,8 @@ struct TangleTraits {
   static SubmitOutcome submit_payment(ClusterEngine<TangleTraits>& e,
                                       std::size_t from, std::size_t to,
                                       Amount amount);
+  static void submit_traffic(ClusterEngine<TangleTraits>& e,
+                             const TrafficEvent& ev);
   static void set_parallel_validation(ClusterEngine<TangleTraits>& e,
                                       bool on);
   static void set_parallel_state(ClusterEngine<TangleTraits>& e, bool on);

@@ -1,10 +1,13 @@
 #include "obs/latency.hpp"
 
+#include <string>
+
 namespace dlt::obs {
 
 void LatencyTracker::enable(const Probe& probe, std::size_t sample_cap) {
   enabled_ = true;
   probe_ = probe;
+  sample_cap_ = sample_cap;
   submit_to_admit_ = probe_.histogram("latency.submit_to_admit");
   admit_to_include_ = probe_.histogram("latency.admit_to_include");
   include_to_confirm_ = probe_.histogram("latency.include_to_confirm");
@@ -20,12 +23,14 @@ void LatencyTracker::enable(const Probe& probe, std::size_t sample_cap) {
 }
 
 void LatencyTracker::on_submit(std::uint64_t id, double t,
-                               std::uint32_t node, std::uint64_t issuer) {
+                               std::uint32_t node, std::uint64_t issuer,
+                               std::uint32_t fee_class) {
   if (!enabled_) return;
   auto [it, fresh] = entries_.try_emplace(id);
   if (!fresh) return;  // duplicate id: first submission wins
   it->second.submit = t;
   it->second.issuer = issuer;
+  it->second.fee_class = fee_class;
   ++submitted_;
   if (issuer != kNoIssuer) ++issuer_stats_[issuer].submitted;
   probe_.trace(t, EventType::kTxSubmitted, node, id, 0);
@@ -81,8 +86,34 @@ bool LatencyTracker::on_confirm(std::uint64_t id, double t,
     observe(include_to_confirm_, t - e.include);
   }
   observe(submit_to_confirm_, t - e.submit);
+  if (e.fee_class != kNoClass)
+    observe(class_histogram(e.fee_class), t - e.submit);
   probe_.trace(t, EventType::kTxConfirmed, node, id, aux);
   return true;
+}
+
+bool LatencyTracker::on_evict(std::uint64_t id, double t,
+                              std::uint32_t node) {
+  if (!enabled_) return false;
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return false;
+  if (it->second.include >= 0.0 && it->second.issuer != kNoIssuer)
+    --issuer_stats_[it->second.issuer].included;  // never made it
+  entries_.erase(it);
+  ++evicted_;
+  probe_.trace(t, EventType::kTxEvicted, node, id, 0);
+  return true;
+}
+
+Histogram* LatencyTracker::class_histogram(std::uint32_t fee_class) {
+  auto it = class_hist_.find(fee_class);
+  if (it != class_hist_.end()) return it->second;
+  Histogram* h = probe_.histogram("latency.class." +
+                                  std::to_string(fee_class) +
+                                  ".submit_to_confirm");
+  if (h && sample_cap_ > 0) h->set_sample_cap(sample_cap_);
+  class_hist_.emplace(fee_class, h);
+  return h;
 }
 
 void LatencyTracker::capture() {

@@ -43,6 +43,9 @@ class LatencyTracker {
   /// Sentinel issuer tag: the submission carries no issuer attribution
   /// and is excluded from the per-issuer fairness stats.
   static constexpr std::uint64_t kNoIssuer = ~0ULL;
+  /// Sentinel fee class: untagged submissions skip the per-class
+  /// latency.class.<k>.submit_to_confirm histograms (ISSUE 10).
+  static constexpr std::uint32_t kNoClass = ~0U;
 
   /// Per-issuer inclusion tally (fairness.inclusion_gini input, ISSUE 8):
   /// how many of an issuer's submissions reached the include stage. Kept
@@ -62,8 +65,11 @@ class LatencyTracker {
   /// wins; duplicate ids are ignored. `issuer` tags the submission for
   /// the per-issuer fairness stats (workload account index in clusters;
   /// kNoIssuer = untracked).
+  /// `fee_class` additionally buckets this transaction's eventual
+  /// confirmation latency into latency.class.<k>.submit_to_confirm.
   void on_submit(std::uint64_t id, double t, std::uint32_t node,
-                 std::uint64_t issuer = kNoIssuer);
+                 std::uint64_t issuer = kNoIssuer,
+                 std::uint32_t fee_class = kNoClass);
   /// Stage stamps for a tracked id; return false (and record nothing)
   /// when `id` was never submitted — callers may then fall back to their
   /// historical trace emission. First write per stage wins.
@@ -77,11 +83,17 @@ class LatencyTracker {
   /// tx_confirmed, and retires the entry (later calls return false).
   bool on_confirm(std::uint64_t id, double t, std::uint32_t node,
                   std::uint64_t aux = 0);
+  /// Fee-market eviction (ISSUE 10): retires the entry WITHOUT touching
+  /// the latency histograms (the tx never confirmed), emits tx_evicted.
+  /// Returns false for unknown/already-retired ids so callers can gate
+  /// their admission.* accounting on whether the entry was live.
+  bool on_evict(std::uint64_t id, double t, std::uint32_t node);
 
   /// Transactions submitted but not yet confirmed.
   std::size_t in_flight() const { return entries_.size(); }
   std::uint64_t submitted() const { return submitted_; }
   std::uint64_t confirmed() const { return confirmed_; }
+  std::uint64_t evicted() const { return evicted_; }
 
   /// Per-issuer submission/inclusion tallies for issuer-tagged
   /// submissions. Iterate sorted by issuer for deterministic aggregation
@@ -99,14 +111,20 @@ class LatencyTracker {
     double admit = -1.0;
     double include = -1.0;
     std::uint64_t issuer = kNoIssuer;
+    std::uint32_t fee_class = kNoClass;
   };
+
+  Histogram* class_histogram(std::uint32_t fee_class);
 
   bool enabled_ = false;
   Probe probe_;
   std::unordered_map<std::uint64_t, Entry> entries_;
   std::unordered_map<std::uint64_t, IssuerStats> issuer_stats_;
+  std::unordered_map<std::uint32_t, Histogram*> class_hist_;
+  std::size_t sample_cap_ = 0;
   std::uint64_t submitted_ = 0;
   std::uint64_t confirmed_ = 0;
+  std::uint64_t evicted_ = 0;
 
   // Cached registry metrics (non-null once enabled with a registry).
   Histogram* submit_to_admit_ = nullptr;

@@ -32,6 +32,7 @@ constexpr EventSchema kSchemas[kEventTypeCount] = {
     {"tip_attached", "id", "parents"},
     {"tx_submitted", "id", "aux"},
     {"tx_admitted", "id", "aux"},
+    {"tx_evicted", "id", "aux"},
 };
 
 const EventSchema& schema(EventType t) {

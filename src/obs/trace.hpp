@@ -54,6 +54,7 @@ enum class EventType : std::uint8_t {
   kTipAttached,       // a=id, b=parents (tangle)
   kTxSubmitted,       // a=id, b=aux — workload payment entered the cluster
   kTxAdmitted,        // a=id, b=aux — accepted into mempool/ledger locally
+  kTxEvicted,         // a=id, b=aux — displaced by the fee market (ISSUE 10)
   kEventCount_,       // sentinel — keep last
 };
 

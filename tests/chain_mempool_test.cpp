@@ -108,6 +108,121 @@ TEST_F(UtxoMempoolTest, ReinjectAfterDisconnect) {
   EXPECT_FALSE(pool.contains(cb.id()));
 }
 
+// --- fee-market eviction edge cases (ISSUE 10) --------------------------
+
+TEST_F(UtxoMempoolTest, ExactCapacityBoundaryAdmitsWithoutEviction) {
+  std::vector<TxId> evicted;
+  pool.set_evict_handler(
+      [&](const UtxoTransaction& tx) { evicted.push_back(tx.id()); });
+  const auto t0 = spend(0, 99'900);  // fee 100, the eviction floor
+  const auto t1 = spend(1, 99'800);  // fee 200
+  const std::uint64_t sz = t0.serialized_size();
+  ASSERT_EQ(sz, t1.serialized_size());
+  pool.set_capacity(2 * sz);
+
+  // Filling the pool to EXACTLY its byte capacity is not an overflow.
+  ASSERT_TRUE(pool.add(t0, utxo, 1).ok());
+  ASSERT_TRUE(pool.add(t1, utxo, 1).ok());
+  EXPECT_EQ(pool.pending_bytes(), pool.capacity());
+  EXPECT_TRUE(evicted.empty());
+
+  // One byte over: exactly one victim — the worst fee rate — makes room.
+  const auto rich = spend(2, 90'000);  // fee 10000
+  ASSERT_TRUE(pool.add(rich, utxo, 1).ok());
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], t0.id());
+  EXPECT_FALSE(pool.contains(t0.id()));
+  EXPECT_TRUE(pool.contains(t1.id()));
+  EXPECT_TRUE(pool.contains(rich.id()));
+  EXPECT_EQ(pool.pending_bytes(), pool.capacity());
+}
+
+TEST_F(UtxoMempoolTest, FeeRateTieFifoPreservedAcrossEvictions) {
+  std::vector<TxId> evicted;
+  pool.set_evict_handler(
+      [&](const UtxoTransaction& tx) { evicted.push_back(tx.id()); });
+  const auto t0 = spend(0, 99'500);  // identical fee 500 → identical rate
+  const auto t1 = spend(1, 99'500);
+  const auto t2 = spend(2, 99'500);
+  const std::uint64_t sz = t0.serialized_size();
+  pool.set_capacity(3 * sz);
+  ASSERT_TRUE(pool.add(t0, utxo, 1).ok());
+  ASSERT_TRUE(pool.add(t1, utxo, 1).ok());
+  ASSERT_TRUE(pool.add(t2, utxo, 1).ok());
+
+  // Overflow inside a rate tie evicts the NEWEST of the tie only.
+  const auto rich = spend(3, 90'000);
+  ASSERT_TRUE(pool.add(rich, utxo, 1).ok());
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], t2.id());
+
+  // The surviving tie keeps its original FIFO order under selection.
+  const auto got = pool.select(1 << 20);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0].id(), rich.id());
+  EXPECT_EQ(got[1].id(), t0.id());
+  EXPECT_EQ(got[2].id(), t1.id());
+}
+
+TEST_F(UtxoMempoolTest, ReadmissionAfterEvictionGetsFreshSeq) {
+  const auto t0 = spend(0, 99'500);  // fee 500
+  const auto t1 = spend(1, 99'500);  // fee 500, same rate as t0
+  const std::uint64_t sz = t0.serialized_size();
+  pool.set_capacity(2 * sz);
+  ASSERT_TRUE(pool.add(t0, utxo, 1).ok());
+  ASSERT_TRUE(pool.add(t1, utxo, 1).ok());
+
+  // Evict t1 (newest of the rate tie) with a richer arrival.
+  const auto rich = spend(2, 90'000);
+  ASSERT_TRUE(pool.add(rich, utxo, 1).ok());
+  ASSERT_FALSE(pool.contains(t1.id()));
+
+  // Make room, admit a fresh same-rate tx, then re-admit t1. If t1 kept
+  // its original admission sequence it would outrank t2 in the FIFO tie;
+  // a fresh seq puts it at the back of the tie instead.
+  pool.set_capacity(4 * sz);
+  const auto t2 = spend(3, 99'500);
+  ASSERT_TRUE(pool.add(t2, utxo, 1).ok());
+  ASSERT_TRUE(pool.add(t1, utxo, 1).ok());
+  const auto got = pool.select(1 << 20);
+  ASSERT_EQ(got.size(), 4u);
+  EXPECT_EQ(got[0].id(), rich.id());
+  EXPECT_EQ(got[1].id(), t0.id());
+  EXPECT_EQ(got[2].id(), t2.id());
+  EXPECT_EQ(got[3].id(), t1.id());  // re-admission is a NEW arrival
+}
+
+TEST_F(UtxoMempoolTest, CascadeEvictionDropsChainedChild) {
+  std::vector<TxId> evicted;
+  pool.set_evict_handler(
+      [&](const UtxoTransaction& tx) { evicted.push_back(tx.id()); });
+
+  // parent (fee 200, the pool's worst rate) pays keys[1]; child spends
+  // the parent's unconfirmed output. The UTXO view sees the parent (the
+  // cluster's mempool-aware view) while the pool still holds it.
+  const auto parent = spend(0, 99'800);
+  ASSERT_TRUE(pool.add(parent, utxo, 1).ok());
+  utxo.apply_transaction(parent);
+  UtxoTransaction child;
+  child.inputs.push_back(TxIn{Outpoint{parent.id(), 0}, 0, {}});
+  child.outputs.push_back(TxOut{99'000, keys[2].account_id()});
+  child.sign_all({keys[1]}, rng);
+  ASSERT_TRUE(pool.add(child, utxo, 1).ok());
+
+  pool.set_capacity(pool.pending_bytes());  // pool exactly full
+  const auto rich = spend(2, 90'000);
+  ASSERT_TRUE(pool.add(rich, utxo, 1).ok());
+
+  // Evicting the parent took its pooled descendant with it — children
+  // first, so no dangling claim ever exists.
+  ASSERT_EQ(evicted.size(), 2u);
+  EXPECT_EQ(evicted[0], child.id());
+  EXPECT_EQ(evicted[1], parent.id());
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_TRUE(pool.contains(rich.id()));
+  EXPECT_EQ(pool.pending_bytes(), rich.serialized_size());
+}
+
 class AccountMempoolTest : public ::testing::Test {
  protected:
   AccountMempoolTest() : keys(make_keys(3)), rng(2) {

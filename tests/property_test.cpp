@@ -519,6 +519,95 @@ TEST(ChainDeterminism, SameSeedSameTip) {
   EXPECT_EQ(run_once(), run_once());
 }
 
+// ---------------------------------------------------------------------------
+// Admission accounting (ISSUE 10): under open-loop traffic past saturation,
+// every submitted transaction lands in exactly one bucket
+// (admitted / rejected / evicted / backpressured) and every ADMITTED one is
+// eventually confirmed, explicitly evicted, or still accounted in flight —
+// nothing leaks.
+
+class TrafficAdmissionProperty
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TrafficAdmissionProperty, ChainAdmittedConfirmsOrEvicts) {
+  ChainClusterConfig cfg;
+  cfg.params = chain::pos_like();
+  cfg.params.verify_pow = false;
+  cfg.params.retarget_window = 0;
+  cfg.params.initial_difficulty = 1e6;
+  cfg.params.block_interval = 2.0;
+  cfg.params.confirmation_depth = 3;
+  cfg.node_count = 3;
+  cfg.miner_count = 2;
+  cfg.validator_count = 3;
+  cfg.total_hashrate = 1e6 / 2.0;
+  cfg.account_count = 10;
+  cfg.initial_balance = 1'000'000'000;
+  cfg.seed = GetParam();
+  cfg.traffic.enabled = true;
+  cfg.traffic.rate = 80.0;
+  cfg.traffic.duration = 20.0;
+  cfg.traffic.queue_capacity_bytes = 4 * 1024;  // well under the offered load
+  ChainCluster cluster(cfg);
+  cluster.start();
+  cluster.schedule_traffic();
+  cluster.run_for(20.0 + 2.0 * 5.0);
+
+  const RunMetrics m = cluster.metrics();
+  // Exact reconciliation: the four outcome buckets partition submissions.
+  EXPECT_GT(m.admission_submitted, 0u);
+  EXPECT_EQ(m.admission_submitted,
+            m.admission_admitted + m.admission_rejected + m.admission_evicted +
+                m.admission_backpressured);
+  // The config is past saturation by construction.
+  EXPECT_GT(m.admission_evicted + m.admission_backpressured, 0u);
+  EXPECT_GT(m.admission_admitted, 0u);
+
+  // Lifecycle completeness: each admitted tx got a tracker entry, and each
+  // entry is confirmed, explicitly evicted, or still in flight.
+  const obs::LatencyTracker& lt = cluster.lifecycle();
+  EXPECT_EQ(lt.submitted(), lt.confirmed() + lt.evicted() + lt.in_flight());
+  EXPECT_EQ(lt.submitted(), m.admission_admitted + m.admission_evicted);
+  EXPECT_EQ(lt.evicted(), m.admission_evicted);
+  EXPECT_LE(lt.confirmed(), m.admission_admitted);
+  EXPECT_GT(lt.confirmed(), 0u);
+}
+
+TEST_P(TrafficAdmissionProperty, LatticeAdmissionReconciles) {
+  LatticeClusterConfig cfg;
+  cfg.node_count = 3;
+  cfg.representative_count = 2;
+  cfg.account_count = 10;
+  cfg.params.work_bits = 2;
+  cfg.seed = GetParam();
+  cfg.traffic.enabled = true;
+  cfg.traffic.rate = 60.0;
+  cfg.traffic.duration = 8.0;
+  cfg.traffic.queue_capacity_bytes = 1536;
+  cfg.traffic.drain_burst = 2;
+  LatticeCluster cluster(cfg);
+  cluster.fund_accounts();
+  cluster.schedule_traffic();
+  cluster.run_for(8.0 + 12.0);
+
+  const RunMetrics m = cluster.metrics();
+  EXPECT_GT(m.admission_submitted, 0u);
+  EXPECT_EQ(m.admission_submitted,
+            m.admission_admitted + m.admission_rejected + m.admission_evicted +
+                m.admission_backpressured);
+  EXPECT_GT(m.admission_evicted + m.admission_backpressured, 0u);
+
+  // Queue-evicted payments never reached the ledger (no lifecycle entry),
+  // so the tracker covers exactly the drained-and-issued population.
+  const obs::LatencyTracker& lt = cluster.lifecycle();
+  EXPECT_EQ(lt.submitted(), lt.confirmed() + lt.evicted() + lt.in_flight());
+  EXPECT_LE(lt.submitted(), m.admission_admitted);
+  EXPECT_GT(lt.confirmed(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrafficAdmissionProperty,
+                         ::testing::Values(41, 42, 43));
+
 // Different seeds must explore different histories (sanity of the sweep).
 TEST(ChainDeterminism, DifferentSeedsDiffer) {
   auto run_with = [](std::uint64_t seed) {

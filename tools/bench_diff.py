@@ -44,6 +44,8 @@ SMALLER_IS_BETTER = (
     "rollback",
     "dropped",
     "rejected",
+    "evicted",
+    "backpressured",
     "bytes",
     "wall_seconds",
     "_ns",
@@ -56,8 +58,12 @@ SMALLER_IS_BETTER = (
 # pruned_bytes gauge counts bytes *reclaimed* by pruning, so growth there
 # is the pruning discipline working harder, not the ledger bloating.
 # (storage.log_bytes / storage.state_bytes stay smaller-is-better: a
-# larger log or arena is a real on-disk regression.)
-LARGER_IS_BETTER = ("storage.pruned_bytes",)
+# larger log or arena is a real on-disk regression.) "admitted" is the
+# admission-control success bucket: at fixed offered load, admitting more
+# is strictly better, while its evicted/rejected/backpressured siblings
+# above read the other way. latency.class.* paths need no entry — they
+# contain "latency" and inherit its smaller-is-better direction.
+LARGER_IS_BETTER = ("storage.pruned_bytes", "admitted")
 
 # Wall-clock metrics: noisy, excluded from the regression gate by default.
 PROFILE_MARKERS = ("profile.", "wall_seconds", "events_per_sec", "_ns", "_us")

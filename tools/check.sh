@@ -10,6 +10,7 @@
 #   tools/check.sh --latency      # tier-1 + lifecycle-latency pipeline gate
 #   tools/check.sh --attacks      # tier-1 + adversarial-suite safety gate
 #   tools/check.sh --storage      # tier-1 + §V on-disk ledger-size gate
+#   tools/check.sh --traffic      # tier-1 + E20 open-loop admission gate
 #
 # Flags combine: `tools/check.sh --determinism --tsan` runs the tier-1
 # suite once, then both extra passes in one invocation. Any extra flag
@@ -44,6 +45,11 @@
 # the exported report (the storage determinism contract), and the §V
 # size ordering on real bytes: UTXO archival > account state-pruned >
 # lattice head-only.
+# --traffic runs bench_openloop (E20) and re-derives its gates from the
+# exported JSON: admission.* reconciles exactly on every sweep row, the
+# top point per ledger is past saturation (offered > achieved) with
+# admission pressure (evictions or backpressure), and every fee class
+# has a non-empty latency histogram there.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -56,6 +62,7 @@ PERF=0
 LATENCY=0
 ATTACKS=0
 STORAGE=0
+TRAFFIC=0
 for arg in "$@"; do
   case "$arg" in
     --fast) FAST=1 ;;
@@ -65,8 +72,9 @@ for arg in "$@"; do
     --latency) FAST=1; LATENCY=1 ;;
     --attacks) FAST=1; ATTACKS=1 ;;
     --storage) FAST=1; STORAGE=1 ;;
+    --traffic) FAST=1; TRAFFIC=1 ;;
     *)
-      echo "usage: tools/check.sh [--fast] [--determinism] [--tsan] [--perf] [--latency] [--attacks] [--storage]" >&2
+      echo "usage: tools/check.sh [--fast] [--determinism] [--tsan] [--perf] [--latency] [--attacks] [--storage] [--traffic]" >&2
       exit 2
       ;;
   esac
@@ -88,7 +96,8 @@ run_pass tier-1 build
 
 if [[ "$DETERMINISM" == "1" ]]; then
   cmake --build build -j "$JOBS" --target bench_throughput_chain \
-    bench_throughput_dag bench_throughput_tangle bench_adversarial
+    bench_throughput_dag bench_throughput_tangle bench_adversarial \
+    bench_openloop
   tools/determinism_gate.sh build
 fi
 
@@ -192,6 +201,52 @@ print(f"overbudget: log {ob['log_bytes']} B > budget {ob['budget_bytes']} B")
 EOF
   rm -rf "$stodir"
   echo "=== [storage] OK ==="
+fi
+
+if [[ "$TRAFFIC" == "1" ]]; then
+  echo "=== [traffic] bench_openloop (E20) ==="
+  cmake --build build -j "$JOBS" --target bench_openloop
+  trafdir="$(mktemp -d)"
+  (cd "$trafdir" && "$OLDPWD/build/bench/bench_openloop" > bench_stdout.txt) || {
+    echo "FAIL: bench_openloop gates failed" >&2
+    tail -n 40 "$trafdir/bench_stdout.txt" >&2
+    exit 1
+  }
+  echo "=== [traffic] reconciliation + saturation + per-class histograms ==="
+  python3 - "$trafdir/BENCH_openloop.json" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+rows = report["sweep"]
+systems = {}
+for row in rows:
+    adm = row["admission"]
+    total = (adm["admitted"] + adm["rejected"] + adm["evicted"]
+             + adm["backpressured"])
+    if not adm["reconciles"] or adm["submitted"] != total:
+        sys.exit(f"FAIL: {row['system']} @{row['offered_tps']} tx/s does not "
+                 f"reconcile: {adm['submitted']} != {total}")
+    systems.setdefault(row["system"], []).append(row)
+if len(systems) < 3:
+    sys.exit(f"FAIL: swept {sorted(systems)} ledgers, need chain+lattice+tangle")
+for system, swept in systems.items():
+    top = max(swept, key=lambda r: r["offered_tps"])
+    adm = top["admission"]
+    if top["fired_tps"] <= top["achieved_tps"]:
+        sys.exit(f"FAIL: {system} top point not saturated "
+                 f"({top['fired_tps']:.1f} <= {top['achieved_tps']:.1f} tx/s)")
+    if adm["evicted"] + adm["backpressured"] == 0:
+        sys.exit(f"FAIL: {system} top point shows no admission pressure")
+    classes = top["classes"]
+    if len(classes) < 2 or any(c["count"] == 0 for c in classes):
+        sys.exit(f"FAIL: {system} per-class latency histograms incomplete: "
+                 f"{[(c['class'], c['count']) for c in classes]}")
+    p99s = " ".join(f"c{c['class']}:{c['p99_s']:.1f}s" for c in classes)
+    print(f"{system}: offered {top['fired_tps']:.1f} > achieved "
+          f"{top['achieved_tps']:.1f} tx/s, evicted {adm['evicted']}, "
+          f"backpressured {adm['backpressured']}, class p99 {p99s}")
+EOF
+  rm -rf "$trafdir"
+  echo "=== [traffic] OK ==="
 fi
 
 if [[ "$PERF" == "1" ]]; then

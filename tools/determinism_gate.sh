@@ -15,6 +15,10 @@
 #                ISSUE 9): flipping the storage mode must leave metrics
 #                and traces byte-identical.
 #
+# bench_openloop (E20, ISSUE 10) runs all three legs too: the open-loop
+# traffic engine and the admission queues must replay identically across
+# worker counts, state sharding, and storage modes.
+#
 #   tools/determinism_gate.sh [build-dir]   # default: build
 #
 # Invoked by tools/check.sh --determinism, or via ctest when configured
@@ -150,7 +154,10 @@ gate bench_throughput_chain state
 gate bench_throughput_dag state
 gate bench_throughput_tangle state
 gate bench_adversarial state
+gate bench_openloop
+gate bench_openloop state
 gate_storage bench_throughput_chain
 gate_storage bench_throughput_tangle
+gate_storage bench_openloop
 gate_simcore
 echo "=== [determinism] OK ==="
